@@ -1,0 +1,366 @@
+// Package mira_test holds the benchmark harness: one testing.B benchmark
+// per table and figure of the MIRA paper's evaluation section. Each
+// benchmark regenerates its artifact via internal/exp (with shortened
+// simulation windows so `go test -bench=.` stays tractable) and reports
+// the headline quantity of that artifact as a custom benchmark metric.
+//
+// Full-length regeneration (the numbers recorded in EXPERIMENTS.md) is
+// done with `go run ./cmd/mirabench all`.
+package mira_test
+
+import (
+	"strconv"
+	"testing"
+
+	"mira/internal/area"
+	"mira/internal/cmp"
+	"mira/internal/core"
+	"mira/internal/exp"
+	"mira/internal/noc"
+	"mira/internal/power"
+	"mira/internal/routing"
+	"mira/internal/timing"
+)
+
+// benchOpts trims the windows so each iteration is sub-second.
+func benchOpts() exp.Options {
+	return exp.Options{Warmup: 500, Measure: 2000, Drain: 6000, TraceCycles: 5000, Seed: 42}
+}
+
+func parseCell(b *testing.B, s string) float64 {
+	b.Helper()
+	if len(s) > 0 && s[len(s)-1] == '*' {
+		s = s[:len(s)-1]
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("bad cell %q: %v", s, err)
+	}
+	return v
+}
+
+// BenchmarkTable1Area regenerates the router component area table.
+func BenchmarkTable1Area(b *testing.B) {
+	var total float64
+	for i := 0; i < b.N; i++ {
+		t := exp.Table1()
+		total = parseCell(b, t.Rows[7][3]) // 3DM total
+	}
+	b.ReportMetric(total, "um2_3DM_total")
+}
+
+// BenchmarkTable3Delay regenerates the ST+LT combination check.
+func BenchmarkTable3Delay(b *testing.B) {
+	var combined float64
+	for i := 0; i < b.N; i++ {
+		d := timing.Evaluate(120, core.Pitch3DMMM)
+		combined = d.CombinedPS
+	}
+	b.ReportMetric(combined, "ps_3DM_STLT")
+}
+
+// BenchmarkFig3Footprint regenerates the footprint comparison.
+func BenchmarkFig3Footprint(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		t := exp.Fig3()
+		ratio = parseCell(b, t.Rows[2][4])
+	}
+	b.ReportMetric(ratio, "footprint_3DM_vs_2DB")
+}
+
+// BenchmarkFig9Energy regenerates the per-flit energy breakdown.
+func BenchmarkFig9Energy(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		p2 := power.FlitHopEnergy(area.Params{Ports: 5, VCs: 2, FlitWidth: 128, BufDepth: 8, Layers: 1}, core.Pitch2DMM)
+		p3 := power.FlitHopEnergy(area.Params{Ports: 5, VCs: 2, FlitWidth: 128, BufDepth: 8, Layers: 4}, core.Pitch3DMMM)
+		ratio = p3.Total() / p2.Total()
+	}
+	b.ReportMetric(ratio, "flitE_3DM_vs_2DB")
+}
+
+// BenchmarkFig1DataPatterns regenerates the data-pattern breakdown.
+func BenchmarkFig1DataPatterns(b *testing.B) {
+	o := benchOpts()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Fig1(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(t.Rows)
+	}
+	b.ReportMetric(float64(rows), "workloads")
+}
+
+// BenchmarkFig2PacketTypes regenerates the packet-type distribution.
+func BenchmarkFig2PacketTypes(b *testing.B) {
+	o := benchOpts()
+	var ctrl float64
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Fig2(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctrl = parseCell(b, t.Rows[0][len(t.Rows[0])-1])
+	}
+	b.ReportMetric(ctrl, "ctrl_pkt_frac_tpcw")
+}
+
+// BenchmarkFig10Layouts regenerates the node layouts.
+func BenchmarkFig10Layouts(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		rows = len(exp.Fig10().Rows)
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+// BenchmarkFig11aLatencyUR regenerates the uniform-random latency curve
+// at three representative injection rates.
+func BenchmarkFig11aLatencyUR(b *testing.B) {
+	o := benchOpts()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		d2 := core.MustDesign(core.Arch2DB)
+		de := core.MustDesign(core.Arch3DME)
+		var r2, re float64
+		for _, rate := range []float64{0.05, 0.15, 0.30} {
+			r2 = exp.RunUR(d2, rate, 0, o).AvgLatency
+			re = exp.RunUR(de, rate, 0, o).AvgLatency
+		}
+		ratio = re / r2 // at the highest rate
+	}
+	b.ReportMetric(ratio, "lat_3DME_vs_2DB@0.30")
+}
+
+// BenchmarkFig11bLatencyNUCA regenerates the NUCA-UR latency comparison.
+func BenchmarkFig11bLatencyNUCA(b *testing.B) {
+	o := benchOpts()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		d2 := core.MustDesign(core.Arch2DB)
+		de := core.MustDesign(core.Arch3DME)
+		r2 := exp.RunNUCAUR(d2, 0.10, 0, o).AvgLatency
+		re := exp.RunNUCAUR(de, 0.10, 0, o).AvgLatency
+		ratio = re / r2
+	}
+	b.ReportMetric(ratio, "lat_3DME_vs_2DB")
+}
+
+// BenchmarkFig11cLatencyTraces regenerates the MP-trace latency ratio
+// for one representative workload.
+func BenchmarkFig11cLatencyTraces(b *testing.B) {
+	o := benchOpts()
+	w, _ := cmp.ByName("tpcw")
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		d2 := core.MustDesign(core.Arch2DB)
+		de := core.MustDesign(core.Arch3DME)
+		r2, _, err := exp.RunTrace(d2, w, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		re, _, err := exp.RunTrace(de, w, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = re.AvgLatency / r2.AvgLatency
+	}
+	b.ReportMetric(ratio, "lat_3DME_vs_2DB")
+}
+
+// BenchmarkFig11dHops regenerates the hop-count comparison.
+func BenchmarkFig11dHops(b *testing.B) {
+	var hops float64
+	for i := 0; i < b.N; i++ {
+		de := core.MustDesign(core.Arch3DME)
+		h, err := routing.AverageHops(de.Topo, de.Alg, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hops = h
+	}
+	b.ReportMetric(hops, "hops_3DME_UR")
+}
+
+// BenchmarkFig12aPowerUR regenerates the uniform-random power curve.
+func BenchmarkFig12aPowerUR(b *testing.B) {
+	o := benchOpts()
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		d2 := core.MustDesign(core.Arch2DB)
+		de := core.MustDesign(core.Arch3DME)
+		p2 := exp.NetworkPowerW(d2, exp.RunUR(d2, 0.15, 0, o), false)
+		pe := exp.NetworkPowerW(de, exp.RunUR(de, 0.15, 0, o), false)
+		saving = 1 - pe/p2
+	}
+	b.ReportMetric(saving, "power_saving_3DME")
+}
+
+// BenchmarkFig12bPowerNUCA regenerates the NUCA-UR power comparison.
+func BenchmarkFig12bPowerNUCA(b *testing.B) {
+	o := benchOpts()
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		d2 := core.MustDesign(core.Arch2DB)
+		dm := core.MustDesign(core.Arch3DM)
+		p2 := exp.NetworkPowerW(d2, exp.RunNUCAUR(d2, 0.10, 0, o), false)
+		pm := exp.NetworkPowerW(dm, exp.RunNUCAUR(dm, 0.10, 0, o), false)
+		saving = 1 - pm/p2
+	}
+	b.ReportMetric(saving, "power_saving_3DM")
+}
+
+// BenchmarkFig12cPowerTraces regenerates the trace power ratio with
+// layer shutdown.
+func BenchmarkFig12cPowerTraces(b *testing.B) {
+	o := benchOpts()
+	w, _ := cmp.ByName("tpcw")
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		d2 := core.MustDesign(core.Arch2DB)
+		de := core.MustDesign(core.Arch3DME)
+		r2, _, err := exp.RunTrace(d2, w, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		re, _, err := exp.RunTrace(de, w, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = exp.NetworkPowerW(de, re, true) / exp.NetworkPowerW(d2, r2, false)
+	}
+	b.ReportMetric(ratio, "power_3DME_vs_2DB")
+}
+
+// BenchmarkFig12dPDP regenerates the normalized power-delay product.
+func BenchmarkFig12dPDP(b *testing.B) {
+	o := benchOpts()
+	var pdp float64
+	for i := 0; i < b.N; i++ {
+		d2 := core.MustDesign(core.Arch2DB)
+		de := core.MustDesign(core.Arch3DME)
+		r2 := exp.RunUR(d2, 0.15, 0, o)
+		re := exp.RunUR(de, 0.15, 0, o)
+		base := exp.NetworkPowerW(d2, r2, false) * r2.AvgLatency
+		pdp = exp.NetworkPowerW(de, re, false) * re.AvgLatency / base
+	}
+	b.ReportMetric(pdp, "pdp_3DME_vs_2DB")
+}
+
+// BenchmarkFig13aShortFlits regenerates the per-workload short-flit
+// percentages.
+func BenchmarkFig13aShortFlits(b *testing.B) {
+	o := benchOpts()
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Fig13a(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = parseCell(b, t.Rows[len(t.Rows)-1][1])
+	}
+	b.ReportMetric(avg, "avg_short_flit_pct")
+}
+
+// BenchmarkFig13bShutdown regenerates the layer-shutdown power savings.
+func BenchmarkFig13bShutdown(b *testing.B) {
+	o := benchOpts()
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		d := core.MustDesign(core.Arch3DM)
+		base := exp.NetworkPowerW(d, exp.RunUR(d, 0.15, 0, o), true)
+		s50 := exp.NetworkPowerW(d, exp.RunUR(d, 0.15, 0.5, o), true)
+		saving = 100 * (1 - s50/base)
+	}
+	b.ReportMetric(saving, "pct_saving_50short")
+}
+
+// BenchmarkFig13cThermal regenerates the temperature-reduction analysis
+// at one injection rate.
+func BenchmarkFig13cThermal(b *testing.B) {
+	o := benchOpts()
+	var dT float64
+	for i := 0; i < b.N; i++ {
+		t := exp.Fig13cAt(o, 0.2)
+		dT = t
+	}
+	b.ReportMetric(dT, "avg_dT_K")
+}
+
+// BenchmarkFig8Pipelines regenerates the router pipeline family
+// comparison.
+func BenchmarkFig8Pipelines(b *testing.B) {
+	o := benchOpts()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		rows = len(exp.Fig8(o).Rows)
+	}
+	b.ReportMetric(float64(rows), "variants")
+}
+
+// BenchmarkAblationBufferDepth regenerates the buffer-depth ablation.
+func BenchmarkAblationBufferDepth(b *testing.B) {
+	o := benchOpts()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		rows = len(exp.AblationBufferDepth(o).Rows)
+	}
+	b.ReportMetric(float64(rows), "depths")
+}
+
+// BenchmarkAblationExpress regenerates the express-interval ablation.
+func BenchmarkAblationExpress(b *testing.B) {
+	o := benchOpts()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		t, err := exp.AblationExpressInterval(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(t.Rows)
+	}
+	b.ReportMetric(float64(rows), "intervals")
+}
+
+// BenchmarkExtLeakage regenerates the leakage-thermal feedback table.
+func BenchmarkExtLeakage(b *testing.B) {
+	o := benchOpts()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		rows = len(exp.ExtLeakage(o).Rows)
+	}
+	b.ReportMetric(float64(rows), "designs")
+}
+
+// BenchmarkExtCosim runs the closed-loop CMP/NoC co-simulation for one
+// workload on 2DB vs 3DM-E and reports the miss-latency ratio.
+func BenchmarkExtCosim(b *testing.B) {
+	w, _ := cmp.ByName("tpcw")
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		run := func(a core.Arch) float64 {
+			d := core.MustDesign(a)
+			s, err := cmp.NewClosedSystem(cmp.DefaultParams(w, d.Topo, 42), d.NoCConfig(noc.ByClass, 42))
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := s.Run(6000)
+			return st.MissLatency.Mean()
+		}
+		ratio = run(core.Arch3DME) / run(core.Arch2DB)
+	}
+	b.ReportMetric(ratio, "missLat_3DME_vs_2DB")
+}
+
+// BenchmarkRouterCycle measures the simulator's raw per-cycle cost on
+// a loaded 6x6 mesh (engine micro-benchmark, not a paper artifact).
+func BenchmarkRouterCycle(b *testing.B) {
+	o := exp.Options{Warmup: 0, Measure: int64(b.N), Drain: 0, Seed: 1}
+	d := core.MustDesign(core.Arch2DB)
+	b.ResetTimer()
+	exp.RunUR(d, 0.2, 0, o)
+	b.ReportMetric(float64(36), "routers")
+}

@@ -1,0 +1,163 @@
+// Command mirabench regenerates the tables and figures of the MIRA
+// paper's evaluation. Each subcommand corresponds to one table or
+// figure; "all" runs the complete set.
+//
+// Usage:
+//
+//	mirabench [-quick] [-csv] [-svg DIR] [-seed N] <experiment>...
+//	mirabench all
+//	mirabench list
+//
+// Experiments: table1 table2 table3, fig1 fig2 fig3 fig8 fig9 fig10,
+// fig11a-d, fig12a-d, fig13a-c, plus the ablation-* and ext-* studies
+// beyond the paper (run "mirabench list" for the inventory).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mira/internal/exp"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func(exp.Options) (exp.Table, error)
+}
+
+func wrap(f func() exp.Table) func(exp.Options) (exp.Table, error) {
+	return func(exp.Options) (exp.Table, error) { return f(), nil }
+}
+
+func wrapOpts(f func(exp.Options) exp.Table) func(exp.Options) (exp.Table, error) {
+	return func(o exp.Options) (exp.Table, error) { return f(o), nil }
+}
+
+var experiments = []experiment{
+	{"table1", "router component areas (TSMC 90nm model)", wrap(exp.Table1)},
+	{"table2", "physical design parameters", wrap(exp.Table2)},
+	{"table3", "ST+LT pipeline combination delays", wrap(exp.Table3)},
+	{"fig1", "data pattern breakdown per workload", exp.Fig1},
+	{"fig2", "packet type distribution per workload", exp.Fig2},
+	{"fig3", "chip footprint comparison", wrap(exp.Fig3)},
+	{"fig8", "router pipeline family comparison", wrapOpts(exp.Fig8)},
+	{"fig9", "per-flit energy breakdown", wrap(exp.Fig9)},
+	{"fig10", "NUCA node layouts", wrap(exp.Fig10)},
+	{"fig11a", "latency vs injection rate, uniform random", wrapOpts(exp.Fig11a)},
+	{"fig11b", "latency vs injection rate, NUCA-UR", wrapOpts(exp.Fig11b)},
+	{"fig11c", "MP-trace latency normalized to 2DB", exp.Fig11c},
+	{"fig11d", "average hop counts", exp.Fig11d},
+	{"fig12a", "power vs injection rate, uniform random", wrapOpts(exp.Fig12a)},
+	{"fig12b", "power vs injection rate, NUCA-UR", wrapOpts(exp.Fig12b)},
+	{"fig12c", "MP-trace power normalized to 2DB", exp.Fig12c},
+	{"fig12d", "normalized power-delay product", wrapOpts(exp.Fig12d)},
+	{"fig13a", "short flit percentage per workload", exp.Fig13a},
+	{"fig13b", "layer-shutdown power savings", wrapOpts(exp.Fig13b)},
+	{"fig13c", "temperature reduction from shutdown", wrapOpts(exp.Fig13c)},
+	{"ablation-buf", "3DM buffer-depth ablation (extension)", wrapOpts(exp.AblationBufferDepth)},
+	{"ablation-vc", "3DM VC-count ablation (extension)", wrapOpts(exp.AblationVCs)},
+	{"ablation-express", "express-interval ablation (extension)", exp.AblationExpressInterval},
+	{"ext-leakage", "leakage-thermal feedback (extension)", wrapOpts(exp.ExtLeakage)},
+	{"ext-cosim", "closed-loop CMP/NoC co-simulation (extension)", exp.ExtCosim},
+	{"ext-patterns", "adversarial traffic patterns (extension)", exp.ExtPatterns},
+	{"ext-qos", "QoS priority arbitration (extension)", wrapOpts(exp.ExtQoS)},
+	{"ext-fault", "link-fault tolerance via west-first routing (extension)", exp.ExtFault},
+	{"ext-herding", "thermal herding + router shutdown (extension)", wrapOpts(exp.ExtHerding)},
+	{"ext-protocol", "MESI vs MOESI coherence traffic (extension)", exp.ExtProtocol},
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "use short simulation windows")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	svgDir := flag.String("svg", "", "also write an SVG figure per experiment into this directory")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	opts := exp.Default()
+	if *quick {
+		opts = exp.Quick()
+	}
+	opts.Seed = *seed
+
+	if args[0] == "list" {
+		for _, e := range experiments {
+			fmt.Printf("  %-8s %s\n", e.id, e.desc)
+		}
+		return
+	}
+
+	var selected []experiment
+	if args[0] == "all" {
+		selected = experiments
+	} else {
+		byID := map[string]experiment{}
+		for _, e := range experiments {
+			byID[e.id] = e
+		}
+		for _, id := range args {
+			e, ok := byID[id]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "mirabench: unknown experiment %q (try 'list')\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tb, err := e.run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mirabench: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s\n%s\n", tb.ID, tb.CSV())
+		} else {
+			fmt.Println(tb.String())
+			fmt.Printf("(%s completed in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		}
+		if *svgDir != "" {
+			if err := writeSVG(*svgDir, tb); err != nil {
+				fmt.Fprintf(os.Stderr, "mirabench: %s: no figure written: %v\n", tb.ID, err)
+			}
+		}
+	}
+}
+
+// writeSVG renders a table as a figure in dir. Tables with no numeric
+// series (e.g. the fig10 layouts) report an error and are skipped.
+func writeSVG(dir string, tb exp.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	svg, err := tb.SVG("")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, tb.ID+".svg")
+	if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `mirabench regenerates the MIRA paper's tables and figures.
+
+usage: mirabench [-quick] [-seed N] <experiment>... | all | list
+`)
+	flag.PrintDefaults()
+}

@@ -1,0 +1,178 @@
+// Command miratrace generates, inspects and replays NUCA coherence
+// traces (the reproduction's stand-in for the paper's Simics-generated
+// MP traces).
+//
+// Usage:
+//
+//	miratrace gen -workload tpcw -cycles 30000 -arch 2DB -o tpcw.trace
+//	miratrace stat tpcw.trace
+//	miratrace replay -arch 2DB tpcw.trace
+//
+// Traces are tied to the node numbering of the architecture they were
+// generated for; replay an -arch trace on the same -arch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mira/internal/cmp"
+	"mira/internal/core"
+	"mira/internal/exp"
+	"mira/internal/noc"
+	"mira/internal/traffic"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "stat":
+		err = cmdStat(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "miratrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  miratrace gen -workload NAME -cycles N [-arch 2DB] [-seed N] -o FILE
+  miratrace stat FILE
+  miratrace replay [-arch 2DB] [-measure N] FILE`)
+}
+
+func archByName(name string) (*core.Design, error) {
+	for _, a := range core.Archs {
+		if a.String() == name {
+			return core.NewDesign(a)
+		}
+	}
+	return nil, fmt.Errorf("unknown architecture %q", name)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	workload := fs.String("workload", "tpcw", "workload name")
+	cycles := fs.Int64("cycles", 30000, "CPU cycles to simulate")
+	archName := fs.String("arch", "2DB", "architecture whose node numbering to use")
+	seed := fs.Int64("seed", 1, "generation seed")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, ok := cmp.ByName(*workload)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", *workload)
+	}
+	d, err := archByName(*archName)
+	if err != nil {
+		return err
+	}
+	tr, st, err := cmp.GenerateTrace(w, d.Topo, *cycles, *seed)
+	if err != nil {
+		return err
+	}
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	if _, err := tr.WriteTo(dst); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "generated %d packets (%d flits, %.1f%% short) over %d cycles\n",
+		len(tr.Events), tr.Flits(), st.ShortFlitPct(), tr.Span())
+	return nil
+}
+
+func loadTrace(path string) (*traffic.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return traffic.ReadTrace(f)
+}
+
+func cmdStat(args []string) error {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("stat needs exactly one trace file")
+	}
+	tr, err := loadTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("name            : %s\n", tr.Name)
+	fmt.Printf("packets         : %d\n", len(tr.Events))
+	fmt.Printf("flits           : %d\n", tr.Flits())
+	fmt.Printf("span            : %d cycles\n", tr.Span())
+	fmt.Printf("offered load    : %.4f flits/node/cycle (36 nodes)\n", tr.InjectionRate(36))
+	fmt.Printf("short flits     : %.1f%%\n", tr.ShortFlitPercent())
+	for class, share := range tr.ClassShares() {
+		fmt.Printf("class %-9s : %.1f%%\n", class, 100*share)
+	}
+	return nil
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	archName := fs.String("arch", "2DB", "architecture to replay on")
+	measure := fs.Int64("measure", 20000, "measurement cycles")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	shutdown := fs.Bool("shutdown", true, "apply layer-shutdown power accounting")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("replay needs exactly one trace file")
+	}
+	tr, err := loadTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	d, err := archByName(*archName)
+	if err != nil {
+		return err
+	}
+	for _, e := range tr.Events {
+		if int(e.Src) >= d.Topo.NumNodes() || int(e.Dst) >= d.Topo.NumNodes() {
+			return fmt.Errorf("trace node %d outside %s's %d nodes (wrong -arch?)",
+				max64(int64(e.Src), int64(e.Dst)), d.Arch, d.Topo.NumNodes())
+		}
+	}
+	net := noc.NewNetwork(d.NoCConfig(noc.ByClass, *seed))
+	sim := noc.NewSim(net, &traffic.Replayer{Trace: tr, Loop: true})
+	sim.Params = noc.SimParams{Warmup: *measure / 4, Measure: *measure, DrainMax: 2 * *measure}
+	res := sim.Run()
+	fmt.Printf("%s replay: %s\n", d.Arch, res.String())
+	fmt.Printf("network power: %.3f W\n", exp.NetworkPowerW(d, res, *shutdown))
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

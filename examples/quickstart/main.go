@@ -1,0 +1,39 @@
+// Quickstart: simulate the paper's headline comparison — the planar 2DB
+// baseline against the multi-layered 3DM-E router — under uniform random
+// traffic, and print latency, hop count and network power for each.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"mira/internal/core"
+	"mira/internal/exp"
+)
+
+func main() {
+	opts := exp.Options{Warmup: 2000, Measure: 10000, Drain: 20000, Seed: 1}
+	const rate = 0.20 // flits/node/cycle
+
+	fmt.Printf("uniform random traffic at %.2f flits/node/cycle\n\n", rate)
+	fmt.Printf("%-10s %10s %8s %10s %12s\n", "design", "latency", "hops", "power (W)", "saturated")
+
+	var baseLat, baseP float64
+	for _, arch := range []core.Arch{core.Arch2DB, core.Arch3DB, core.Arch3DM, core.Arch3DME} {
+		d := core.MustDesign(arch)
+		res := exp.RunUR(d, rate, 0, opts)
+		p := exp.NetworkPowerW(d, res, false)
+		if arch == core.Arch2DB {
+			baseLat, baseP = res.AvgLatency, p
+		}
+		fmt.Printf("%-10s %10.2f %8.2f %10.3f %12v\n",
+			arch, res.AvgLatency, res.AvgHops, p, res.Saturated)
+	}
+
+	d := core.MustDesign(core.Arch3DME)
+	res := exp.RunUR(d, rate, 0, opts)
+	p := exp.NetworkPowerW(d, res, false)
+	fmt.Printf("\n3DM-E vs 2DB: %.0f%% lower latency, %.0f%% lower power\n",
+		100*(1-res.AvgLatency/baseLat), 100*(1-p/baseP))
+}

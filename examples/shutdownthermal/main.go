@@ -1,0 +1,68 @@
+// Shutdown + thermal example: demonstrate the short-flit layer-shutdown
+// technique (§3.2.1) end to end. A 3DM network runs the same load twice
+// — once with full-width flits and once with 50 % short flits — and the
+// example reports the dynamic power saving and the resulting drop in
+// steady-state chip temperature (Figures 13 (b) and (c)).
+//
+// Run with: go run ./examples/shutdownthermal
+package main
+
+import (
+	"fmt"
+
+	"mira/internal/core"
+	"mira/internal/exp"
+	"mira/internal/noc"
+	"mira/internal/power"
+	"mira/internal/thermal"
+	"mira/internal/topology"
+)
+
+func main() {
+	opts := exp.Options{Warmup: 2000, Measure: 10000, Drain: 20000, Seed: 3}
+	d := core.MustDesign(core.Arch3DM)
+
+	fmt.Println("3DM layer shutdown under uniform random traffic")
+	fmt.Printf("%-10s %14s %14s %12s %12s\n",
+		"inj rate", "P full (W)", "P 50% short", "saving", "avg dT (K)")
+
+	for _, rate := range []float64{0.10, 0.20, 0.30} {
+		full := exp.RunUR(d, rate, 0, opts)
+		short := exp.RunUR(d, rate, 0.5, opts)
+		pFull := exp.NetworkPowerW(d, full, true)
+		pShort := exp.NetworkPowerW(d, short, true)
+		dT := thermal.Average(chipTemps(d, full)) - thermal.Average(chipTemps(d, short))
+		fmt.Printf("%-10.2f %14.3f %14.3f %11.1f%% %12.2f\n",
+			rate, pFull, pShort, 100*(1-pShort/pFull), dT)
+	}
+
+	fmt.Println("\nzero-detector demo (words LSB->MSB, layers needed):")
+	for _, words := range [][]uint32{
+		{0x2a, 0, 0, 0},
+		{0x2a, 0xffffffff, 0xffffffff, 0xffffffff},
+		{0x2a, 0x1, 0, 0},
+		{0xdeadbeef, 0x01234567, 0x89abcdef, 0x42},
+	} {
+		fmt.Printf("  %#-12x... -> %d layer(s), short=%v\n",
+			words[0], core.ActiveLayers(words), core.IsShort(words))
+	}
+}
+
+// chipTemps solves the 4-layer 3DM chip with the paper's static core
+// powers plus the simulated router powers.
+func chipTemps(d *core.Design, res noc.Result) []float64 {
+	g := thermal.NewGrid(6, 6, core.Layers, core.Pitch3DMMM)
+	p := make([]float64, g.NumBlocks())
+	for _, n := range d.Topo.Nodes() {
+		nodeW := 0.1 // cache bank
+		if n.Type == topology.CPU {
+			nodeW = 8.0 // Niagara-class core
+		}
+		rb := power.NetworkEnergy(d.Energy, res.PerRouter[n.ID], true)
+		nodeW += power.AvgPowerW(rb, res.Cycles)
+		for z := 0; z < core.Layers; z++ {
+			p[g.Index(n.Coord.X, n.Coord.Y, z)] += nodeW / core.Layers
+		}
+	}
+	return g.Solve(p)
+}

@@ -1,0 +1,79 @@
+// Tracegen example: generate a NUCA coherence trace with the CMP
+// substrate (the stand-in for the paper's Simics traces), write it to
+// disk in the portable text format, read it back, and replay it through
+// two router architectures.
+//
+// Run with: go run ./examples/tracegen [workload]
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mira/internal/cmp"
+	"mira/internal/core"
+	"mira/internal/exp"
+	"mira/internal/noc"
+	"mira/internal/traffic"
+)
+
+func main() {
+	name := "tpcw"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	w, ok := cmp.ByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q; available:", name)
+		for _, w := range cmp.Workloads {
+			fmt.Fprintf(os.Stderr, " %s", w.Name)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+
+	d := core.MustDesign(core.Arch2DB)
+	tr, stats, err := cmp.GenerateTrace(w, d.Topo, 20000, 11)
+	check(err)
+	fmt.Printf("generated %d packets (%d flits) over %d cycles\n",
+		len(tr.Events), tr.Flits(), tr.Span())
+	fmt.Printf("short flits: %.1f%%, control packets: %.0f%%\n",
+		stats.ShortFlitPct(), 100*stats.ControlPacketFrac())
+
+	path := filepath.Join(os.TempDir(), name+".trace")
+	f, err := os.Create(path)
+	check(err)
+	_, err = tr.WriteTo(f)
+	check(err)
+	check(f.Close())
+	fmt.Printf("wrote %s\n", path)
+
+	f, err = os.Open(path)
+	check(err)
+	loaded, err := traffic.ReadTrace(f)
+	check(err)
+	check(f.Close())
+	fmt.Printf("reloaded %d events (name %q)\n\n", len(loaded.Events), loaded.Name)
+
+	opts := exp.Options{Warmup: 1000, Measure: 8000, Drain: 20000, Seed: 1}
+	for _, arch := range []core.Arch{core.Arch2DB, core.Arch3DME} {
+		dd := core.MustDesign(arch)
+		// Regenerate on the design's own topology: node IDs differ
+		// between planar and stacked layouts.
+		trd, _, err := cmp.GenerateTrace(w, dd.Topo, 20000, 11)
+		check(err)
+		net := noc.NewNetwork(dd.NoCConfig(noc.ByClass, 1))
+		sim := noc.NewSim(net, &traffic.Replayer{Trace: trd, Loop: true})
+		sim.Params = noc.SimParams{Warmup: opts.Warmup, Measure: opts.Measure, DrainMax: opts.Drain}
+		res := sim.Run()
+		fmt.Printf("%-8s replay: %s  power=%.3f W\n",
+			arch, res.String(), exp.NetworkPowerW(dd, res, true))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

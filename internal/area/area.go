@@ -1,0 +1,166 @@
+// Package area is the router area model behind Table 1 of the MIRA
+// paper. Crossbar, buffer, routing-computation and first-stage arbiter
+// areas follow closed-form models (wire-pitch-squared matrix crossbar,
+// per-bit register-file cells, per-port/per-VC logic blocks) whose
+// constants reproduce the paper's TSMC 90 nm synthesis results; the
+// large second-stage allocator arbiters (SA2, VA2) use a small
+// synthesis-calibrated lookup over arbiter input count, linearly
+// interpolated, because synthesized arbiter area does not follow a clean
+// analytic law.
+package area
+
+import "fmt"
+
+// 90 nm technology constants calibrated against Table 1.
+const (
+	// WirePitchUM is the crossbar wire pitch: a P-port, w-bit-per-layer
+	// matrix crossbar occupies (P*w*pitch)^2. 0.75 um reproduces all
+	// four crossbar entries of Table 1 exactly.
+	WirePitchUM = 0.75
+	// BufCellUM2 is the register-file cell area per buffer bit.
+	BufCellUM2 = 15.9153
+	// RCUnitUM2 is one per-port routing-computation block (shared by
+	// the VCs of a physical channel, §3.2.4).
+	RCUnitUM2 = 343.4
+	// SA1UnitUM2 / VA1UnitUM2 are the per-VC first-stage V:1 arbiters.
+	SA1UnitUM2 = 100.8
+	VA1UnitUM2 = 201.6
+	// TSVPitchUM is the through-silicon-via pitch (5x5 um^2, §3.2.7).
+	TSVPitchUM = 5.0
+)
+
+// arbPoint is a synthesis-calibrated (inputs, area) sample.
+type arbPoint struct {
+	n    int
+	area float64
+}
+
+// sa2Points / va2Points: area of one n:1 arbiter in the switch / VC
+// allocator second stage, from the paper's synthesis (Table 1 divided by
+// arbiter count).
+var (
+	sa2Points = []arbPoint{{10, 1240.2}, {14, 1615.1}, {18, 2780.44}}
+	va2Points = []arbPoint{{10, 2931.2}, {14, 4480.36}, {18, 6973.67}}
+)
+
+// interpArb linearly interpolates (or edge-extrapolates) arbiter area
+// for n inputs.
+func interpArb(points []arbPoint, n int) float64 {
+	if n <= points[0].n {
+		p0, p1 := points[0], points[1]
+		slope := (p1.area - p0.area) / float64(p1.n-p0.n)
+		return p0.area + slope*float64(n-p0.n)
+	}
+	for i := 1; i < len(points); i++ {
+		if n <= points[i].n {
+			p0, p1 := points[i-1], points[i]
+			slope := (p1.area - p0.area) / float64(p1.n-p0.n)
+			return p0.area + slope*float64(n-p0.n)
+		}
+	}
+	p0, p1 := points[len(points)-2], points[len(points)-1]
+	slope := (p1.area - p0.area) / float64(p1.n-p0.n)
+	return p1.area + slope*float64(n-p1.n)
+}
+
+// Params describes one router design point.
+type Params struct {
+	Ports     int // physical channels, incl. local (P)
+	VCs       int // virtual channels per port (V)
+	FlitWidth int // flit width in bits (W)
+	BufDepth  int // buffer depth in flits per VC (k)
+	Layers    int // stacked layers the datapath spans (L; 1 = planar)
+}
+
+// Validate checks the design point.
+func (p Params) Validate() error {
+	if p.Ports < 2 || p.VCs < 1 || p.FlitWidth < 1 || p.BufDepth < 1 || p.Layers < 1 {
+		return fmt.Errorf("area: invalid params %+v", p)
+	}
+	if p.FlitWidth%p.Layers != 0 {
+		return fmt.Errorf("area: flit width %d not divisible by %d layers", p.FlitWidth, p.Layers)
+	}
+	return nil
+}
+
+// Breakdown is the Table 1 row set for one design: component areas in
+// um^2. For multi-layer designs each component entry is the maximum area
+// the component occupies in any single layer (the paper's convention),
+// and TotalRouter is the sum over all layers.
+type Breakdown struct {
+	RC, SA1, SA2, VA1, VA2  float64
+	Crossbar, Buffer        float64
+	MaxLayer                float64 // largest single-layer total
+	TotalRouter             float64 // all layers together
+	Vias                    int     // inter-layer via count (2P + PV + Vk)
+	ViaOverheadPct          float64 // via area relative to one layer's area
+	CrossbarTotal, BufTotal float64 // across layers (for energy models)
+}
+
+// Model evaluates the area model at a design point. Layer placement
+// follows §3.2.7: RC, SA1, SA2 and VA1 sit in the layer closest to the
+// heat sink; VA2 is spread over the remaining layers; crossbar and
+// buffer are split evenly across all layers.
+func Model(p Params) Breakdown {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	P, V, W, K, L := p.Ports, p.VCs, float64(p.FlitWidth), p.BufDepth, p.Layers
+	wLayer := W / float64(L)
+
+	var b Breakdown
+	b.RC = float64(P) * RCUnitUM2
+	b.SA1 = float64(P*V) * SA1UnitUM2
+	b.VA1 = float64(P*V) * VA1UnitUM2
+	b.SA2 = float64(P) * interpArb(sa2Points, P*V)
+	va2Total := float64(P*V) * interpArb(va2Points, P*V)
+
+	// Per-layer crossbar and buffer slices.
+	b.Crossbar = sq(float64(P) * wLayer * WirePitchUM)
+	b.CrossbarTotal = b.Crossbar * float64(L)
+	bitsPerLayer := float64(P*V*K) * wLayer
+	b.Buffer = bitsPerLayer * BufCellUM2
+	b.BufTotal = b.Buffer * float64(L)
+
+	if L > 1 {
+		b.VA2 = va2Total / float64(L-1)
+	} else {
+		b.VA2 = va2Total
+	}
+
+	b.TotalRouter = b.RC + b.SA1 + b.SA2 + b.VA1 + va2Total + b.CrossbarTotal + b.BufTotal
+
+	if L > 1 {
+		b.Vias = 2*P + P*V + V*K
+		layer0 := b.RC + b.SA1 + b.SA2 + b.VA1 + b.Crossbar + b.Buffer
+		other := b.VA2 + b.Crossbar + b.Buffer
+		b.MaxLayer = layer0
+		if other > layer0 {
+			b.MaxLayer = other
+		}
+		viaArea := float64(b.Vias) * TSVPitchUM * TSVPitchUM
+		b.ViaOverheadPct = 100 * viaArea / (b.TotalRouter / float64(L))
+	} else {
+		b.MaxLayer = b.TotalRouter
+		b.Vias = 0
+	}
+	return b
+}
+
+// VerticalBusVias returns the via count and per-layer overhead for a
+// planar router that adds vertical up/down ports (the 3DB design): the
+// inter-layer buses are W bits wide.
+func VerticalBusVias(p Params) (vias int, overheadPct float64) {
+	b := Model(Params{Ports: p.Ports, VCs: p.VCs, FlitWidth: p.FlitWidth, BufDepth: p.BufDepth, Layers: 1})
+	vias = p.FlitWidth
+	viaArea := float64(vias) * TSVPitchUM * TSVPitchUM
+	return vias, 100 * viaArea / b.TotalRouter
+}
+
+// XbarSideUM returns the per-layer crossbar side length in micrometres,
+// the wire length that dominates switch-traversal delay and energy.
+func XbarSideUM(p Params) float64 {
+	return float64(p.Ports) * float64(p.FlitWidth) / float64(p.Layers) * WirePitchUM
+}
+
+func sq(x float64) float64 { return x * x }

@@ -1,0 +1,202 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+// The four design points of Table 1.
+var (
+	p2DB  = Params{Ports: 5, VCs: 2, FlitWidth: 128, BufDepth: 8, Layers: 1}
+	p3DB  = Params{Ports: 7, VCs: 2, FlitWidth: 128, BufDepth: 8, Layers: 1}
+	p3DM  = Params{Ports: 5, VCs: 2, FlitWidth: 128, BufDepth: 8, Layers: 4}
+	p3DME = Params{Ports: 9, VCs: 2, FlitWidth: 128, BufDepth: 8, Layers: 4}
+)
+
+func within(t *testing.T, name string, got, want, relTol float64) {
+	t.Helper()
+	if want == 0 {
+		if got != 0 {
+			t.Errorf("%s = %v, want 0", name, got)
+		}
+		return
+	}
+	if math.Abs(got-want)/math.Abs(want) > relTol {
+		t.Errorf("%s = %.1f, want %.1f (tol %.2g)", name, got, want, relTol)
+	}
+}
+
+// TestTable1 pins the model to the paper's synthesized areas (um^2).
+func TestTable1(t *testing.T) {
+	cases := []struct {
+		name                              string
+		p                                 Params
+		rc, sa1, sa2, va1, va2, xbar, buf float64
+		total                             float64
+	}{
+		{"2DB", p2DB, 1717, 1008, 6201, 2016, 29312, 230400, 162973, 433628},
+		{"3DB", p3DB, 2404, 1411, 11306, 2822, 62725, 451584, 228162, 760416},
+		{"3DM", p3DM, 1717, 1008, 6201, 2016, 9770, 14400, 40743, 260829},
+		{"3DM-E", p3DME, 3092, 1814, 25024, 3629, 41842, 46656, 73338, 639063},
+	}
+	for _, c := range cases {
+		b := Model(c.p)
+		within(t, c.name+" RC", b.RC, c.rc, 0.002)
+		within(t, c.name+" SA1", b.SA1, c.sa1, 0.002)
+		within(t, c.name+" SA2", b.SA2, c.sa2, 0.002)
+		within(t, c.name+" VA1", b.VA1, c.va1, 0.002)
+		within(t, c.name+" VA2", b.VA2, c.va2, 0.002)
+		within(t, c.name+" Crossbar", b.Crossbar, c.xbar, 0.002)
+		within(t, c.name+" Buffer", b.Buffer, c.buf, 0.002)
+		within(t, c.name+" Total", b.TotalRouter, c.total, 0.002)
+	}
+}
+
+func TestCrossbarExact(t *testing.T) {
+	// (P * W/L * pitch)^2 must be exact for the four design points.
+	if got := Model(p2DB).Crossbar; got != 230400 {
+		t.Errorf("2DB crossbar = %v, want 230400 exactly", got)
+	}
+	if got := Model(p3DB).Crossbar; got != 451584 {
+		t.Errorf("3DB crossbar = %v, want 451584 exactly", got)
+	}
+	if got := Model(p3DM).Crossbar; got != 14400 {
+		t.Errorf("3DM crossbar = %v, want 14400 exactly", got)
+	}
+	if got := Model(p3DME).Crossbar; got != 46656 {
+		t.Errorf("3DM-E crossbar = %v, want 46656 exactly", got)
+	}
+}
+
+func TestCrossbarQuarters(t *testing.T) {
+	// §3.2.2: the summed 3DM crossbar area is 4x smaller than 2DB's.
+	b2, b3 := Model(p2DB), Model(p3DM)
+	if r := b2.CrossbarTotal / b3.CrossbarTotal; math.Abs(r-4) > 1e-9 {
+		t.Errorf("crossbar total ratio = %v, want 4", r)
+	}
+}
+
+func TestBufferBitsConserved(t *testing.T) {
+	// Splitting across layers does not change total buffer bits.
+	b2, b3 := Model(p2DB), Model(p3DM)
+	if math.Abs(b2.BufTotal-b3.BufTotal) > 1 {
+		t.Errorf("buffer totals differ: %v vs %v", b2.BufTotal, b3.BufTotal)
+	}
+}
+
+func TestRouterAreaRatios(t *testing.T) {
+	// §3.3: the overall 3DM-E router area is ~2.4x the 3DM router, and
+	// its single-layer area stays well below the planar 2DB and 3DB
+	// routers ("the area in a single layer is still much smaller").
+	me, m, d2, d3 := Model(p3DME), Model(p3DM), Model(p2DB), Model(p3DB)
+	if r := me.TotalRouter / m.TotalRouter; r < 2.0 || r > 2.8 {
+		t.Errorf("3DM-E/3DM total ratio = %.2f, want ~2.4", r)
+	}
+	if me.MaxLayer >= d2.MaxLayer || me.MaxLayer >= d3.MaxLayer {
+		t.Errorf("3DM-E per-layer area %.0f should undercut 2DB %.0f and 3DB %.0f",
+			me.MaxLayer, d2.MaxLayer, d3.MaxLayer)
+	}
+}
+
+func TestViaCounts(t *testing.T) {
+	b := Model(p3DM)
+	if want := 2*5 + 5*2 + 2*8; b.Vias != want { // 2P + PV + Vk = 36
+		t.Errorf("3DM vias = %d, want %d", b.Vias, want)
+	}
+	be := Model(p3DME)
+	if want := 2*9 + 9*2 + 2*8; be.Vias != want { // 52
+		t.Errorf("3DM-E vias = %d, want %d", be.Vias, want)
+	}
+	if Model(p2DB).Vias != 0 {
+		t.Errorf("planar router should have no vias")
+	}
+}
+
+func TestViaOverheadSmall(t *testing.T) {
+	// Table 1: via overhead per layer is ~1.6% (3DM) and ~0.6% (3DM-E);
+	// the model must keep it below 2%.
+	for _, p := range []Params{p3DM, p3DME} {
+		b := Model(p)
+		if b.ViaOverheadPct <= 0 || b.ViaOverheadPct > 2.0 {
+			t.Errorf("via overhead %v%% out of (0, 2]", b.ViaOverheadPct)
+		}
+	}
+}
+
+func TestVerticalBusVias(t *testing.T) {
+	vias, pct := VerticalBusVias(p3DB)
+	if vias != 128 {
+		t.Errorf("3DB vias = %d, want W = 128", vias)
+	}
+	// Table 1: 3DB via overhead ~0.4%.
+	if pct < 0.2 || pct > 0.7 {
+		t.Errorf("3DB via overhead = %v%%, want ~0.4%%", pct)
+	}
+}
+
+func TestXbarSide(t *testing.T) {
+	if s := XbarSideUM(p2DB); s != 480 {
+		t.Errorf("2DB xbar side = %v, want 480", s)
+	}
+	if s := XbarSideUM(p3DM); s != 120 {
+		t.Errorf("3DM xbar side = %v, want 120", s)
+	}
+	if s := XbarSideUM(p3DME); s != 216 {
+		t.Errorf("3DM-E xbar side = %v, want 216", s)
+	}
+	if s := XbarSideUM(p3DB); s != 672 {
+		t.Errorf("3DB xbar side = %v, want 672", s)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{Ports: 1, VCs: 2, FlitWidth: 128, BufDepth: 8, Layers: 1},
+		{Ports: 5, VCs: 0, FlitWidth: 128, BufDepth: 8, Layers: 1},
+		{Ports: 5, VCs: 2, FlitWidth: 0, BufDepth: 8, Layers: 1},
+		{Ports: 5, VCs: 2, FlitWidth: 128, BufDepth: 0, Layers: 1},
+		{Ports: 5, VCs: 2, FlitWidth: 128, BufDepth: 8, Layers: 0},
+		{Ports: 5, VCs: 2, FlitWidth: 130, BufDepth: 8, Layers: 4}, // not divisible
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("params %+v should be invalid", p)
+		}
+	}
+	if err := p3DM.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestModelPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Model should panic on invalid params")
+		}
+	}()
+	Model(Params{})
+}
+
+func TestInterpArbMonotone(t *testing.T) {
+	prev := 0.0
+	for n := 4; n <= 30; n += 2 {
+		got := interpArb(sa2Points, n)
+		if got <= prev {
+			t.Errorf("SA2 arbiter area not monotone at n=%d: %v <= %v", n, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestMoreLayersSmallerFootprint(t *testing.T) {
+	// Increasing layer count must shrink the per-layer footprint.
+	prev := math.Inf(1)
+	for _, l := range []int{1, 2, 4} {
+		p := Params{Ports: 5, VCs: 2, FlitWidth: 128, BufDepth: 8, Layers: l}
+		b := Model(p)
+		if b.MaxLayer >= prev {
+			t.Errorf("layers=%d max layer %v not smaller than %v", l, b.MaxLayer, prev)
+		}
+		prev = b.MaxLayer
+	}
+}

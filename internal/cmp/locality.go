@@ -1,0 +1,34 @@
+package cmp
+
+import "math/rand"
+
+// reuseWindowSize bounds the temporal-locality window: the set of
+// recently touched lines a CPU is likely to re-reference. 64 lines is
+// well under the L1 capacity (512 lines), so re-references almost
+// always hit unless invalidated by a remote writer.
+const reuseWindowSize = 64
+
+// reuseWindow is a per-CPU ring of recently accessed line addresses.
+type reuseWindow struct {
+	buf [reuseWindowSize]uint32
+	n   int // valid entries
+	idx int // next write position
+}
+
+// push records a touched line.
+func (r *reuseWindow) push(addr uint32) {
+	r.buf[r.idx] = addr
+	r.idx = (r.idx + 1) % reuseWindowSize
+	if r.n < reuseWindowSize {
+		r.n++
+	}
+}
+
+// sample returns a uniformly random recent line, or false when the
+// window is still empty.
+func (r *reuseWindow) sample(rng *rand.Rand) (uint32, bool) {
+	if r.n == 0 {
+		return 0, false
+	}
+	return r.buf[rng.Intn(r.n)], true
+}

@@ -1,0 +1,73 @@
+package cmp
+
+import (
+	"math/rand"
+
+	"mira/internal/traffic"
+)
+
+// Payload synthesis. Data packets carry one 64 B cache line as 4 flits
+// of 4 words each; word values are drawn from the workload's frequent-
+// pattern profile so that the layer-shutdown detector (internal/core)
+// sees realistic redundancy. Control packets carry a line address plus
+// small metadata, which fits in the top layer's word: address/coherence
+// flits are the "short address flits" of §1.
+
+// wordsPerFlit matches core.WordBits on a 128-bit flit.
+const wordsPerFlit = 4
+
+// flitsPerLine is a 64 B line over 128-bit flits.
+const flitsPerLine = 4
+
+// freqPatternWords are representative non-zero frequent patterns
+// (repeated bytes, sign-extended halfwords) from the Alameldeen & Wood
+// taxonomy. They compress well but are not all-0/all-1, so they do NOT
+// count as redundant for layer shutdown.
+var freqPatternWords = []uint32{
+	0x00000041, 0x0000ff13, 0x7f7f7f7f, 0x20202020, 0x00010001,
+}
+
+// sampleWord draws one payload word and reports its pattern class.
+func sampleWord(p traffic.PatternProfile, rng *rand.Rand) (uint32, traffic.WordPattern) {
+	pat := p.SampleWord(rng)
+	switch pat {
+	case traffic.PatternZero:
+		return 0, pat
+	case traffic.PatternOne:
+		return ^uint32(0), pat
+	case traffic.PatternFreq:
+		return freqPatternWords[rng.Intn(len(freqPatternWords))], pat
+	default:
+		// Irregular data: re-draw until neither all-0 nor all-1 (the
+		// probability of hitting either is ~2^-31).
+		for {
+			v := rng.Uint32()
+			if v != 0 && v != ^uint32(0) {
+				return v, pat
+			}
+		}
+	}
+}
+
+// dataPayload synthesizes a cache line as flit-major words, counting
+// word patterns into counts.
+func dataPayload(p traffic.PatternProfile, rng *rand.Rand, counts *[traffic.NumPatterns]int64) [][]uint32 {
+	flits := make([][]uint32, flitsPerLine)
+	for f := range flits {
+		words := make([]uint32, wordsPerFlit)
+		for w := range words {
+			v, pat := sampleWord(p, rng)
+			words[w] = v
+			counts[pat]++
+		}
+		flits[f] = words
+	}
+	return flits
+}
+
+// controlPayload synthesizes an address/coherence flit: the 32-bit line
+// address in the top-layer word, zeros above. Such flits always qualify
+// as short.
+func controlPayload(addr uint32) [][]uint32 {
+	return [][]uint32{{addr, 0, 0, 0}}
+}

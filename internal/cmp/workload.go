@@ -1,0 +1,113 @@
+// Package cmp is the NUCA chip-multiprocessor substrate that generates
+// the paper's "MP trace" workloads. The paper drove its NoC with memory
+// traces captured from Simics running commercial and scientific
+// applications (§4.1.2); Simics and those traces are unavailable, so
+// this package reproduces the pipeline that created them:
+//
+//	synthetic per-workload address streams -> private L1 caches ->
+//	MESI directory protocol over SNUCA-mapped L2 banks -> network
+//	messages (requests, responses, invalidations, write-backs, acks)
+//
+// recorded as a traffic.Trace with per-flit data payloads whose word
+// patterns follow the workload's frequent-pattern profile (Figure 1),
+// which in turn determines the short-flit statistics (Figure 13 (a)).
+// The NoC only observes (cycle, src, dst, size, class, layer) tuples, so
+// matching these distributions exercises the same router code paths as
+// the original traces.
+package cmp
+
+import "mira/internal/traffic"
+
+// Workload is a synthetic application model. The profile constants are
+// calibrated so the resulting traces reproduce the published per-
+// application data-pattern mix (Figure 1: 20-60 % of data words are
+// all-0/all-1) and short-flit percentages (Figure 13 (a): up to ~58 %,
+// ~40 % on average across the six presented applications).
+type Workload struct {
+	Name string
+	// Intensity is the probability a CPU issues a memory access each
+	// cycle (the L1 access rate of the workload's dominant phase).
+	Intensity float64
+	// ReadFrac is the fraction of accesses that are loads.
+	ReadFrac float64
+	// WorkingSetLines is the per-CPU private working set in cache
+	// lines; SharedLines is the size of the globally shared region.
+	WorkingSetLines int
+	SharedLines     int
+	// SharedFrac is the probability an access touches the shared
+	// region (driving invalidation/forwarding traffic); SeqFrac the
+	// probability of a sequential (next-line) access.
+	SharedFrac float64
+	SeqFrac    float64
+	// ReuseFrac is the probability an access re-references one of the
+	// CPU's recently touched lines (temporal locality); reused lines
+	// almost always hit in the L1, so the post-L1 miss traffic scales
+	// with Intensity*(1-ReuseFrac).
+	ReuseFrac float64
+	// L2MissFrac is the fraction of L2 accesses that miss to memory
+	// (adds DRAM latency to the response timestamp).
+	L2MissFrac float64
+	// Patterns gives the word-level frequent-pattern probabilities of
+	// data payloads. Its Zero+One mass controls the short-flit rate:
+	// a 4-flit line is short per-flit when all three upper words are
+	// redundant.
+	Patterns traffic.PatternProfile
+}
+
+// Workloads is the application suite of §4.1.2. The six entries the
+// paper presents in its figures come first; the remaining entries cover
+// the rest of the suite for the Figure 1 reproduction.
+var Workloads = []Workload{
+	// Commercial server workloads: pointer-heavy, small integers and
+	// NULLs everywhere, so data words are highly redundant.
+	{Name: "tpcw", Intensity: 0.108, ReadFrac: 0.72, WorkingSetLines: 8192, SharedLines: 2048,
+		ReuseFrac: 0.50, SharedFrac: 0.22, SeqFrac: 0.25, L2MissFrac: 0.06,
+		Patterns: traffic.PatternProfile{Zero: 0.68, One: 0.12, Freq: 0.08}},
+	{Name: "sjbb", Intensity: 0.099, ReadFrac: 0.70, WorkingSetLines: 8192, SharedLines: 1536,
+		ReuseFrac: 0.50, SharedFrac: 0.18, SeqFrac: 0.30, L2MissFrac: 0.05,
+		Patterns: traffic.PatternProfile{Zero: 0.62, One: 0.10, Freq: 0.10}},
+	{Name: "apache", Intensity: 0.090, ReadFrac: 0.75, WorkingSetLines: 6144, SharedLines: 1024,
+		ReuseFrac: 0.50, SharedFrac: 0.15, SeqFrac: 0.40, L2MissFrac: 0.05,
+		Patterns: traffic.PatternProfile{Zero: 0.55, One: 0.10, Freq: 0.12}},
+	{Name: "zeus", Intensity: 0.086, ReadFrac: 0.74, WorkingSetLines: 6144, SharedLines: 1024,
+		ReuseFrac: 0.50, SharedFrac: 0.14, SeqFrac: 0.42, L2MissFrac: 0.05,
+		Patterns: traffic.PatternProfile{Zero: 0.52, One: 0.09, Freq: 0.12}},
+	// Scientific workloads: dense floating-point data, far fewer
+	// redundant words.
+	{Name: "barnes", Intensity: 0.072, ReadFrac: 0.65, WorkingSetLines: 12288, SharedLines: 3072,
+		ReuseFrac: 0.50, SharedFrac: 0.30, SeqFrac: 0.20, L2MissFrac: 0.08,
+		Patterns: traffic.PatternProfile{Zero: 0.38, One: 0.06, Freq: 0.10}},
+	{Name: "ocean", Intensity: 0.126, ReadFrac: 0.60, WorkingSetLines: 16384, SharedLines: 4096,
+		ReuseFrac: 0.50, SharedFrac: 0.25, SeqFrac: 0.55, L2MissFrac: 0.12,
+		Patterns: traffic.PatternProfile{Zero: 0.30, One: 0.04, Freq: 0.10}},
+	// Remaining suite members (Figure 1 is shown for all applications).
+	{Name: "apsi", Intensity: 0.081, ReadFrac: 0.68, WorkingSetLines: 10240, SharedLines: 2048,
+		ReuseFrac: 0.50, SharedFrac: 0.20, SeqFrac: 0.50, L2MissFrac: 0.08,
+		Patterns: traffic.PatternProfile{Zero: 0.42, One: 0.05, Freq: 0.10}},
+	{Name: "art", Intensity: 0.117, ReadFrac: 0.78, WorkingSetLines: 14336, SharedLines: 2048,
+		ReuseFrac: 0.50, SharedFrac: 0.15, SeqFrac: 0.60, L2MissFrac: 0.15,
+		Patterns: traffic.PatternProfile{Zero: 0.47, One: 0.05, Freq: 0.08}},
+	{Name: "swim", Intensity: 0.108, ReadFrac: 0.62, WorkingSetLines: 16384, SharedLines: 3072,
+		ReuseFrac: 0.50, SharedFrac: 0.18, SeqFrac: 0.65, L2MissFrac: 0.14,
+		Patterns: traffic.PatternProfile{Zero: 0.34, One: 0.04, Freq: 0.09}},
+	{Name: "mgrid", Intensity: 0.099, ReadFrac: 0.64, WorkingSetLines: 14336, SharedLines: 2560,
+		ReuseFrac: 0.50, SharedFrac: 0.17, SeqFrac: 0.62, L2MissFrac: 0.13,
+		Patterns: traffic.PatternProfile{Zero: 0.36, One: 0.05, Freq: 0.09}},
+	{Name: "multimedia", Intensity: 0.104, ReadFrac: 0.70, WorkingSetLines: 8192, SharedLines: 512,
+		ReuseFrac: 0.50, SharedFrac: 0.06, SeqFrac: 0.70, L2MissFrac: 0.10,
+		Patterns: traffic.PatternProfile{Zero: 0.45, One: 0.08, Freq: 0.15}},
+}
+
+// Presented is the subset of workloads the paper's latency/power figures
+// use ("we present results using only six of them").
+var Presented = []string{"tpcw", "sjbb", "apache", "zeus", "barnes", "ocean"}
+
+// ByName returns the named workload.
+func ByName(name string) (Workload, bool) {
+	for _, w := range Workloads {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}

@@ -1,0 +1,26 @@
+package core_test
+
+import (
+	"fmt"
+
+	"mira/internal/core"
+)
+
+func ExampleActiveLayers() {
+	// A pointer-sized value zero-extended across a 128-bit flit: only
+	// the top layer's word is informative, the rest can be gated off.
+	short := []uint32{0x0040a2c8, 0, 0, 0}
+	full := []uint32{0x0040a2c8, 0x9e3779b9, 0x7f4a7c15, 0x94d049bb}
+	fmt.Println(core.ActiveLayers(short), core.IsShort(short))
+	fmt.Println(core.ActiveLayers(full), core.IsShort(full))
+	// Output:
+	// 1 true
+	// 4 false
+}
+
+func ExampleMustDesign() {
+	d := core.MustDesign(core.Arch3DME)
+	fmt.Printf("%s: %d ports, %d layers, %d-cycle ST+LT, %.2f mm links\n",
+		d.Arch, d.AreaParams.Ports, d.AreaParams.Layers, d.STLTCycles, d.LinkLenMM)
+	// Output: 3DM-E: 9 ports, 4 layers, 1-cycle ST+LT, 1.58 mm links
+}

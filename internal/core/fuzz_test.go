@@ -1,0 +1,32 @@
+package core
+
+import "testing"
+
+// FuzzActiveLayers checks the zero-detector invariants over arbitrary
+// payloads: the result is always in [1, len], dropping the unused upper
+// words loses no information (they are all redundant), and the boundary
+// word of a multi-layer flit is informative.
+func FuzzActiveLayers(f *testing.F) {
+	f.Add(uint32(0), uint32(0), uint32(0), uint32(0))
+	f.Add(uint32(0xdead), uint32(0), uint32(0), uint32(0))
+	f.Add(^uint32(0), ^uint32(0), ^uint32(0), ^uint32(0))
+	f.Add(uint32(1), uint32(2), uint32(3), uint32(4))
+	f.Fuzz(func(t *testing.T, w0, w1, w2, w3 uint32) {
+		words := []uint32{w0, w1, w2, w3}
+		n := int(ActiveLayers(words))
+		if n < 1 || n > 4 {
+			t.Fatalf("ActiveLayers(%x) = %d out of [1,4]", words, n)
+		}
+		for i := n; i < 4; i++ {
+			if !wordRedundant(words[i]) {
+				t.Fatalf("dropped informative word %d in %x", i, words)
+			}
+		}
+		if n > 1 && wordRedundant(words[n-1]) {
+			t.Fatalf("kept redundant boundary word %d in %x", n-1, words)
+		}
+		if (n == 1) != IsShort(words) {
+			t.Fatalf("IsShort inconsistent with ActiveLayers for %x", words)
+		}
+	})
+}

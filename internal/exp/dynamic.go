@@ -1,0 +1,436 @@
+package exp
+
+import (
+	"fmt"
+
+	"mira/internal/cmp"
+	"mira/internal/core"
+	"mira/internal/noc"
+	"mira/internal/power"
+	"mira/internal/routing"
+	"mira/internal/stats"
+	"mira/internal/thermal"
+	"mira/internal/topology"
+)
+
+func corePowerFlitHop(d *core.Design) power.FlitHop {
+	return power.FlitHopEnergy(d.AreaParams, d.LinkLenMM)
+}
+
+// URRates is the injection-rate sweep of Figures 11 (a) and 12 (a). The
+// top rates push the planar designs past saturation, where the latency
+// gap to 3DM-E is widest (the paper's "51 % at 30 % injection rate").
+var URRates = []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40}
+
+// Fig1 reports the data-pattern breakdown of each workload's payload
+// words (all-0 / all-1 / other frequent patterns / irregular).
+func Fig1(o Options) (Table, error) {
+	t := Table{
+		ID:     "fig1",
+		Title:  "Data pattern breakdown (fraction of data words)",
+		Header: []string{"Workload", "all-0", "all-1", "frequent", "other", "short flits %"},
+	}
+	topo := nucaMesh()
+	for _, w := range cmp.Workloads {
+		_, st, err := cmp.GenerateTrace(w, topo, o.TraceCycles, o.Seed)
+		if err != nil {
+			return t, err
+		}
+		sh := st.WordPatternShares()
+		t.Rows = append(t.Rows, []string{
+			w.Name,
+			f3(sh[0]), f3(sh[1]), f3(sh[2]), f3(sh[3]),
+			f1(st.ShortFlitPct()),
+		})
+	}
+	t.Notes = append(t.Notes, "synthetic workload models calibrated to the paper's Figure 1 / 13(a) statistics")
+	return t, nil
+}
+
+// Fig2 reports the packet-type distribution of the coherence traffic.
+func Fig2(o Options) (Table, error) {
+	t := Table{
+		ID:     "fig2",
+		Title:  "Packet type distribution (fraction of packets)",
+		Header: []string{"Workload", "GetS", "GetX", "Upgrade", "Inv", "Fwd", "Ack", "Data", "WB", "control total"},
+	}
+	topo := nucaMesh()
+	for _, name := range cmp.Presented {
+		w, _ := cmp.ByName(name)
+		_, st, err := cmp.GenerateTrace(w, topo, o.TraceCycles, o.Seed)
+		if err != nil {
+			return t, err
+		}
+		var total int64
+		for _, c := range st.KindCounts {
+			total += c
+		}
+		row := []string{w.Name}
+		for k := cmp.MsgKind(0); k < cmp.NumKinds; k++ {
+			row = append(row, f3(float64(st.KindCounts[k])/float64(total)))
+		}
+		row = append(row, f3(st.ControlPacketFrac()))
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func nucaMesh() *topology.Topology {
+	topo := topology.NewMesh2D(6, 6, core.Pitch2DMM)
+	if err := topology.ApplyNUCALayout2D(topo); err != nil {
+		panic(err)
+	}
+	return topo
+}
+
+// SweepResult couples each architecture's result at one injection rate.
+type SweepResult struct {
+	Rate    float64
+	Results map[core.Arch]noc.Result
+}
+
+// runSweep executes one generator family over all architectures and
+// rates.
+func runSweep(rates []float64, run func(*core.Design, float64) noc.Result) []SweepResult {
+	designs := Designs()
+	out := make([]SweepResult, 0, len(rates))
+	for _, rate := range rates {
+		sr := SweepResult{Rate: rate, Results: make(map[core.Arch]noc.Result, len(designs))}
+		for _, d := range designs {
+			sr.Results[d.Arch] = run(d, rate)
+		}
+		out = append(out, sr)
+	}
+	return out
+}
+
+func sweepTable(id, title, metric string, sweep []SweepResult, cell func(*core.Design, noc.Result) string) Table {
+	t := Table{ID: id, Title: title}
+	t.Header = []string{"inj rate"}
+	designs := Designs()
+	for _, d := range designs {
+		t.Header = append(t.Header, d.Arch.String())
+	}
+	for _, sr := range sweep {
+		row := []string{f2(sr.Rate)}
+		for _, d := range designs {
+			row = append(row, cell(d, sr.Results[d.Arch]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("metric: %s; '*' marks saturated points", metric))
+	return t
+}
+
+// Fig11a: average latency vs injection rate, uniform random traffic.
+func Fig11a(o Options) Table {
+	sweep := runSweep(URRates, func(d *core.Design, rate float64) noc.Result {
+		return RunUR(d, rate, 0, o)
+	})
+	return sweepTable("fig11a", "Average latency, uniform random (cycles)", "avg packet latency",
+		sweep, func(d *core.Design, r noc.Result) string { return latCell(r) })
+}
+
+// Fig11b: average latency vs injection rate, NUCA-constrained bimodal
+// traffic.
+func Fig11b(o Options) Table {
+	sweep := runSweep(URRates, func(d *core.Design, rate float64) noc.Result {
+		return RunNUCAUR(d, rate, 0, o)
+	})
+	return sweepTable("fig11b", "Average latency, NUCA-UR (cycles)", "avg packet latency",
+		sweep, func(d *core.Design, r noc.Result) string { return latCell(r) })
+}
+
+// TraceRun bundles the per-workload, per-architecture results of the
+// MP-trace experiments (Figures 11 (c) and 12 (c)).
+type TraceRun struct {
+	Workload string
+	Results  map[core.Arch]noc.Result
+	Stats    map[core.Arch]cmp.Stats
+}
+
+// RunTraces executes all presented workloads over all architectures.
+func RunTraces(o Options) ([]TraceRun, error) {
+	designs := Designs()
+	var out []TraceRun
+	for _, name := range cmp.Presented {
+		w, _ := cmp.ByName(name)
+		tr := TraceRun{
+			Workload: name,
+			Results:  make(map[core.Arch]noc.Result, len(designs)),
+			Stats:    make(map[core.Arch]cmp.Stats, len(designs)),
+		}
+		for _, d := range designs {
+			res, st, err := RunTrace(d, w, o)
+			if err != nil {
+				return nil, err
+			}
+			tr.Results[d.Arch] = res
+			tr.Stats[d.Arch] = st
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}
+
+// Fig11c: per-workload latency normalized to 2DB.
+func Fig11c(o Options) (Table, error) {
+	runs, err := RunTraces(o)
+	if err != nil {
+		return Table{}, err
+	}
+	return traceTable("fig11c", "MP-trace latency normalized to 2DB", runs,
+		func(d *core.Design, r noc.Result, base noc.Result) string {
+			return f3(stats.Ratio(r.AvgLatency, base.AvgLatency))
+		}), nil
+}
+
+func traceTable(id, title string, runs []TraceRun, cell func(*core.Design, noc.Result, noc.Result) string) Table {
+	t := Table{ID: id, Title: title}
+	designs := Designs()
+	t.Header = []string{"workload"}
+	for _, d := range designs {
+		t.Header = append(t.Header, d.Arch.String())
+	}
+	for _, run := range runs {
+		base := run.Results[core.Arch2DB]
+		row := []string{run.Workload}
+		for _, d := range designs {
+			row = append(row, cell(d, run.Results[d.Arch], base))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig11d: average hop count per architecture for the three traffic
+// types. UR and NUCA-UR hop counts are computed analytically from the
+// routing function; MP-trace hops are measured from the trace runs.
+func Fig11d(o Options) (Table, error) {
+	t := Table{
+		ID:     "fig11d",
+		Title:  "Average hop count",
+		Header: []string{"design", "UR", "NUCA-UR", "MP-traces"},
+	}
+	runs, err := RunTraces(o)
+	if err != nil {
+		return t, err
+	}
+	for _, d := range Designs() {
+		ur, err := routing.AverageHops(d.Topo, d.Alg, nil, nil)
+		if err != nil {
+			return t, err
+		}
+		cpus, caches := d.Topo.CPUs(), d.Topo.Caches()
+		req, err := routing.AverageHops(d.Topo, d.Alg, cpus, caches)
+		if err != nil {
+			return t, err
+		}
+		resp, err := routing.AverageHops(d.Topo, d.Alg, caches, cpus)
+		if err != nil {
+			return t, err
+		}
+		var traceHops stats.Mean
+		for _, run := range runs {
+			traceHops.Add(run.Results[d.Arch].AvgHops)
+		}
+		t.Rows = append(t.Rows, []string{
+			d.Arch.String(), f2(ur), f2((req + resp) / 2), f2(traceHops.Mean()),
+		})
+	}
+	return t, nil
+}
+
+// Fig12a: average network power vs injection rate, uniform random, 0 %
+// short flits (pure structural comparison, no shutdown).
+func Fig12a(o Options) Table {
+	sweep := runSweep(URRates, func(d *core.Design, rate float64) noc.Result {
+		return RunUR(d, rate, 0, o)
+	})
+	return sweepTable("fig12a", "Average power, uniform random, 0% short flits (W)", "avg network power",
+		sweep, func(d *core.Design, r noc.Result) string { return f3(NetworkPowerW(d, r, false)) })
+}
+
+// Fig12b: average power under NUCA-UR traffic.
+func Fig12b(o Options) Table {
+	sweep := runSweep(URRates, func(d *core.Design, rate float64) noc.Result {
+		return RunNUCAUR(d, rate, 0, o)
+	})
+	return sweepTable("fig12b", "Average power, NUCA-UR (W)", "avg network power",
+		sweep, func(d *core.Design, r noc.Result) string { return f3(NetworkPowerW(d, r, false)) })
+}
+
+// Fig12c: MP-trace power normalized to a 2DB baseline *without* layer
+// shutdown; the other designs use the shutdown technique, as in the
+// paper ("with no layer shut down in the base cases").
+func Fig12c(o Options) (Table, error) {
+	runs, err := RunTraces(o)
+	if err != nil {
+		return Table{}, err
+	}
+	t := traceTable("fig12c", "MP-trace power normalized to 2DB (no shutdown)", runs,
+		func(d *core.Design, r noc.Result, base noc.Result) string {
+			base2DB := corePowerOf(core.Arch2DB)
+			baseW := NetworkPowerW(base2DB, base, false)
+			return f3(stats.Ratio(NetworkPowerW(d, r, true), baseW))
+		})
+	t.Notes = append(t.Notes, "numerators use short-flit layer shutdown; denominator is 2DB without shutdown")
+	return t, nil
+}
+
+var designCache = map[core.Arch]*core.Design{}
+
+func corePowerOf(a core.Arch) *core.Design {
+	if d, ok := designCache[a]; ok {
+		return d
+	}
+	d := core.MustDesign(a)
+	designCache[a] = d
+	return d
+}
+
+// Fig12d: power-delay product normalized to 2DB, uniform random.
+func Fig12d(o Options) Table {
+	sweep := runSweep(URRates, func(d *core.Design, rate float64) noc.Result {
+		return RunUR(d, rate, 0, o)
+	})
+	t := Table{ID: "fig12d", Title: "Normalized power-delay product, uniform random", Header: []string{"inj rate"}}
+	designs := Designs()
+	for _, d := range designs {
+		t.Header = append(t.Header, d.Arch.String())
+	}
+	for _, sr := range sweep {
+		base := sr.Results[core.Arch2DB]
+		basePDP := NetworkPowerW(corePowerOf(core.Arch2DB), base, false) * base.AvgLatency
+		row := []string{f2(sr.Rate)}
+		for _, d := range designs {
+			r := sr.Results[d.Arch]
+			pdp := NetworkPowerW(d, r, false) * r.AvgLatency
+			row = append(row, f3(stats.Ratio(pdp, basePDP)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig13a: short-flit percentage per workload.
+func Fig13a(o Options) (Table, error) {
+	t := Table{
+		ID:     "fig13a",
+		Title:  "Short flit percentage per workload",
+		Header: []string{"workload", "short flits %"},
+	}
+	topo := nucaMesh()
+	var avg stats.Mean
+	for _, name := range cmp.Presented {
+		w, _ := cmp.ByName(name)
+		_, st, err := cmp.GenerateTrace(w, topo, o.TraceCycles, o.Seed)
+		if err != nil {
+			return t, err
+		}
+		avg.Add(st.ShortFlitPct())
+		t.Rows = append(t.Rows, []string{name, f1(st.ShortFlitPct())})
+	}
+	t.Rows = append(t.Rows, []string{"average", f1(avg.Mean())})
+	return t, nil
+}
+
+// Fig13b: power saving from the layer-shutdown technique at 25 % and
+// 50 % short flits (uniform random at a fixed moderate load).
+func Fig13b(o Options) Table {
+	t := Table{
+		ID:     "fig13b",
+		Title:  "Power saving from layer shutdown (% vs same design, 0% short)",
+		Header: []string{"design", "25% short", "50% short"},
+	}
+	const rate = 0.15
+	for _, d := range Designs() {
+		if d.Arch == core.Arch3DMNC || d.Arch == core.Arch3DMENC || d.Arch == core.Arch3DB {
+			continue // the paper reports 2DB/3DM/3DM-E
+		}
+		base := NetworkPowerW(d, RunUR(d, rate, 0, o), true)
+		s25 := NetworkPowerW(d, RunUR(d, rate, 0.25, o), true)
+		s50 := NetworkPowerW(d, RunUR(d, rate, 0.50, o), true)
+		t.Rows = append(t.Rows, []string{
+			d.Arch.String(),
+			f1(100 * (1 - s25/base)),
+			f1(100 * (1 - s50/base)),
+		})
+	}
+	return t
+}
+
+// Fig13c: average chip temperature reduction of the 3DM design when
+// 50 % of flits are short, at three injection rates. Router power comes
+// from the simulation; CPU (8 W) and cache-bank (0.1 W) static power
+// uses the paper's §4.2.3 numbers, spread equally over the four layers.
+func Fig13c(o Options) Table {
+	t := Table{
+		ID:     "fig13c",
+		Title:  "3DM average temperature reduction, 50% vs 0% short flits (K)",
+		Header: []string{"inj rate", "avg dT (K)", "max dT (K)"},
+	}
+	d := corePowerOf(core.Arch3DM)
+	for _, rate := range []float64{0.10, 0.20, 0.30} {
+		avgDT, maxDT := fig13cDeltas(d, o, rate)
+		t.Rows = append(t.Rows, []string{f2(rate), f2(avgDT), f2(maxDT)})
+	}
+	t.Notes = append(t.Notes, "CPU 8 W, cache bank 0.1 W static; router power from simulation with shutdown")
+	return t
+}
+
+// Fig13cAt returns the average temperature reduction at one injection
+// rate (used by the benchmark harness).
+func Fig13cAt(o Options, rate float64) float64 {
+	avgDT, _ := fig13cDeltas(corePowerOf(core.Arch3DM), o, rate)
+	return avgDT
+}
+
+func fig13cDeltas(d *core.Design, o Options, rate float64) (avgDT, maxDT float64) {
+	r0 := RunUR(d, rate, 0, o)
+	r50 := RunUR(d, rate, 0.5, o)
+	t0 := solveChipTemps(d, r0)
+	t50 := solveChipTemps(d, r50)
+	return thermal.Average(t0) - thermal.Average(t50), thermal.Max(t0) - thermal.Max(t50)
+}
+
+// EvenCoreLayers is the paper's §4.1.1 assumption: "all four layers in
+// each processor and cache core statically consume the same amount of
+// power".
+var EvenCoreLayers = [core.Layers]float64{0.25, 0.25, 0.25, 0.25}
+
+// HerdedCoreLayers models Thermal-Herding-style multi-layer cores
+// (Puttaswamy & Loh, the paper's future-work item): operand activity is
+// steered to the layer nearest the heat sink, indices ordered bottom
+// (farthest from the sink) to top.
+var HerdedCoreLayers = [core.Layers]float64{0.10, 0.10, 0.20, 0.60}
+
+// solveChipTemps builds the 3DM chip power map and solves the thermal
+// grid with the paper's even core-power split; router datapath power
+// (buffer, crossbar, links) spreads evenly, while the allocator/RC
+// control logic sits in the layer closest to the heat sink (§3.2.7).
+func solveChipTemps(d *core.Design, res noc.Result) []float64 {
+	return solveChipTempsDist(d, res, EvenCoreLayers)
+}
+
+func solveChipTempsDist(d *core.Design, res noc.Result, coreDist [core.Layers]float64) []float64 {
+	g := thermal.NewGrid(6, 6, core.Layers, core.Pitch3DMMM)
+	p := make([]float64, g.NumBlocks())
+	top := core.Layers - 1 // grid layer adjacent to the heat sink
+	for _, n := range d.Topo.Nodes() {
+		nodeW := 0.1 // cache bank
+		if n.Type == topology.CPU {
+			nodeW = 8.0
+		}
+		rb := power.NetworkEnergy(d.Energy, res.PerRouter[n.ID], true)
+		datapathW := power.AvgPowerW(power.Breakdown{
+			Buffer: rb.Buffer, Crossbar: rb.Crossbar, Link: rb.Link,
+		}, res.Cycles)
+		controlW := power.AvgPowerW(power.Breakdown{Allocators: rb.Allocators}, res.Cycles)
+		for z := 0; z < core.Layers; z++ {
+			p[g.Index(n.Coord.X, n.Coord.Y, z)] += nodeW*coreDist[z] + datapathW/float64(core.Layers)
+		}
+		p[g.Index(n.Coord.X, n.Coord.Y, top)] += controlW
+	}
+	return g.Solve(p)
+}

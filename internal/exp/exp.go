@@ -1,0 +1,207 @@
+// Package exp contains one driver per table and figure of the MIRA
+// paper's evaluation. The drivers are shared by the mirabench command
+// and the root-level testing.B benchmarks, and their outputs populate
+// EXPERIMENTS.md. Each experiment is deterministic given Options.Seed.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"mira/internal/cmp"
+	"mira/internal/core"
+	"mira/internal/noc"
+	"mira/internal/power"
+	"mira/internal/stats"
+	"mira/internal/traffic"
+)
+
+// Options sizes the simulations.
+type Options struct {
+	Warmup  int64
+	Measure int64
+	Drain   int64
+	// TraceCycles is the CMP generation window for the MP-trace
+	// experiments.
+	TraceCycles int64
+	Seed        int64
+}
+
+// Default returns the full-size experiment windows.
+func Default() Options {
+	return Options{Warmup: 5000, Measure: 20000, Drain: 30000, TraceCycles: 30000, Seed: 42}
+}
+
+// Quick returns scaled-down windows for benchmarks and smoke tests.
+func Quick() Options {
+	return Options{Warmup: 1000, Measure: 4000, Drain: 10000, TraceCycles: 8000, Seed: 42}
+}
+
+func (o Options) simParams() noc.SimParams {
+	return noc.SimParams{Warmup: o.Warmup, Measure: o.Measure, DrainMax: o.Drain}
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carry caveats (substitutions, saturated points).
+	Notes []string
+}
+
+// String renders the table as aligned plain text.
+func (t Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as RFC-4180-style CSV (header + rows; notes are
+// omitted), for plotting pipelines.
+func (t Table) CSV() string {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			sb.WriteString(c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Designs elaborates all six architectures fresh (topologies are
+// mutable by node-type assignment, so experiments never share them).
+func Designs() []*core.Design {
+	out := make([]*core.Design, 0, len(core.Archs))
+	for _, a := range core.Archs {
+		out = append(out, core.MustDesign(a))
+	}
+	return out
+}
+
+// RunUR simulates one architecture under uniform-random traffic at the
+// given injection rate (flits/node/cycle) with the given short-flit
+// fraction.
+func RunUR(d *core.Design, rate, shortFrac float64, o Options) noc.Result {
+	gen := &traffic.Uniform{
+		Topo:          d.Topo,
+		InjectionRate: rate,
+		PacketSize:    core.DataPacketFlits,
+		ShortFlits:    traffic.ShortFlitProfile{Frac: shortFrac, Layers: core.Layers},
+	}
+	net := noc.NewNetwork(d.NoCConfig(noc.AnyFree, o.Seed))
+	s := noc.NewSim(net, gen)
+	s.Params = o.simParams()
+	return s.Run()
+}
+
+// RunNUCAUR simulates the layout-constrained bimodal request/response
+// workload (§4.2.1's "NUCA-UR").
+func RunNUCAUR(d *core.Design, rate, shortFrac float64, o Options) noc.Result {
+	gen := &traffic.NUCA{
+		Topo:          d.Topo,
+		InjectionRate: rate,
+		RequestSize:   core.ControlPacketFlits,
+		ResponseSize:  core.DataPacketFlits,
+		BankDelay:     24, // request traversal + L2 bank access
+		ShortFlits:    traffic.ShortFlitProfile{Frac: shortFrac, Layers: core.Layers},
+	}
+	net := noc.NewNetwork(d.NoCConfig(noc.ByClass, o.Seed))
+	s := noc.NewSim(net, gen)
+	s.Params = o.simParams()
+	return s.Run()
+}
+
+// RunTrace generates the workload's CMP coherence trace on the design's
+// own topology and replays it through the NoC.
+func RunTrace(d *core.Design, w cmp.Workload, o Options) (noc.Result, cmp.Stats, error) {
+	tr, stats, err := cmp.GenerateTrace(w, d.Topo, o.TraceCycles, o.Seed)
+	if err != nil {
+		return noc.Result{}, stats, err
+	}
+	net := noc.NewNetwork(d.NoCConfig(noc.ByClass, o.Seed))
+	s := noc.NewSim(net, &traffic.Replayer{Trace: tr, Loop: true})
+	s.Params = o.simParams()
+	return s.Run(), stats, nil
+}
+
+// NetworkPowerW converts a simulation result into average network power
+// (W) under the design's energy model, optionally applying the
+// short-flit layer-shutdown accounting.
+func NetworkPowerW(d *core.Design, res noc.Result, shutdown bool) float64 {
+	b := power.NetworkEnergy(d.Energy, res.Counters, shutdown)
+	return power.AvgPowerW(b, res.Cycles)
+}
+
+// PerRouterPowerW returns each router's average power for the thermal
+// model.
+func PerRouterPowerW(d *core.Design, res noc.Result, shutdown bool) []float64 {
+	out := make([]float64, len(res.PerRouter))
+	for i, c := range res.PerRouter {
+		b := power.NetworkEnergy(d.Energy, c, shutdown)
+		out[i] = power.AvgPowerW(b, res.Cycles)
+	}
+	return out
+}
+
+// Replicate evaluates a metric across n seeds (base, base+1, ...) and
+// returns its distribution, for confidence checks on simulated numbers.
+func Replicate(n int, base int64, metric func(seed int64) float64) stats.Mean {
+	var m stats.Mean
+	for i := 0; i < n; i++ {
+		m.Add(metric(base + int64(i)))
+	}
+	return m
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// latCell renders a latency with a saturation marker.
+func latCell(r noc.Result) string {
+	s := f1(r.AvgLatency)
+	if r.Saturated {
+		s += "*"
+	}
+	return s
+}

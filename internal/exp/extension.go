@@ -1,0 +1,334 @@
+package exp
+
+import (
+	"fmt"
+
+	"mira/internal/cmp"
+	"mira/internal/core"
+	"mira/internal/noc"
+	"mira/internal/power"
+	"mira/internal/routing"
+	"mira/internal/stats"
+	"mira/internal/thermal"
+	"mira/internal/topology"
+	"mira/internal/traffic"
+)
+
+// ExtLeakage is an extension experiment beyond the paper's figures: the
+// leakage-thermal feedback the paper flags as a 3D risk (§2.2: "The
+// increased temperature in 3D chips has negative impacts on ...
+// leakage power"). For each design it converges the per-router leakage
+// against its junction temperature and reports leakage as a share of
+// network power at a moderate uniform-random load.
+func ExtLeakage(o Options) Table {
+	t := Table{
+		ID:    "ext-leakage",
+		Title: "Router leakage with thermal feedback (uniform random @ 0.15)",
+		Header: []string{
+			"design", "dyn W (network)", "leak W (network)", "leak %", "router T (K)",
+		},
+	}
+	const rate = 0.15
+	// Effective junction-to-ambient resistance seen by one router
+	// column: the sink resistance under a node footprint, in parallel
+	// with lateral spreading; a compact constant derived from the
+	// thermal grid at the 3DM node pitch.
+	const rNodeKPerW = 5.0
+	for _, d := range Designs() {
+		if d.Arch == core.Arch3DMNC || d.Arch == core.Arch3DMENC {
+			continue // identical silicon to the combined variants
+		}
+		res := RunUR(d, rate, 0, o)
+		dynTotal := NetworkPowerW(d, res, false)
+		routers := float64(d.Topo.NumNodes())
+		dynPerRouter := dynTotal / routers
+		leakPerRouter, tempK := power.LeakageFixedPoint(
+			dynPerRouter, d.Area.TotalRouter, rNodeKPerW, thermal.AmbientK)
+		leakTotal := leakPerRouter * routers
+		t.Rows = append(t.Rows, []string{
+			d.Arch.String(),
+			f3(dynTotal),
+			f3(leakTotal),
+			f1(100 * leakTotal / (leakTotal + dynTotal)),
+			f1(tempK),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"extension beyond the paper: 90 nm subthreshold leakage, doubling per 28 K, converged against router temperature",
+		fmt.Sprintf("per-router junction resistance %.1f K/W above %.1f K ambient", rNodeKPerW, thermal.AmbientK))
+	return t
+}
+
+// ExtCosim is the closed-loop CMP/NoC co-simulation extension: instead
+// of replaying pre-recorded traces (the paper's open-loop methodology),
+// the MESI protocol engines drive the live network and CPU miss latency
+// includes real queueing. It reports the end-to-end L2 access time per
+// architecture, the quantity the interconnect improvements ultimately
+// buy.
+func ExtCosim(o Options) (Table, error) {
+	t := Table{
+		ID:     "ext-cosim",
+		Title:  "Closed-loop CMP co-simulation: L1-miss (L2 access) latency",
+		Header: []string{"workload", "2DB", "3DB", "3DM", "3DM-E", "3DM-E vs 2DB"},
+	}
+	for _, name := range []string{"tpcw", "ocean"} {
+		w, ok := cmp.ByName(name)
+		if !ok {
+			return t, fmt.Errorf("exp: workload %s missing", name)
+		}
+		row := []string{name}
+		var base, express float64
+		for _, a := range []core.Arch{core.Arch2DB, core.Arch3DB, core.Arch3DM, core.Arch3DME} {
+			d := core.MustDesign(a)
+			p := cmp.DefaultParams(w, d.Topo, o.Seed)
+			cs, err := cmp.NewClosedSystem(p, d.NoCConfig(noc.ByClass, o.Seed))
+			if err != nil {
+				return t, err
+			}
+			st := cs.Run(o.Measure + o.Warmup)
+			mean := st.MissLatency.Mean()
+			row = append(row, f1(mean))
+			switch a {
+			case core.Arch2DB:
+				base = mean
+			case core.Arch3DME:
+				express = mean
+			}
+		}
+		row = append(row, fmt.Sprintf("-%.0f%%", 100*(1-stats.Ratio(express, base))))
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"extension beyond the paper: protocol engines drive the live NoC (the paper replays open-loop traces)")
+	return t, nil
+}
+
+// ExtQoS evaluates the QoS use of the spare 3DM bandwidth suggested in
+// §3.3: control/request packets get switch priority over data. It
+// reports per-class latency with QoS off and on, near saturation where
+// arbitration matters.
+func ExtQoS(o Options) Table {
+	t := Table{
+		ID:     "ext-qos",
+		Title:  "QoS priority arbitration, bimodal NUCA traffic (3DM)",
+		Header: []string{"inj rate / QoS", "ctrl lat", "data lat", "avg lat"},
+	}
+	d := core.MustDesign(core.Arch3DM)
+	run := func(rate float64, qos bool) noc.Result {
+		cfg := d.NoCConfig(noc.ByClass, o.Seed)
+		cfg.QoSPriority = qos
+		gen := &traffic.NUCA{
+			Topo:          d.Topo,
+			InjectionRate: rate,
+			RequestSize:   core.ControlPacketFlits,
+			ResponseSize:  core.DataPacketFlits,
+			BankDelay:     24,
+		}
+		s := noc.NewSim(noc.NewNetwork(cfg), gen)
+		s.Params = o.simParams()
+		return s.Run()
+	}
+	for _, rate := range []float64{0.15, 0.20} {
+		for _, qos := range []bool{false, true} {
+			r := run(rate, qos)
+			label := fmt.Sprintf("%.2f / off", rate)
+			if qos {
+				label = fmt.Sprintf("%.2f / on", rate)
+			}
+			t.Rows = append(t.Rows, []string{
+				label,
+				f1(r.PerClass[noc.Control].AvgLatency),
+				f1(r.PerClass[noc.Data].AvgLatency),
+				latCell(r),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"extension beyond the paper (§3.3 flags QoS as a use of the spare port bandwidth)",
+		"largely a negative result for this traffic mix: the per-class VCs already isolate the sparse control packets, so switch priority buys little control latency and costs data latency once the network saturates (0.20 row)")
+	return t
+}
+
+// ExtFault evaluates the fault-tolerance use of §3.3: a 3DM mesh with a
+// failed east link keeps operating under west-first routing. The table
+// compares the healthy network under X-Y and west-first (the adaptivity
+// tax) against the faulted network (the detour tax).
+func ExtFault(o Options) (Table, error) {
+	t := Table{
+		ID:     "ext-fault",
+		Title:  "Link-fault tolerance via west-first routing (3DM, uniform random @ 0.15)",
+		Header: []string{"configuration", "avg lat", "avg hops", "delivered"},
+	}
+	d := core.MustDesign(core.Arch3DM)
+	run := func(alg routing.Algorithm) noc.Result {
+		cfg := d.NoCConfig(noc.AnyFree, o.Seed)
+		cfg.Alg = alg
+		gen := &traffic.Uniform{Topo: d.Topo, InjectionRate: 0.15, PacketSize: core.DataPacketFlits}
+		s := noc.NewSim(noc.NewNetwork(cfg), gen)
+		s.Params = o.simParams()
+		return s.Run()
+	}
+	addRow := func(name string, r noc.Result) {
+		t.Rows = append(t.Rows, []string{name, latCell(r), f2(r.AvgHops), fmt.Sprintf("%d/%d", r.Ejected, r.Generated)})
+	}
+
+	addRow("healthy, X-Y", run(routing.XY{}))
+
+	healthyWF, err := routing.NewWestFirst(d.Topo, nil)
+	if err != nil {
+		return t, err
+	}
+	addRow("healthy, west-first", run(healthyWF))
+
+	// Fail the east link out of the centre node (2,2) — the highest-
+	// traffic region of the mesh.
+	mid := d.Topo.MustNodeAt(topology.Coord{X: 2, Y: 2}).ID
+	faulty, err := routing.NewWestFirst(d.Topo, []routing.LinkFault{{Src: mid, Dir: topology.East}})
+	if err != nil {
+		return t, err
+	}
+	addRow("east link (2,2) failed, west-first", run(faulty))
+
+	t.Notes = append(t.Notes,
+		"extension beyond the paper (§3.3 flags fault tolerance as a use of the spare channels)",
+		"west faults are unroutable under the west-first turn model and are rejected at construction")
+	return t, nil
+}
+
+// ExtProtocol compares the coherence protocol's impact on the network:
+// MOESI's Owned state turns each read forward's immediate write-back
+// into a deferred, eviction-time one, cutting data traffic and hence
+// network power on sharing-heavy workloads.
+func ExtProtocol(o Options) (Table, error) {
+	t := Table{
+		ID:     "ext-protocol",
+		Title:  "MESI vs MOESI coherence traffic on the 3DM network",
+		Header: []string{"workload/protocol", "WB packets", "flits", "net power (W)", "avg lat"},
+	}
+	d := corePowerOf(core.Arch3DM)
+	for _, name := range []string{"barnes", "tpcw"} {
+		w, ok := cmp.ByName(name)
+		if !ok {
+			return t, fmt.Errorf("exp: workload %s missing", name)
+		}
+		for _, proto := range []cmp.Protocol{cmp.MESI, cmp.MOESI} {
+			p := cmp.DefaultParams(w, d.Topo, o.Seed)
+			p.Protocol = proto
+			sys, err := cmp.NewSystem(p)
+			if err != nil {
+				return t, err
+			}
+			tr, st := sys.Run(o.TraceCycles)
+			net := noc.NewNetwork(d.NoCConfig(noc.ByClass, o.Seed))
+			s := noc.NewSim(net, &traffic.Replayer{Trace: tr, Loop: true})
+			s.Params = o.simParams()
+			res := s.Run()
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%s/%s", name, proto),
+				fmt.Sprintf("%d", st.KindCounts[cmp.KindWriteBack]),
+				fmt.Sprintf("%d", tr.Flits()),
+				f3(NetworkPowerW(d, res, true)),
+				latCell(res),
+			})
+		}
+	}
+	t.Notes = append(t.Notes, "extension beyond the paper (which models MESI, §4.1.2)")
+	return t, nil
+}
+
+// ExtHerding evaluates the paper's first future-work item: combining
+// the true-3D (Thermal Herding) processor of Puttaswamy & Loh with the
+// MIRA router. Steering core activity toward the heat-sink layer and
+// shutting down router layers for short flits compound into a lower
+// chip temperature than either technique alone.
+func ExtHerding(o Options) Table {
+	t := Table{
+		ID:     "ext-herding",
+		Title:  "Thermal herding + 3DM router shutdown (uniform random @ 0.20)",
+		Header: []string{"configuration", "avg T rise (K)", "max T rise (K)"},
+	}
+	d := corePowerOf(core.Arch3DM)
+	r0 := RunUR(d, 0.20, 0, o)
+	r50 := RunUR(d, 0.20, 0.5, o)
+	cases := []struct {
+		name string
+		res  noc.Result
+		dist [core.Layers]float64
+	}{
+		{"even cores, no short flits", r0, EvenCoreLayers},
+		{"even cores, 50% short flits", r50, EvenCoreLayers},
+		{"herded cores, no short flits", r0, HerdedCoreLayers},
+		{"herded cores, 50% short flits", r50, HerdedCoreLayers},
+	}
+	for _, c := range cases {
+		temps := solveChipTempsDist(d, c.res, c.dist)
+		t.Rows = append(t.Rows, []string{c.name, f2(thermal.Average(temps)), f2(thermal.Max(temps))})
+	}
+	t.Notes = append(t.Notes,
+		"extension: the paper's conclusion proposes combining true-3D processors [16] with the 3DM router",
+		"herding steers 60% of core activity to the heat-sink layer")
+	return t
+}
+
+// ExtPatterns stresses the designs with adversarial synthetic patterns
+// (transpose, complement, tornado, hotspot) beyond the paper's uniform
+// random workload, probing whether the 3DM-E advantage survives
+// non-uniform loads.
+func ExtPatterns(o Options) (Table, error) {
+	t := Table{
+		ID:     "ext-patterns",
+		Title:  "Adversarial traffic patterns: avg latency (cycles) at 0.15 flits/node/cycle",
+		Header: []string{"pattern", "2DB", "3DB", "3DM", "3DM-E"},
+	}
+	archs := []core.Arch{core.Arch2DB, core.Arch3DB, core.Arch3DM, core.Arch3DME}
+	const rate = 0.15
+	patterns := []struct {
+		name string
+		dst  traffic.DstFunc
+	}{
+		{"transpose", traffic.Transpose},
+		{"complement", traffic.Complement},
+		{"tornado", traffic.Tornado},
+	}
+	for _, p := range patterns {
+		row := []string{p.name}
+		for _, a := range archs {
+			d := core.MustDesign(a)
+			gen := &traffic.Permutation{
+				Topo: d.Topo, InjectionRate: rate, PacketSize: core.DataPacketFlits,
+				Dst: p.dst, Name: p.name,
+			}
+			if err := gen.Validate(); err != nil {
+				return t, err
+			}
+			s := noc.NewSim(noc.NewNetwork(d.NoCConfig(noc.AnyFree, o.Seed)), gen)
+			s.Params = o.simParams()
+			row = append(row, latCell(s.Run()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	// Hotspot: all traffic biased toward the four centre nodes.
+	row := []string{"hotspot(4c,30%)"}
+	for _, a := range archs {
+		d := core.MustDesign(a)
+		var hot []topology.NodeID
+		for _, n := range d.Topo.Nodes() {
+			c := n.Coord
+			if (c.X == 2 || c.X == 3) && (c.Y == 2 || c.Y == 3) && c.Z == d.Topo.ZDim-1 {
+				hot = append(hot, n.ID)
+			}
+		}
+		gen := &traffic.Hotspot{
+			Topo: d.Topo, InjectionRate: rate, PacketSize: core.DataPacketFlits,
+			Hot: hot, Frac: 0.3,
+		}
+		s := noc.NewSim(noc.NewNetwork(d.NoCConfig(noc.AnyFree, o.Seed)), gen)
+		s.Params = o.simParams()
+		row = append(row, latCell(s.Run()))
+	}
+	t.Rows = append(t.Rows, row)
+	t.Notes = append(t.Notes,
+		"extension beyond the paper (MIRA evaluates uniform random only)",
+		"the hotspot region is the chip centre: 4 nodes on the 6x6 floorplans but a single top-layer node on 3DB's 3x3, which therefore saturates")
+	return t, nil
+}

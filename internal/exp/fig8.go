@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"mira/internal/core"
+	"mira/internal/noc"
+	"mira/internal/traffic"
+)
+
+// Fig8 evaluates the router pipeline family of Figure 8: the canonical
+// 4-stage pipeline, speculative switch allocation (3-stage), look-ahead
+// routing plus speculation (2-stage), and the 3DM ST+LT combination —
+// alone and stacked on top of the aggressive pipelines. Latencies are
+// measured on the 6x6 mesh under uniform random traffic.
+func Fig8(o Options) Table {
+	t := Table{
+		ID:     "fig8",
+		Title:  "Router pipeline family (uniform random, 6x6 mesh)",
+		Header: []string{"pipeline", "STLT", "lat @0.05", "lat @0.15", "lat @0.30"},
+	}
+	type variant struct {
+		name       string
+		look, spec bool
+		stlt       int
+	}
+	variants := []variant{
+		{"(a) RC|VA|SA|ST +LT", false, false, 2},
+		{"(b) RC|VA+SA|ST +LT", false, true, 2},
+		{"(c) VA+SA|ST +LT", true, true, 2},
+		{"(d) RC|VA|SA|ST+LT (3DM)", false, false, 1},
+		{"(c)+(d) VA+SA|ST+LT", true, true, 1},
+	}
+	for _, v := range variants {
+		d := core.MustDesign(core.Arch2DB)
+		cfg := d.NoCConfig(noc.AnyFree, o.Seed)
+		cfg.LookaheadRC = v.look
+		cfg.SpecSA = v.spec
+		cfg.STLTCycles = v.stlt
+		row := []string{v.name, f2(float64(v.stlt))}
+		for _, rate := range []float64{0.05, 0.15, 0.30} {
+			gen := &traffic.Uniform{Topo: d.Topo, InjectionRate: rate, PacketSize: core.DataPacketFlits}
+			s := noc.NewSim(noc.NewNetwork(cfg), gen)
+			s.Params = o.simParams()
+			row = append(row, latCell(s.Run()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"(d) assumes the 3DM wire lengths; on the real 2DB crossbar the combined stage misses the 500 ps budget (Table 3)")
+	return t
+}

@@ -1,0 +1,95 @@
+package noc
+
+// Arbiters. The VA and SA stages arbitrate among up to P*V requesters
+// (Table 1 sizes them as 10:1 / 14:1 / 18:1 for the evaluated designs).
+// Two policies are provided: a rotating round-robin arbiter (strongly
+// fair, the default for both allocators) and a matrix arbiter
+// (least-recently-served, the classic choice for small switch
+// allocators). Both are deterministic.
+
+// Arbiter picks one requester among n candidates.
+type Arbiter interface {
+	// Grant returns the index of the winning requester among the set
+	// bits of reqs (true = requesting), or -1 when nobody requests.
+	// n is the total number of requester slots.
+	Grant(reqs []bool) int
+}
+
+// RoundRobin is a rotating-priority arbiter: the slot after the last
+// winner has the highest priority next time.
+type RoundRobin struct {
+	next int
+}
+
+// NewRoundRobin returns a round-robin arbiter for n requesters.
+func NewRoundRobin(n int) *RoundRobin { return &RoundRobin{} }
+
+// Grant implements Arbiter.
+func (r *RoundRobin) Grant(reqs []bool) int {
+	n := len(reqs)
+	if n == 0 {
+		return -1
+	}
+	for k := 0; k < n; k++ {
+		i := (r.next + k) % n
+		if reqs[i] {
+			r.next = (i + 1) % n
+			return i
+		}
+	}
+	return -1
+}
+
+// Matrix is a least-recently-served arbiter: a triangular priority
+// matrix where w[i][j] records that i beats j; the winner's row is
+// cleared and column set, making it the lowest priority.
+type Matrix struct {
+	w [][]bool
+}
+
+// NewMatrix returns a matrix arbiter for n requesters, with initial
+// priority order 0 > 1 > ... > n-1.
+func NewMatrix(n int) *Matrix {
+	m := &Matrix{w: make([][]bool, n)}
+	for i := range m.w {
+		m.w[i] = make([]bool, n)
+		for j := i + 1; j < n; j++ {
+			m.w[i][j] = true
+		}
+	}
+	return m
+}
+
+// Grant implements Arbiter.
+func (m *Matrix) Grant(reqs []bool) int {
+	n := len(m.w)
+	if len(reqs) != n {
+		panic("noc: matrix arbiter request width mismatch")
+	}
+	winner := -1
+	for i := 0; i < n; i++ {
+		if !reqs[i] {
+			continue
+		}
+		wins := true
+		for j := 0; j < n; j++ {
+			if j != i && reqs[j] && !m.w[i][j] {
+				wins = false
+				break
+			}
+		}
+		if wins {
+			winner = i
+			break
+		}
+	}
+	if winner >= 0 {
+		for j := 0; j < n; j++ {
+			if j != winner {
+				m.w[winner][j] = false
+				m.w[j][winner] = true
+			}
+		}
+	}
+	return winner
+}

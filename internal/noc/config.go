@@ -1,0 +1,133 @@
+package noc
+
+import (
+	"fmt"
+
+	"mira/internal/routing"
+	"mira/internal/topology"
+)
+
+// VCPolicy selects how the VC allocator chooses an output VC for a head
+// flit.
+type VCPolicy uint8
+
+// VC allocation policies.
+const (
+	// AnyFree grants any unreserved output VC (used for the uniform
+	// random synthetic traffic).
+	AnyFree VCPolicy = iota
+	// ByClass restricts each packet to the VC matching its message
+	// class: VC0 for control/request traffic, VC1 for data/response
+	// traffic (§3.2.4). This separates the request and response
+	// networks and avoids protocol deadlock for NUCA traffic.
+	ByClass
+)
+
+func (p VCPolicy) String() string {
+	if p == ByClass {
+		return "by-class"
+	}
+	return "any-free"
+}
+
+// Config fully describes a simulated network.
+type Config struct {
+	// Topo is the router graph; Alg routes over it.
+	Topo *topology.Topology
+	Alg  routing.Algorithm
+
+	// VCs per physical port and buffer depth (flits) per VC. The MIRA
+	// configuration uses 2 VCs with 8-flit buffers.
+	VCs      int
+	BufDepth int
+
+	// STLTCycles is the number of cycles from a switch-allocation grant
+	// until the flit is written into the next router's buffer: 2 for a
+	// separate switch-traversal and link-traversal stage (2DB, 3DB,
+	// the NC variants), 1 when ST and LT are combined (3DM, 3DM-E —
+	// Figure 8 (d), enabled by the shorter crossbar and links).
+	STLTCycles int
+
+	// Layers is the number of datapath layers for active-layer
+	// accounting (4 for the 3D designs; 2DB uses 4 equal-width
+	// segments when the shutdown technique is applied to it).
+	Layers int
+
+	// LookaheadRC enables look-ahead routing (Figure 8 (c), Galles'
+	// SPIDER scheme): each hop's output port is computed one hop in
+	// advance, removing the RC stage from the critical path.
+	LookaheadRC bool
+	// SpecSA enables speculative switch allocation (Figure 8 (b), Peh &
+	// Dally): a head flit bids for the crossbar in the same cycle as
+	// its VC allocation; if the VA grant fails the speculation is
+	// wasted and it retries non-speculatively. Non-speculative requests
+	// have priority for switch ports.
+	SpecSA bool
+
+	// Arb selects the allocator arbiter implementation.
+	Arb ArbPolicy
+
+	// QoSPriority gives control-class (request/coherence) flits switch
+	// priority over data flits (§3.3 suggests the spare 3DM bandwidth
+	// could serve QoS provisioning; this is the scheduling half).
+	// Within the data class, packets already in flight outrank new
+	// heads, and waiting flits age upward one tier per 16 cycles, so
+	// nothing starves under a continuous high-priority storm.
+	QoSPriority bool
+
+	Policy VCPolicy
+	Seed   int64
+}
+
+// ArbPolicy selects the arbiter used in the VA and SA allocators.
+type ArbPolicy uint8
+
+// Arbiter policies.
+const (
+	// ArbRoundRobin uses rotating-priority arbiters (strongly fair).
+	ArbRoundRobin ArbPolicy = iota
+	// ArbMatrix uses least-recently-served matrix arbiters, the classic
+	// hardware choice for the small allocators of Table 1.
+	ArbMatrix
+)
+
+func (a ArbPolicy) String() string {
+	if a == ArbMatrix {
+		return "matrix"
+	}
+	return "round-robin"
+}
+
+// newArbiter builds an arbiter for n requesters under the policy.
+func (a ArbPolicy) newArbiter(n int) Arbiter {
+	if a == ArbMatrix {
+		return NewMatrix(n)
+	}
+	return NewRoundRobin(n)
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Topo == nil {
+		return fmt.Errorf("noc: config has no topology")
+	}
+	if c.Alg == nil {
+		return fmt.Errorf("noc: config has no routing algorithm")
+	}
+	if c.VCs < 1 {
+		return fmt.Errorf("noc: VCs = %d, need >= 1", c.VCs)
+	}
+	if c.BufDepth < 1 {
+		return fmt.Errorf("noc: BufDepth = %d, need >= 1", c.BufDepth)
+	}
+	if c.STLTCycles < 1 || c.STLTCycles > 2 {
+		return fmt.Errorf("noc: STLTCycles = %d, need 1 or 2", c.STLTCycles)
+	}
+	if c.Layers < 1 {
+		return fmt.Errorf("noc: Layers = %d, need >= 1", c.Layers)
+	}
+	if int(NumClasses) > c.VCs && c.Policy == ByClass {
+		return fmt.Errorf("noc: ByClass policy needs >= %d VCs, have %d", NumClasses, c.VCs)
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package noc
+
+import (
+	"fmt"
+
+	"mira/internal/topology"
+)
+
+// CheckInvariants validates cross-router consistency of the flow-control
+// state. It is O(routers x ports x VCs) and intended for tests and
+// debugging, not the hot loop. The checked properties are the ones
+// credit-based wormhole switching relies on:
+//
+//  1. No input VC buffer exceeds its configured depth.
+//  2. For every link, the upstream credit count plus the downstream
+//     buffer occupancy plus flits in flight on the link never exceeds
+//     the buffer depth (credits can transiently undercount while a
+//     credit is in flight, but can never overcount).
+//  3. A VC in the Routing/WaitVC state has a head flit at its front;
+//     a VC holding buffered flits is never Idle.
+//  4. Output VC reservations are consistent: an Active input VC's
+//     (outDir, outVC) target is actually reserved.
+func (n *Network) CheckInvariants() error {
+	type chanKey struct {
+		router topology.NodeID
+		dir    topology.Dir
+		vc     int
+	}
+	// Flits and credits currently in flight, per downstream channel.
+	inFlight := make(map[chanKey]int)
+	credRet := make(map[chanKey]int)
+	for _, slot := range n.ring {
+		for _, ev := range slot {
+			switch ev.kind {
+			case evFlit:
+				inFlight[chanKey{ev.router, ev.dir, ev.vc}]++
+			case evCredit:
+				// ev.router is the upstream router; translate to the
+				// downstream channel it describes.
+				up := n.routers[ev.router]
+				oi := up.outIndex[ev.dir]
+				if oi < 0 {
+					return fmt.Errorf("noc: in-flight credit for missing port %v at router %d", ev.dir, ev.router)
+				}
+				link := up.outPorts[oi].link
+				credRet[chanKey{link.Dst, ev.dir.Opposite(), ev.vc}]++
+			}
+		}
+	}
+
+	for _, r := range n.routers {
+		for pi := range r.inPorts {
+			ip := &r.inPorts[pi]
+			for vi := range ip.vcs {
+				vc := &ip.vcs[vi]
+				if len(vc.buf) > n.cfg.BufDepth {
+					return fmt.Errorf("noc: router %d %v vc %d holds %d flits (depth %d)",
+						r.id, ip.dir, vi, len(vc.buf), n.cfg.BufDepth)
+				}
+				switch vc.state {
+				case vcRouting, vcWaitVC:
+					if f := vc.front(); f == nil || !f.flit.Type.IsHead() {
+						return fmt.Errorf("noc: router %d %v vc %d in %v without head flit",
+							r.id, ip.dir, vi, vc.state)
+					}
+				case vcIdle:
+					if len(vc.buf) != 0 {
+						return fmt.Errorf("noc: router %d %v vc %d idle with %d buffered flits",
+							r.id, ip.dir, vi, len(vc.buf))
+					}
+				case vcActive:
+					oi := r.outIndex[vc.outDir]
+					if oi < 0 {
+						return fmt.Errorf("noc: router %d %v vc %d active toward missing port %v",
+							r.id, ip.dir, vi, vc.outDir)
+					}
+					if !r.outPorts[oi].reserved[vc.outVC] {
+						return fmt.Errorf("noc: router %d %v vc %d active but output %v vc %d unreserved",
+							r.id, ip.dir, vi, vc.outDir, vc.outVC)
+					}
+				}
+			}
+		}
+		// Credit conservation per outgoing channel.
+		for oi := range r.outPorts {
+			op := &r.outPorts[oi]
+			if !op.hasLink {
+				continue
+			}
+			down := n.routers[op.link.Dst]
+			dpi := down.inIndex[op.dir.Opposite()]
+			if dpi < 0 {
+				return fmt.Errorf("noc: link from %d via %v lands on missing port", r.id, op.dir)
+			}
+			for vi := 0; vi < n.cfg.VCs; vi++ {
+				key := chanKey{op.link.Dst, op.dir.Opposite(), vi}
+				occupied := len(down.inPorts[dpi].vcs[vi].buf)
+				total := op.credits[vi] + occupied + inFlight[key] + credRet[key]
+				if total != n.cfg.BufDepth {
+					return fmt.Errorf("noc: channel %d-%v->%d vc %d: credits %d + occupied %d + inflight %d + credret %d != depth %d",
+						r.id, op.dir, op.link.Dst, vi, op.credits[vi], occupied, inFlight[key], credRet[key], n.cfg.BufDepth)
+				}
+			}
+		}
+	}
+	return nil
+}

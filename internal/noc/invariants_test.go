@@ -1,0 +1,364 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+
+	"mira/internal/topology"
+)
+
+// Every cycle of a loaded simulation must satisfy the flow-control
+// invariants, for all three fabric shapes and both pipeline depths.
+func TestInvariantsUnderLoad(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		rate float64
+	}{
+		{"mesh-stlt2", cfg2D(2), 0.25},
+		{"mesh-stlt1", cfg2D(1), 0.25},
+		{"mesh3d", cfg3D(2), 0.25},
+		{"express", cfgExpress(1), 0.25},
+		{"express-overload", cfgExpress(1), 0.9},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			net := NewNetwork(c.cfg)
+			gen := bernoulli(c.cfg.Topo, c.rate, 4, Data)
+			rng := rand.New(rand.NewSource(5))
+			for cycle := int64(0); cycle < 1500; cycle++ {
+				for _, spec := range gen.Generate(cycle, rng) {
+					if _, err := net.Enqueue(spec); err != nil {
+						t.Fatal(err)
+					}
+				}
+				net.Step()
+				if cycle%50 == 0 {
+					if err := net.CheckInvariants(); err != nil {
+						t.Fatalf("cycle %d: %v", cycle, err)
+					}
+				}
+			}
+			if err := net.CheckInvariants(); err != nil {
+				t.Fatalf("final: %v", err)
+			}
+		})
+	}
+}
+
+func TestInvariantsByClassBimodal(t *testing.T) {
+	cfg := cfg2D(2)
+	cfg.Policy = ByClass
+	net := NewNetwork(cfg)
+	rng := rand.New(rand.NewSource(6))
+	for cycle := int64(0); cycle < 2000; cycle++ {
+		if rng.Float64() < 0.3 {
+			a := topology.NodeID(rng.Intn(36))
+			b := topology.NodeID(rng.Intn(36))
+			if a != b {
+				if _, err := net.Enqueue(Spec{Src: a, Dst: b, Size: 1, Class: Control}); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := net.Enqueue(Spec{Src: b, Dst: a, Size: 4, Class: Data}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		net.Step()
+		if cycle%100 == 0 {
+			if err := net.CheckInvariants(); err != nil {
+				t.Fatalf("cycle %d: %v", cycle, err)
+			}
+		}
+	}
+}
+
+// After a full drain, all credits must be restored and all VCs idle.
+func TestInvariantsAfterDrain(t *testing.T) {
+	cfg := cfgExpress(1)
+	net := NewNetwork(cfg)
+	s := NewSim(net, bernoulli(cfg.Topo, 0.3, 4, Data))
+	s.Params = SimParams{Warmup: 0, Measure: 1000, DrainMax: 10000}
+	res := s.Run()
+	if res.Ejected != res.Generated {
+		t.Fatalf("did not drain: %v", res.String())
+	}
+	if err := net.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if net.Occupancy() != 0 {
+		t.Fatalf("occupancy %d after drain", net.Occupancy())
+	}
+	// All credits fully restored.
+	for _, r := range net.routers {
+		for oi := range r.outPorts {
+			op := &r.outPorts[oi]
+			if !op.hasLink {
+				continue
+			}
+			for vi, c := range op.credits {
+				if c != cfg.BufDepth {
+					t.Fatalf("router %d %v vc %d credits %d != %d after drain",
+						r.id, op.dir, vi, c, cfg.BufDepth)
+				}
+				if op.reserved[vi] {
+					t.Fatalf("router %d %v vc %d still reserved after drain", r.id, op.dir, vi)
+				}
+			}
+		}
+	}
+}
+
+// Back-to-back packets through the same VC must reallocate it cleanly.
+func TestVCReallocation(t *testing.T) {
+	cfg := cfg2D(2)
+	cfg.VCs = 1 // force every packet through the single VC
+	cfg.Policy = AnyFree
+	net := NewNetwork(cfg)
+	var ejected int
+	net.SetEjectHandler(func(p *Packet) { ejected++ })
+	for i := 0; i < 10; i++ {
+		if _, err := net.Enqueue(Spec{Src: 0, Dst: 3, Size: 4, Class: Data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3000 && !net.Idle(); i++ {
+		net.Step()
+		if err := net.CheckInvariants(); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+	}
+	if ejected != 10 {
+		t.Fatalf("delivered %d/10 with a single VC", ejected)
+	}
+}
+
+// Fairness: two flows contending for one output port share its
+// bandwidth roughly evenly under round-robin arbitration.
+func TestArbitrationFairness(t *testing.T) {
+	cfg := cfg2D(2)
+	net := NewNetwork(cfg)
+	counts := map[topology.NodeID]int{}
+	net.SetEjectHandler(func(p *Packet) { counts[p.Src]++ })
+	// Nodes 0 (west of 1) and 2 (east of 1) both flood node 7 via
+	// router 1's south port. Keep each source's NI saturated.
+	for cycle := 0; cycle < 2500; cycle++ {
+		if net.QueuedPackets() < 4 {
+			if _, err := net.Enqueue(Spec{Src: 0, Dst: 7, Size: 4, Class: Data}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := net.Enqueue(Spec{Src: 2, Dst: 7, Size: 4, Class: Data}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		net.Step()
+	}
+	a, b := counts[0], counts[2]
+	if a == 0 || b == 0 {
+		t.Fatalf("a flow starved: %d vs %d", a, b)
+	}
+	ratio := float64(a) / float64(b)
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("unfair sharing: %d vs %d", a, b)
+	}
+}
+
+func TestNoStallOnHealthyDrain(t *testing.T) {
+	cfg := cfg2D(2)
+	res := shortSim(cfg, bernoulli(cfg.Topo, 0.3, 4, Data))
+	if res.Stalled {
+		t.Fatalf("healthy network reported a stall: %v", res.String())
+	}
+	if res.Ejected != res.Generated {
+		t.Fatalf("healthy drain incomplete: %v", res.String())
+	}
+}
+
+// Property: the full configuration matrix (pipeline depth x speculation
+// x look-ahead x arbiter x QoS x policy) delivers all traffic without
+// stalls on all three fabrics.
+func TestConfigMatrixDelivery(t *testing.T) {
+	type variant struct {
+		stlt      int
+		look      bool
+		spec      bool
+		arb       ArbPolicy
+		qos       bool
+		mkCfg     func(int) Config
+		fabric    string
+		classFrac float64
+	}
+	var cases []variant
+	for _, mk := range []struct {
+		name string
+		f    func(int) Config
+	}{
+		{"mesh", cfg2D}, {"mesh3d", cfg3D}, {"express", cfgExpress},
+	} {
+		for _, stlt := range []int{1, 2} {
+			for _, look := range []bool{false, true} {
+				for _, spec := range []bool{false, true} {
+					cases = append(cases, variant{
+						stlt: stlt, look: look, spec: spec,
+						arb: ArbPolicy(len(cases) % 2), qos: len(cases)%3 == 0,
+						mkCfg: mk.f, fabric: mk.name,
+					})
+				}
+			}
+		}
+	}
+	for i, c := range cases {
+		cfg := c.mkCfg(c.stlt)
+		cfg.LookaheadRC = c.look
+		cfg.SpecSA = c.spec
+		cfg.Arb = c.arb
+		cfg.QoSPriority = c.qos
+		cfg.Seed = int64(i)
+		net := NewNetwork(cfg)
+		s := NewSim(net, bernoulli(cfg.Topo, 0.15, 4, Data))
+		s.Params = SimParams{Warmup: 100, Measure: 800, DrainMax: 6000}
+		res := s.Run()
+		if res.Stalled || res.Ejected != res.Generated {
+			t.Fatalf("case %d (%s stlt=%d look=%v spec=%v arb=%v qos=%v): %v",
+				i, c.fabric, c.stlt, c.look, c.spec, c.arb, c.qos, res.String())
+		}
+		if err := net.CheckInvariants(); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+	}
+}
+
+func TestLinkLoads(t *testing.T) {
+	cfg := cfg2D(2)
+	net := NewNetwork(cfg)
+	// Row-0 eastbound stream: only east links of row 0 carry traffic.
+	var done int
+	net.SetEjectHandler(func(*Packet) { done++ })
+	for i := 0; i < 10; i++ {
+		if _, err := net.Enqueue(Spec{Src: 0, Dst: 5, Size: 2, Class: Data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2000 && !net.Idle(); i++ {
+		net.Step()
+	}
+	if done != 10 {
+		t.Fatalf("delivered %d/10", done)
+	}
+	loads := net.LinkLoads()
+	if len(loads) != len(cfg.Topo.Links()) {
+		t.Fatalf("loads = %d entries, want %d", len(loads), len(cfg.Topo.Links()))
+	}
+	var east, other int64
+	for _, l := range loads {
+		row0 := cfg.Topo.Node(l.Src).Coord.Y == 0
+		if l.Dir == topology.East && row0 {
+			east += l.Flits
+		} else {
+			other += l.Flits
+		}
+	}
+	if east != 5*10*2 { // 5 hops x 10 packets x 2 flits
+		t.Errorf("east flits = %d, want 100", east)
+	}
+	if other != 0 {
+		t.Errorf("non-east links carried %d flits", other)
+	}
+	net.ResetCounters()
+	for _, l := range net.LinkLoads() {
+		if l.Flits != 0 {
+			t.Fatalf("reset left %d flits on %v/%v", l.Flits, l.Src, l.Dir)
+		}
+	}
+}
+
+func TestPerClassResults(t *testing.T) {
+	cfg := cfg2D(2)
+	cfg.Policy = ByClass
+	gen := GeneratorFunc(func(cycle int64, rng *rand.Rand) []Spec {
+		var specs []Spec
+		if rng.Float64() < 0.3 {
+			a := topology.NodeID(rng.Intn(36))
+			b := topology.NodeID(rng.Intn(36))
+			if a != b {
+				specs = append(specs,
+					Spec{Src: a, Dst: b, Size: 1, Class: Control},
+					Spec{Src: b, Dst: a, Size: 4, Class: Data})
+			}
+		}
+		return specs
+	})
+	res := shortSim(cfg, gen)
+	ctrl, data := res.PerClass[Control], res.PerClass[Data]
+	if ctrl.Ejected == 0 || data.Ejected == 0 {
+		t.Fatalf("missing per-class counts: %+v", res.PerClass)
+	}
+	if ctrl.Ejected+data.Ejected != res.Ejected {
+		t.Errorf("class counts %d+%d != total %d", ctrl.Ejected, data.Ejected, res.Ejected)
+	}
+	// Data packets are 3 flits longer; their latency must exceed the
+	// single-flit control packets' at equal hop distribution.
+	if data.AvgLatency <= ctrl.AvgLatency {
+		t.Errorf("data latency %.1f should exceed control %.1f", data.AvgLatency, ctrl.AvgLatency)
+	}
+	// The blended average must lie between the class averages.
+	lo, hi := ctrl.AvgLatency, data.AvgLatency
+	if res.AvgLatency < lo-1e-9 || res.AvgLatency > hi+1e-9 {
+		t.Errorf("blended latency %.2f outside [%.2f, %.2f]", res.AvgLatency, lo, hi)
+	}
+}
+
+func TestPacketIDsUnique(t *testing.T) {
+	net := NewNetwork(cfg2D(2))
+	seen := map[int64]bool{}
+	for i := 0; i < 20; i++ {
+		pkt, err := net.Enqueue(Spec{Src: 0, Dst: 1, Size: 1, Class: Control})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pkt.ID == 0 {
+			t.Fatalf("packet ID not assigned")
+		}
+		if seen[pkt.ID] {
+			t.Fatalf("duplicate packet ID %d", pkt.ID)
+		}
+		seen[pkt.ID] = true
+	}
+}
+
+func TestMatrixArbiterEndToEnd(t *testing.T) {
+	cfg := cfg2D(2)
+	cfg.Arb = ArbMatrix
+	net := NewNetwork(cfg)
+	s := NewSim(net, bernoulli(cfg.Topo, 0.2, 4, Data))
+	s.Params = SimParams{Warmup: 200, Measure: 2000, DrainMax: 8000}
+	res := s.Run()
+	if res.Ejected != res.Generated {
+		t.Fatalf("matrix-arbiter network lost packets: %v", res.String())
+	}
+	if err := net.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Zero-load latency must be identical to the round-robin build
+	// (arbiters only matter under contention).
+	pkt := onePacket(t, cfg, Spec{Src: 0, Dst: 1, Size: 1, Class: Control})
+	if lat := pkt.EjectedAt - pkt.CreatedAt; lat != 11 {
+		t.Errorf("matrix zero-load latency = %d, want 11", lat)
+	}
+}
+
+// The latency histogram must be populated and consistent with the mean.
+func TestLatencyHistogram(t *testing.T) {
+	cfg := cfg2D(2)
+	res := shortSim(cfg, bernoulli(cfg.Topo, 0.1, 4, Data))
+	h := res.LatencyHistogram()
+	if h == nil || h.N() != res.Ejected {
+		t.Fatalf("histogram N = %v, want %d", h, res.Ejected)
+	}
+	if d := h.Mean() - res.AvgLatency; d > 0.5 || d < -0.5 {
+		t.Errorf("histogram mean %.2f vs avg latency %.2f", h.Mean(), res.AvgLatency)
+	}
+	if res.P99Latency < int(res.AvgLatency) {
+		t.Errorf("P99 %d below mean %.1f", res.P99Latency, res.AvgLatency)
+	}
+}

@@ -1,0 +1,313 @@
+package noc
+
+import (
+	"fmt"
+
+	"mira/internal/topology"
+)
+
+type eventKind uint8
+
+const (
+	evFlit eventKind = iota
+	evCredit
+	evEject
+)
+
+// event is a scheduled delivery: a flit landing in a downstream buffer,
+// a credit returning upstream, or a flit leaving the network at the NI.
+type event struct {
+	kind   eventKind
+	router topology.NodeID
+	dir    topology.Dir
+	vc     int
+	flit   Flit
+}
+
+// ringSize bounds the event horizon; all modeled delays (ST+LT <= 2
+// cycles, credit 1 cycle) are far below it.
+const ringSize = 8
+
+// ni is the network interface at one node: an unbounded source queue and
+// the wormhole injection state of the packet currently entering the
+// router.
+type ni struct {
+	queue  []*injJob
+	cur    *injJob
+	curVC  int
+	curSeq int
+}
+
+// injJob pairs a packet with its per-flit layer profile.
+type injJob struct {
+	pkt    *Packet
+	layers []uint8 // nil = all layers
+}
+
+// Network instantiates routers over a topology and advances them cycle
+// by cycle.
+type Network struct {
+	cfg     Config
+	routers []*Router
+	nis     []ni
+	ring    [ringSize][]event
+	cycle   int64
+
+	// InFlight counts flits currently inside the network (buffered or
+	// on a link); it is used by the simulator to detect drain.
+	inFlightFlits int64
+	queuedPackets int64
+	nextPacketID  int64
+
+	// onEject is invoked when a packet's tail flit leaves the network.
+	onEject func(*Packet)
+}
+
+// NewNetwork builds a network from cfg. It panics on invalid
+// configurations; use cfg.Validate for a non-panicking check.
+func NewNetwork(cfg Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := &Network{cfg: cfg}
+	num := cfg.Topo.NumNodes()
+	n.routers = make([]*Router, num)
+	n.nis = make([]ni, num)
+	for i := range n.routers {
+		n.routers[i] = newRouter(n, topology.NodeID(i))
+	}
+	return n
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() *Config { return &n.cfg }
+
+// Cycle returns the current simulation cycle.
+func (n *Network) Cycle() int64 { return n.cycle }
+
+// Router returns the router at node id (for tests and instrumentation).
+func (n *Network) Router(id topology.NodeID) *Router { return n.routers[id] }
+
+// SetEjectHandler installs the packet-completion callback.
+func (n *Network) SetEjectHandler(fn func(*Packet)) { n.onEject = fn }
+
+func (n *Network) schedule(at int64, ev event) {
+	d := at - n.cycle
+	if d <= 0 || d >= ringSize {
+		panic(fmt.Sprintf("noc: schedule delta %d out of range", d))
+	}
+	slot := at % ringSize
+	n.ring[slot] = append(n.ring[slot], ev)
+}
+
+// Enqueue places a packet described by spec into its source NI queue at
+// the current cycle. The returned packet can be inspected after
+// ejection.
+func (n *Network) Enqueue(spec Spec) (*Packet, error) {
+	if err := spec.Validate(n.cfg.Topo.NumNodes()); err != nil {
+		return nil, err
+	}
+	n.nextPacketID++
+	pkt := &Packet{
+		ID:        n.nextPacketID,
+		Src:       spec.Src,
+		Dst:       spec.Dst,
+		Size:      spec.Size,
+		Class:     spec.Class,
+		CreatedAt: n.cycle,
+	}
+	n.nis[spec.Src].queue = append(n.nis[spec.Src].queue, &injJob{pkt: pkt, layers: spec.LayersPerFlit})
+	n.queuedPackets++
+	return pkt, nil
+}
+
+// QueuedPackets returns packets waiting in, or currently entering
+// through, source NIs.
+func (n *Network) QueuedPackets() int64 { return n.queuedPackets }
+
+// InFlightFlits returns flits buffered in routers or on links.
+func (n *Network) InFlightFlits() int64 { return n.inFlightFlits }
+
+// Idle reports whether no traffic remains anywhere in the network.
+func (n *Network) Idle() bool { return n.queuedPackets == 0 && n.inFlightFlits == 0 }
+
+// Step advances the simulation by one cycle.
+func (n *Network) Step() {
+	n.cycle++
+	slot := n.cycle % ringSize
+
+	// 1. Deliver events scheduled for this cycle.
+	events := n.ring[slot]
+	n.ring[slot] = events[:0]
+	for _, ev := range events {
+		switch ev.kind {
+		case evFlit:
+			r := n.routers[ev.router]
+			pi := r.inIndex[ev.dir]
+			if pi < 0 {
+				panic(fmt.Sprintf("noc: flit delivered to missing port %v at router %d", ev.dir, ev.router))
+			}
+			r.acceptFlit(n.cycle, int(pi), ev.vc, ev.flit)
+		case evCredit:
+			n.routers[ev.router].creditReturn(ev.dir, ev.vc)
+		case evEject:
+			n.inFlightFlits--
+			if ev.flit.Type.IsTail() {
+				pkt := ev.flit.Pkt
+				pkt.EjectedAt = n.cycle
+				if n.onEject != nil {
+					n.onEject(pkt)
+				}
+			}
+		}
+	}
+
+	// 2. Inject from NIs (one flit per node per cycle).
+	for i := range n.nis {
+		n.inject(topology.NodeID(i))
+	}
+
+	// 3. Router pipelines, in reverse stage order so a flit advances at
+	// most one stage per cycle.
+	for _, r := range n.routers {
+		r.stepSA(n.cycle)
+	}
+	for _, r := range n.routers {
+		r.stepVA(n.cycle)
+	}
+	for _, r := range n.routers {
+		r.stepRC(n.cycle)
+	}
+}
+
+// inject advances the NI at node id by at most one flit.
+func (n *Network) inject(id topology.NodeID) {
+	s := &n.nis[id]
+	r := n.routers[id]
+	lp := &r.inPorts[r.inIndex[topology.Local]]
+
+	if s.cur == nil {
+		if len(s.queue) == 0 {
+			return
+		}
+		job := s.queue[0]
+		vc := n.pickInjectionVC(lp, job.pkt.Class)
+		if vc < 0 {
+			return // all suitable local VCs busy
+		}
+		s.queue = s.queue[1:]
+		s.cur = job
+		s.curVC = vc
+		s.curSeq = 0
+	}
+
+	vc := &lp.vcs[s.curVC]
+	if len(vc.buf) >= n.cfg.BufDepth {
+		return // wait for space
+	}
+	job := s.cur
+	f := Flit{Pkt: job.pkt, Seq: s.curSeq}
+	switch {
+	case job.pkt.Size == 1:
+		f.Type = HeadTailFlit
+	case s.curSeq == 0:
+		f.Type = HeadFlit
+	case s.curSeq == job.pkt.Size-1:
+		f.Type = TailFlit
+	default:
+		f.Type = BodyFlit
+	}
+	if job.layers != nil {
+		f.ActiveLayers = job.layers[s.curSeq]
+	}
+	if f.Type.IsHead() {
+		job.pkt.InjectedAt = n.cycle
+	}
+	r.acceptFlit(n.cycle, int(r.inIndex[topology.Local]), s.curVC, f)
+	n.inFlightFlits++
+	s.curSeq++
+	if s.curSeq == job.pkt.Size {
+		s.cur = nil
+		n.queuedPackets--
+	}
+}
+
+// pickInjectionVC selects an idle local input VC for a new packet, or -1.
+func (n *Network) pickInjectionVC(lp *inputPort, c Class) int {
+	if n.cfg.Policy == ByClass {
+		v := int(c)
+		if lp.vcs[v].state == vcIdle && len(lp.vcs[v].buf) == 0 {
+			return v
+		}
+		return -1
+	}
+	for v := range lp.vcs {
+		if lp.vcs[v].state == vcIdle && len(lp.vcs[v].buf) == 0 {
+			return v
+		}
+	}
+	return -1
+}
+
+// TotalCounters aggregates all router activity counters.
+func (n *Network) TotalCounters() Counters {
+	var total Counters
+	for _, r := range n.routers {
+		total.Add(&r.Counters)
+	}
+	return total
+}
+
+// RouterCounters returns per-router counters indexed by node ID (a copy).
+func (n *Network) RouterCounters() []Counters {
+	out := make([]Counters, len(n.routers))
+	for i, r := range n.routers {
+		out[i] = r.Counters
+	}
+	return out
+}
+
+// ResetCounters zeroes all router counters (called at the end of warm-up
+// so that power reflects the measurement window only).
+func (n *Network) ResetCounters() {
+	for _, r := range n.routers {
+		r.Counters = Counters{}
+		for oi := range r.outPorts {
+			r.outPorts[oi].flitCount = 0
+		}
+	}
+}
+
+// LinkLoad is the traffic carried by one unidirectional link.
+type LinkLoad struct {
+	Src   topology.NodeID
+	Dir   topology.Dir
+	Flits int64
+}
+
+// LinkLoads reports every link's flit count since the last counter
+// reset, in deterministic (router, port) order. The spread between hot
+// and cold links exposes pattern asymmetry (e.g. tornado loading only
+// the eastbound channels).
+func (n *Network) LinkLoads() []LinkLoad {
+	var out []LinkLoad
+	for _, r := range n.routers {
+		for oi := range r.outPorts {
+			op := &r.outPorts[oi]
+			if !op.hasLink {
+				continue
+			}
+			out = append(out, LinkLoad{Src: r.id, Dir: op.dir, Flits: op.flitCount})
+		}
+	}
+	return out
+}
+
+// Occupancy returns the total number of buffered flits (diagnostics).
+func (n *Network) Occupancy() int {
+	total := 0
+	for _, r := range n.routers {
+		total += r.occupancy()
+	}
+	return total
+}

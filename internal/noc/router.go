@@ -1,0 +1,532 @@
+package noc
+
+import (
+	"fmt"
+
+	"mira/internal/topology"
+)
+
+// vcState is the input-VC control state machine: a head flit performs
+// route computation (RC), then virtual-channel allocation (VA), then the
+// whole packet streams through switch allocation (SA) until the tail
+// releases the channel.
+type vcState uint8
+
+const (
+	vcIdle vcState = iota
+	vcRouting
+	vcWaitVC
+	vcActive
+)
+
+func (s vcState) String() string {
+	switch s {
+	case vcIdle:
+		return "idle"
+	case vcRouting:
+		return "routing"
+	case vcWaitVC:
+		return "wait-vc"
+	default:
+		return "active"
+	}
+}
+
+// bufFlit is a buffered flit with its arrival cycle; a flit only becomes
+// eligible for switch allocation the cycle after it was written (buffer
+// write and read cannot overlap for the same flit).
+type bufFlit struct {
+	flit      Flit
+	arrivedAt int64
+}
+
+type inputVC struct {
+	buf     []bufFlit
+	state   vcState
+	outDir  topology.Dir
+	outVC   int
+	readyAt int64 // earliest cycle for the pending stage (RC/VA/SA)
+}
+
+func (v *inputVC) front() *bufFlit {
+	if len(v.buf) == 0 {
+		return nil
+	}
+	return &v.buf[0]
+}
+
+type inputPort struct {
+	dir topology.Dir
+	vcs []inputVC
+	// upstream is the neighbouring router feeding this port, or -1 for
+	// the local NI; credits for popped flits return to it.
+	upstream topology.NodeID
+}
+
+type outputPort struct {
+	dir     topology.Dir
+	link    topology.Link // zero unless dir != Local
+	hasLink bool
+	// reserved marks output VCs currently owned by an in-flight packet;
+	// credits counts free buffer slots in the downstream input VC.
+	reserved []bool
+	credits  []int
+	// saArb arbitrates the switch among all input VCs; vaArbs[ov]
+	// arbitrates output VC ov among competing head flits (the per-VC
+	// PV:1 arbiters of the VA2 stage, §3.2.5).
+	saArb  Arbiter
+	vaArbs []Arbiter
+	// flitCount tallies flits sent over this port's link, for the
+	// per-link utilization report.
+	flitCount int64
+}
+
+// Router is one network router instance.
+type Router struct {
+	id       topology.NodeID
+	net      *Network
+	inPorts  []inputPort
+	outPorts []outputPort
+	inIndex  [topology.NumDirs]int8 // dir -> port index, -1 if absent
+	outIndex [topology.NumDirs]int8
+	Counters Counters
+
+	// Per-cycle switch occupancy, shared between the non-speculative
+	// switch allocator and speculative forwards issued during VA.
+	inBusy    []bool
+	outBusy   []bool
+	busyCycle int64
+	// reqScratch, eligibleOut and saRank are reusable per-cycle scratch
+	// vectors over flattened input-VC indices (pi*VCs + vi), avoiding
+	// allocation in the hot switch-allocation loop.
+	reqScratch  []bool
+	eligibleOut []int8
+	saRank      []int8
+}
+
+func newRouter(net *Network, id topology.NodeID) *Router {
+	r := &Router{id: id, net: net}
+	for i := range r.inIndex {
+		r.inIndex[i] = -1
+		r.outIndex[i] = -1
+	}
+	cfg := &net.cfg
+	for _, d := range cfg.Topo.Ports(id) {
+		// Output side.
+		op := outputPort{
+			dir:      d,
+			reserved: make([]bool, cfg.VCs),
+			credits:  make([]int, cfg.VCs),
+		}
+		if d != topology.Local {
+			l, ok := cfg.Topo.OutLink(id, d)
+			if !ok {
+				panic(fmt.Sprintf("noc: router %d missing link on port %v", id, d))
+			}
+			op.link = l
+			op.hasLink = true
+			for v := range op.credits {
+				op.credits[v] = cfg.BufDepth
+			}
+		}
+		r.outIndex[d] = int8(len(r.outPorts))
+		r.outPorts = append(r.outPorts, op)
+
+		// Input side (topologies are symmetric: every output direction
+		// has a matching input).
+		ip := inputPort{dir: d, vcs: make([]inputVC, cfg.VCs), upstream: -1}
+		for v := range ip.vcs {
+			ip.vcs[v].buf = make([]bufFlit, 0, cfg.BufDepth)
+		}
+		if d != topology.Local {
+			l, ok := cfg.Topo.OutLink(id, d)
+			if !ok {
+				panic(fmt.Sprintf("noc: router %d missing reverse link on port %v", id, d))
+			}
+			ip.upstream = l.Dst
+		}
+		r.inIndex[d] = int8(len(r.inPorts))
+		r.inPorts = append(r.inPorts, ip)
+	}
+	r.inBusy = make([]bool, len(r.inPorts))
+	r.outBusy = make([]bool, len(r.outPorts))
+	r.busyCycle = -1
+	nInVCs := len(r.inPorts) * cfg.VCs
+	r.reqScratch = make([]bool, nInVCs)
+	r.eligibleOut = make([]int8, nInVCs)
+	r.saRank = make([]int8, nInVCs)
+	for oi := range r.outPorts {
+		op := &r.outPorts[oi]
+		op.saArb = cfg.Arb.newArbiter(nInVCs)
+		op.vaArbs = make([]Arbiter, cfg.VCs)
+		for v := range op.vaArbs {
+			op.vaArbs[v] = cfg.Arb.newArbiter(nInVCs)
+		}
+	}
+	return r
+}
+
+// flatVC maps (input port, vc) to the flattened request index.
+func (r *Router) flatVC(pi, vi int) int { return pi*r.net.cfg.VCs + vi }
+
+// switchMasks returns the cycle's input/output occupancy masks, clearing
+// them on the first touch of a new cycle.
+func (r *Router) switchMasks(cycle int64) (in, out []bool) {
+	if r.busyCycle != cycle {
+		for i := range r.inBusy {
+			r.inBusy[i] = false
+		}
+		for i := range r.outBusy {
+			r.outBusy[i] = false
+		}
+		r.busyCycle = cycle
+	}
+	return r.inBusy, r.outBusy
+}
+
+// startHead prepares a VC whose front just became a head flit: with
+// look-ahead routing the output port is already known when the flit
+// arrives (it was computed at the upstream router), so the RC stage
+// disappears from the critical path.
+func (r *Router) startHead(vc *inputVC, cycle int64) {
+	if r.net.cfg.LookaheadRC {
+		r.routeHead(vc)
+		vc.state = vcWaitVC
+	} else {
+		vc.state = vcRouting
+	}
+	vc.readyAt = cycle + 1
+}
+
+// routeHead computes and stores the output direction for the head flit
+// at the front of vc.
+func (r *Router) routeHead(vc *inputVC) {
+	pkt := vc.front().flit.Pkt
+	if pkt.Dst == r.id {
+		vc.outDir = topology.Local
+	} else {
+		vc.outDir = r.net.cfg.Alg.NextPort(r.net.cfg.Topo, r.id, pkt.Dst)
+	}
+	if r.outIndex[vc.outDir] < 0 {
+		panic(fmt.Sprintf("noc: router %d routed to missing port %v", r.id, vc.outDir))
+	}
+	r.Counters.RCOps++
+}
+
+// layerFrac returns the fraction of datapath layers a flit keeps active.
+func (r *Router) layerFrac(f Flit) float64 {
+	L := r.net.cfg.Layers
+	al := int(f.ActiveLayers)
+	if al <= 0 || al > L {
+		al = L
+	}
+	return float64(al) / float64(L)
+}
+
+// acceptFlit writes an arriving flit into an input VC buffer. It panics
+// on buffer overflow, which would indicate a credit accounting bug.
+func (r *Router) acceptFlit(cycle int64, portIdx, vc int, f Flit) {
+	ip := &r.inPorts[portIdx]
+	ivc := &ip.vcs[vc]
+	if len(ivc.buf) >= r.net.cfg.BufDepth {
+		panic(fmt.Sprintf("noc: router %d port %v vc %d buffer overflow (credit bug)", r.id, ip.dir, vc))
+	}
+	ivc.buf = append(ivc.buf, bufFlit{flit: f, arrivedAt: cycle})
+	r.Counters.BufWrites++
+	r.Counters.WBufWrites += r.layerFrac(f)
+	if f.Type.IsHead() && len(ivc.buf) == 1 {
+		if ivc.state != vcIdle {
+			panic(fmt.Sprintf("noc: router %d port %v vc %d head arrives in state %v", r.id, ip.dir, vc, ivc.state))
+		}
+		r.startHead(ivc, cycle)
+	}
+}
+
+// stepRC performs route computation for head flits that reached the
+// front of their VC.
+func (r *Router) stepRC(cycle int64) {
+	for pi := range r.inPorts {
+		for vi := range r.inPorts[pi].vcs {
+			vc := &r.inPorts[pi].vcs[vi]
+			if vc.state != vcRouting || cycle < vc.readyAt {
+				continue
+			}
+			front := vc.front()
+			if front == nil || !front.flit.Type.IsHead() {
+				panic(fmt.Sprintf("noc: router %d RC on non-head", r.id))
+			}
+			r.routeHead(vc)
+			vc.state = vcWaitVC
+			vc.readyAt = cycle + 1
+		}
+	}
+}
+
+// vaCandidate reports whether output VC ov may be used by packet class c
+// under the configured policy.
+func (r *Router) vaCandidate(ov int, c Class) bool {
+	if r.net.cfg.Policy == ByClass {
+		return ov == int(c)
+	}
+	return true
+}
+
+// stepVA allocates free output VCs to waiting head flits. Each output
+// VC owns a PV:1 arbiter (the VA2 stage of §3.2.5); the first-stage VA1
+// output-VC selection collapses into the candidate filter because a
+// requester bids for every class-compatible free VC of its output port.
+func (r *Router) stepVA(cycle int64) {
+	any := false
+	for pi := range r.inPorts {
+		for vi := range r.inPorts[pi].vcs {
+			vc := &r.inPorts[pi].vcs[vi]
+			if vc.state == vcWaitVC && cycle >= vc.readyAt {
+				any = true
+				r.Counters.VAReqs++
+			}
+		}
+	}
+	if !any {
+		return
+	}
+	for oi := range r.outPorts {
+		op := &r.outPorts[oi]
+		for ov := 0; ov < r.net.cfg.VCs; ov++ {
+			if op.reserved[ov] {
+				continue
+			}
+			reqs := r.reqScratch
+			found := false
+			for pi := range r.inPorts {
+				for vi := range r.inPorts[pi].vcs {
+					vc := &r.inPorts[pi].vcs[vi]
+					ok := vc.state == vcWaitVC && cycle >= vc.readyAt &&
+						vc.outDir == op.dir &&
+						r.vaCandidate(ov, vc.front().flit.Pkt.Class)
+					reqs[r.flatVC(pi, vi)] = ok
+					found = found || ok
+				}
+			}
+			if !found {
+				continue
+			}
+			g := op.vaArbs[ov].Grant(reqs)
+			if g < 0 {
+				continue
+			}
+			pi, vi := g/r.net.cfg.VCs, g%r.net.cfg.VCs
+			vc := &r.inPorts[pi].vcs[vi]
+			op.reserved[ov] = true
+			vc.outVC = ov
+			vc.state = vcActive
+			vc.readyAt = cycle + 1
+			r.Counters.VAGrants++
+			if r.net.cfg.SpecSA {
+				r.trySpeculativeForward(cycle, pi, vi, oi)
+			}
+		}
+	}
+}
+
+// stepSA arbitrates the crossbar: at most one flit per output port and
+// one per input port each cycle. Winning flits traverse the switch (and
+// the link, when ST+LT are combined) and are scheduled into the next
+// router.
+func (r *Router) stepSA(cycle int64) {
+	// saEligible caches per-input-VC eligibility for this cycle;
+	// saRank holds the QoS tier: 0 = in-flight body/tail (always
+	// highest, so packets cannot be starved mid-stream), 1 = control
+	// head, 2 = data head. Without QoSPriority all flits rank 0.
+	nOut := len(r.outPorts)
+	eligibleOut, saRank := r.eligibleOut, r.saRank
+	any := false
+	for pi := range r.inPorts {
+		for vi := range r.inPorts[pi].vcs {
+			f := r.flatVC(pi, vi)
+			eligibleOut[f] = -1
+			vc := &r.inPorts[pi].vcs[vi]
+			if vc.state != vcActive || cycle < vc.readyAt {
+				continue
+			}
+			front := vc.front()
+			if front == nil || front.arrivedAt >= cycle {
+				continue
+			}
+			oi := r.outIndex[vc.outDir]
+			op := &r.outPorts[oi]
+			if op.hasLink && op.credits[vc.outVC] <= 0 {
+				continue // no downstream buffer space
+			}
+			eligibleOut[f] = oi
+			saRank[f] = 0
+			if r.net.cfg.QoSPriority && front.flit.Pkt.Class != Control {
+				// Data flits rank below control: in-flight body/tail
+				// at tier 1, new heads at tier 2. Ageing promotes a
+				// waiting flit one tier per 16 cycles so continuous
+				// control storms cannot starve data indefinitely.
+				rank := int8(1)
+				if front.flit.Type.IsHead() {
+					rank = 2
+				}
+				rank -= int8((cycle - front.arrivedAt) / 16)
+				if rank < 0 {
+					rank = 0
+				}
+				saRank[f] = rank
+			}
+			r.Counters.SAReqs++
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	inBusy, outBusy := r.switchMasks(cycle)
+	start := int(cycle) % nOut // rotate output priority
+	for k := 0; k < nOut; k++ {
+		oi := (start + k) % nOut
+		op := &r.outPorts[oi]
+		if outBusy[oi] {
+			continue
+		}
+		// Restrict candidates to the best QoS tier present.
+		best := int8(127)
+		for f := range r.reqScratch {
+			if eligibleOut[f] == int8(oi) && !inBusy[f/r.net.cfg.VCs] && saRank[f] < best {
+				best = saRank[f]
+			}
+		}
+		if best == 127 {
+			continue
+		}
+		reqs := r.reqScratch
+		for f := range reqs {
+			reqs[f] = eligibleOut[f] == int8(oi) && !inBusy[f/r.net.cfg.VCs] && saRank[f] == best
+		}
+		g := op.saArb.Grant(reqs)
+		if g < 0 {
+			continue
+		}
+		pi, vi := g/r.net.cfg.VCs, g%r.net.cfg.VCs
+		r.forward(cycle, pi, vi, oi)
+		inBusy[pi] = true
+		outBusy[oi] = true
+		r.Counters.SAGrants++
+	}
+}
+
+// trySpeculativeForward attempts to move a freshly VC-allocated head
+// flit through the crossbar in the same cycle as its VA grant
+// (speculative switch allocation, Figure 8 (b)). Non-speculative grants
+// made earlier this cycle keep their ports; speculation only uses
+// leftover switch slots.
+func (r *Router) trySpeculativeForward(cycle int64, pi, vi, oi int) {
+	inBusy, outBusy := r.switchMasks(cycle)
+	if inBusy[pi] || outBusy[oi] {
+		return
+	}
+	vc := &r.inPorts[pi].vcs[vi]
+	front := vc.front()
+	if front == nil || front.arrivedAt >= cycle {
+		return
+	}
+	op := &r.outPorts[oi]
+	if op.hasLink && op.credits[vc.outVC] <= 0 {
+		return
+	}
+	r.Counters.SAReqs++
+	r.Counters.SAGrants++
+	r.forward(cycle, pi, vi, oi)
+	inBusy[pi] = true
+	outBusy[oi] = true
+}
+
+// forward pops the front flit of input VC (pi, vi) and sends it through
+// output port oi.
+func (r *Router) forward(cycle int64, pi, vi, oi int) {
+	cfg := &r.net.cfg
+	ip := &r.inPorts[pi]
+	vc := &ip.vcs[vi]
+	op := &r.outPorts[oi]
+	bf := vc.buf[0]
+	copy(vc.buf, vc.buf[1:])
+	vc.buf = vc.buf[:len(vc.buf)-1]
+	f := bf.flit
+	frac := r.layerFrac(f)
+
+	r.Counters.BufReads++
+	r.Counters.WBufReads += frac
+	r.Counters.XbarFlits++
+	r.Counters.WXbarFlits += frac
+
+	// Credit back to the upstream router (the NI checks space directly).
+	if ip.upstream >= 0 {
+		r.net.schedule(cycle+1, event{kind: evCredit, router: ip.upstream, dir: ip.dir.Opposite(), vc: vi})
+	}
+
+	if f.Type.IsHead() && op.dir != topology.Local {
+		f.Pkt.Hops++
+	}
+
+	if op.dir == topology.Local {
+		// Ejection: ST (and wire to the NI) still takes the configured
+		// cycles; the sink always accepts.
+		r.net.schedule(cycle+int64(cfg.STLTCycles), event{kind: evEject, router: r.id, flit: f})
+	} else {
+		op.credits[vc.outVC]--
+		if op.credits[vc.outVC] < 0 {
+			panic(fmt.Sprintf("noc: router %d negative credits on %v vc %d", r.id, op.dir, vc.outVC))
+		}
+		r.Counters.LinkFlits++
+		r.Counters.WLinkFlits += frac
+		op.flitCount++
+		r.Counters.LinkMMFlits += op.link.LengthMM
+		r.Counters.WLinkMMFlits += op.link.LengthMM * frac
+		if op.dir.IsExpress() {
+			r.Counters.ExpFlits++
+		}
+		if op.dir.IsVertical() {
+			r.Counters.VertFlits++
+		}
+		r.net.schedule(cycle+int64(cfg.STLTCycles), event{
+			kind: evFlit, router: op.link.Dst, dir: op.dir.Opposite(), vc: vc.outVC, flit: f,
+		})
+	}
+
+	if f.Type.IsTail() {
+		op.reserved[vc.outVC] = false
+		if next := vc.front(); next != nil {
+			if !next.flit.Type.IsHead() {
+				panic(fmt.Sprintf("noc: router %d flit after tail is not a head", r.id))
+			}
+			r.startHead(vc, cycle)
+		} else {
+			vc.state = vcIdle
+		}
+	}
+}
+
+// creditReturn restores one credit for (dir, vc).
+func (r *Router) creditReturn(dir topology.Dir, vc int) {
+	oi := r.outIndex[dir]
+	if oi < 0 {
+		panic(fmt.Sprintf("noc: router %d credit for missing port %v", r.id, dir))
+	}
+	op := &r.outPorts[oi]
+	op.credits[vc]++
+	if op.credits[vc] > r.net.cfg.BufDepth {
+		panic(fmt.Sprintf("noc: router %d credit overflow on %v vc %d", r.id, dir, vc))
+	}
+}
+
+// occupancy returns the total buffered flits (for tests and saturation
+// diagnostics).
+func (r *Router) occupancy() int {
+	n := 0
+	for pi := range r.inPorts {
+		for vi := range r.inPorts[pi].vcs {
+			n += len(r.inPorts[pi].vcs[vi].buf)
+		}
+	}
+	return n
+}

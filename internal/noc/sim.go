@@ -1,0 +1,214 @@
+package noc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mira/internal/stats"
+)
+
+// Generator produces packets for injection. Implementations live in
+// internal/traffic and internal/cmp.
+type Generator interface {
+	// Generate returns the packets to enqueue at the given cycle. The
+	// rng is owned by the simulation and seeded from Config.Seed.
+	Generate(cycle int64, rng *rand.Rand) []Spec
+}
+
+// GeneratorFunc adapts a function to the Generator interface.
+type GeneratorFunc func(cycle int64, rng *rand.Rand) []Spec
+
+// Generate implements Generator.
+func (f GeneratorFunc) Generate(cycle int64, rng *rand.Rand) []Spec { return f(cycle, rng) }
+
+// SimParams controls a simulation run.
+type SimParams struct {
+	// Warmup cycles are simulated but not measured. Measure cycles
+	// follow; packets created during them are tagged and contribute to
+	// latency. DrainMax bounds the drain phase that lets measured
+	// packets complete.
+	Warmup   int64
+	Measure  int64
+	DrainMax int64
+}
+
+// DefaultSimParams returns the settings used throughout the experiments.
+func DefaultSimParams() SimParams {
+	return SimParams{Warmup: 10000, Measure: 20000, DrainMax: 30000}
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	Cycles        int64 // measurement window length
+	Generated     int64 // measured packets created
+	Ejected       int64 // measured packets delivered
+	AvgLatency    float64
+	P99Latency    int
+	AvgHops       float64
+	AvgQueueDelay float64 // creation -> injection
+	// ThroughputFPC is accepted flits per node per cycle during the
+	// measurement window.
+	ThroughputFPC float64
+	// Saturated is set when the network backlog (queued + in-flight
+	// flits) grew materially across the measurement window, i.e. the
+	// offered load exceeds the network's accepted throughput.
+	Saturated bool
+	// Stalled is set when the drain phase made no ejection progress for
+	// a long window while traffic remained — the signature of a
+	// protocol/routing deadlock rather than mere congestion. The engine
+	// itself is deadlock-free for the shipped configurations; this
+	// flags misuse (e.g. request-response traffic sharing one VC).
+	Stalled bool
+	// PerClass carries per-message-class latency and counts (control
+	// request packets vs data responses behave very differently in the
+	// bimodal NUCA traffic).
+	PerClass [NumClasses]ClassResult
+	// Counters holds the switching activity of the measurement window.
+	Counters Counters
+	// PerRouter holds per-router measurement-window counters for the
+	// thermal model.
+	PerRouter []Counters
+
+	latHist *stats.Histogram
+}
+
+// LatencyHistogram returns the measured packet-latency histogram (unit
+// bins in cycles), or nil for a zero Result.
+func (r *Result) LatencyHistogram() *stats.Histogram { return r.latHist }
+
+func (r *Result) String() string {
+	return fmt.Sprintf("lat=%.2f p99=%d hops=%.2f thr=%.4f sat=%v (%d/%d pkts)",
+		r.AvgLatency, r.P99Latency, r.AvgHops, r.ThroughputFPC, r.Saturated, r.Ejected, r.Generated)
+}
+
+// ClassResult is the per-message-class slice of a Result.
+type ClassResult struct {
+	Ejected    int64
+	AvgLatency float64
+	AvgHops    float64
+}
+
+// Sim couples a network with a traffic generator and measurement logic.
+type Sim struct {
+	Net    *Network
+	Gen    Generator
+	Params SimParams
+
+	rng *rand.Rand
+}
+
+// NewSim builds a simulation with the default parameters.
+func NewSim(net *Network, gen Generator) *Sim {
+	return &Sim{Net: net, Gen: gen, Params: DefaultSimParams()}
+}
+
+// Run executes warm-up, measurement and drain, returning the collected
+// metrics.
+func (s *Sim) Run() Result {
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(s.Net.cfg.Seed))
+	}
+	p := s.Params
+	res := Result{Cycles: p.Measure, latHist: stats.NewHistogram(4096)}
+	var latSum, hopSum, queueSum float64
+	var flitsEjected int64
+
+	measureStart := p.Warmup
+	measureEnd := p.Warmup + p.Measure
+
+	var classLat, classHops [NumClasses]float64
+	s.Net.SetEjectHandler(func(pkt *Packet) {
+		if !pkt.Measured {
+			return
+		}
+		res.Ejected++
+		lat := pkt.EjectedAt - pkt.CreatedAt
+		latSum += float64(lat)
+		hopSum += float64(pkt.Hops)
+		queueSum += float64(pkt.InjectedAt - pkt.CreatedAt)
+		res.latHist.Add(int(lat))
+		flitsEjected += int64(pkt.Size)
+		res.PerClass[pkt.Class].Ejected++
+		classLat[pkt.Class] += float64(lat)
+		classHops[pkt.Class] += float64(pkt.Hops)
+	})
+
+	backlog := func() int64 {
+		var queuedFlits int64
+		for i := range s.Net.nis {
+			for _, j := range s.Net.nis[i].queue {
+				queuedFlits += int64(j.pkt.Size)
+			}
+		}
+		return queuedFlits + s.Net.InFlightFlits()
+	}
+	var backlogStart int64
+
+	// Deadlock watchdog: during drain, a backlog that never shrinks
+	// across this many cycles means nothing can move.
+	const stallWindow = 5000
+	minBacklog := int64(-1)
+	var lastProgress int64
+
+	end := measureEnd + p.DrainMax
+	for cycle := int64(0); cycle < end; cycle++ {
+		if cycle == measureStart {
+			s.Net.ResetCounters()
+			backlogStart = backlog()
+		}
+		if cycle == measureEnd {
+			// Snapshot activity for the power model before draining.
+			res.Counters = s.Net.TotalCounters()
+			res.PerRouter = s.Net.RouterCounters()
+			// Saturation: the backlog grew by more than 0.5 % of the
+			// node-cycle product over the window.
+			growth := backlog() - backlogStart
+			res.Saturated = float64(growth) > 0.005*float64(p.Measure)*float64(s.Net.cfg.Topo.NumNodes())
+		}
+		if cycle < measureEnd {
+			for _, spec := range s.Gen.Generate(cycle, s.rng) {
+				pkt, err := s.Net.Enqueue(spec)
+				if err != nil {
+					panic(err) // generator bug
+				}
+				if cycle >= measureStart {
+					pkt.Measured = true
+					res.Generated++
+				}
+			}
+		} else if res.Ejected == res.Generated && s.Net.Idle() {
+			break
+		}
+		if cycle >= measureEnd {
+			if b := backlog(); minBacklog < 0 || b < minBacklog {
+				minBacklog = b
+				lastProgress = cycle
+			} else if cycle-lastProgress > stallWindow {
+				res.Stalled = true
+				break
+			}
+		}
+		s.Net.Step()
+	}
+
+	if res.Ejected > 0 {
+		res.AvgLatency = latSum / float64(res.Ejected)
+		res.AvgHops = hopSum / float64(res.Ejected)
+		res.AvgQueueDelay = queueSum / float64(res.Ejected)
+		res.P99Latency = res.latHist.Percentile(0.99)
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		if n := res.PerClass[c].Ejected; n > 0 {
+			res.PerClass[c].AvgLatency = classLat[c] / float64(n)
+			res.PerClass[c].AvgHops = classHops[c] / float64(n)
+		}
+	}
+	if p.Measure > 0 {
+		res.ThroughputFPC = float64(flitsEjected) / float64(p.Measure) / float64(s.Net.cfg.Topo.NumNodes())
+	}
+	if res.Ejected < res.Generated {
+		// Measured packets failed to drain: definitely past saturation.
+		res.Saturated = true
+	}
+	return res
+}

@@ -1,0 +1,173 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNiceTicks(t *testing.T) {
+	cases := []struct {
+		lo, hi float64
+	}{
+		{0, 1}, {0, 0.45}, {10, 50}, {0, 6000}, {0.05, 0.4}, {3, 3},
+	}
+	for _, c := range cases {
+		ticks := niceTicks(c.lo, c.hi)
+		if len(ticks) < 3 || len(ticks) > 10 {
+			t.Errorf("ticks(%v,%v) = %v: want 3-10 ticks", c.lo, c.hi, ticks)
+		}
+		for i := 1; i < len(ticks); i++ {
+			if ticks[i] <= ticks[i-1] {
+				t.Errorf("ticks(%v,%v) not increasing: %v", c.lo, c.hi, ticks)
+			}
+		}
+	}
+}
+
+func TestNiceTicksProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		if math.Abs(a) > 1e9 || math.Abs(b) > 1e9 {
+			return true
+		}
+		ticks := niceTicks(a, b)
+		return len(ticks) >= 2 && len(ticks) <= 12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{0: "0", 150: "150", 2.5: "2.5", 0.05: "0.05", 1: "1"}
+	for v, want := range cases {
+		if got := fmtTick(v); got != want {
+			t.Errorf("fmtTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func lineChart() *LineChart {
+	return &LineChart{
+		Title: "Latency vs load", XLabel: "rate", YLabel: "cycles",
+		Series: []Series{
+			{Name: "2DB", X: []float64{0.1, 0.2, 0.3}, Y: []float64{30, 33, 36}},
+			{Name: "3DM-E", X: []float64{0.1, 0.2, 0.3}, Y: []float64{19, 20, 21}},
+		},
+	}
+}
+
+func TestLineChartSVG(t *testing.T) {
+	svg, err := lineChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "</svg>", "polyline", "Latency vs load", "2DB", "3DM-E", "cycles"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+	if got := strings.Count(svg, "<circle"); got != 6 {
+		t.Errorf("markers = %d, want 6", got)
+	}
+}
+
+func TestLineChartErrors(t *testing.T) {
+	if _, err := (&LineChart{Title: "x"}).SVG(); err == nil {
+		t.Errorf("empty chart should error")
+	}
+	bad := &LineChart{Series: []Series{{Name: "a", X: []float64{1}, Y: []float64{1, 2}}}}
+	if _, err := bad.SVG(); err == nil {
+		t.Errorf("mismatched series should error")
+	}
+}
+
+func TestLineChartDeterministic(t *testing.T) {
+	a, err := lineChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := lineChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("SVG output not deterministic")
+	}
+}
+
+func barChart() *BarChart {
+	return &BarChart{
+		Title: "Normalized power", YLabel: "vs 2DB",
+		Groups: []string{"tpcw", "sjbb"},
+		Series: []BarSeries{
+			{Name: "3DM", Values: []float64{0.33, 0.36}},
+			{Name: "3DM-E", Values: []float64{0.33, 0.35}},
+		},
+	}
+}
+
+func TestBarChartSVG(t *testing.T) {
+	svg, err := barChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "tpcw", "sjbb", "3DM-E", "Normalized power"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// 2 groups x 2 series bars + 2 legend swatches + background.
+	if got := strings.Count(svg, "<rect"); got != 4+2+1 {
+		t.Errorf("rects = %d, want 7", got)
+	}
+}
+
+func TestBarChartErrors(t *testing.T) {
+	if _, err := (&BarChart{}).SVG(); err == nil {
+		t.Errorf("empty bar chart should error")
+	}
+	bad := &BarChart{Groups: []string{"a"}, Series: []BarSeries{{Name: "s", Values: []float64{1, 2}}}}
+	if _, err := bad.SVG(); err == nil {
+		t.Errorf("mismatched groups should error")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := &LineChart{
+		Title:  `a<b & "c"`,
+		Series: []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}}},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, `a<b`) {
+		t.Errorf("title not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b &amp; &quot;c&quot;") {
+		t.Errorf("escaped title missing")
+	}
+}
+
+func TestNegativeValuesBar(t *testing.T) {
+	c := &BarChart{
+		Title:  "deltas",
+		Groups: []string{"a"},
+		Series: []BarSeries{{Name: "s", Values: []float64{-2}}},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "<rect") {
+		t.Errorf("negative bar not drawn")
+	}
+}

@@ -1,0 +1,17 @@
+package power_test
+
+import (
+	"fmt"
+
+	"mira/internal/area"
+	"mira/internal/power"
+)
+
+func ExampleFlitHopEnergy() {
+	p2DB := area.Params{Ports: 5, VCs: 2, FlitWidth: 128, BufDepth: 8, Layers: 1}
+	p3DM := area.Params{Ports: 5, VCs: 2, FlitWidth: 128, BufDepth: 8, Layers: 4}
+	e2 := power.FlitHopEnergy(p2DB, 3.1)
+	e3 := power.FlitHopEnergy(p3DM, 1.58)
+	fmt.Printf("2DB %.1f pJ/flit/hop, 3DM %.1f pJ/flit/hop\n", e2.Total(), e3.Total())
+	// Output: 2DB 64.3 pJ/flit/hop, 3DM 34.7 pJ/flit/hop
+}

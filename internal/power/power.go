@@ -1,0 +1,166 @@
+// Package power is an Orion-style dynamic energy model for on-chip
+// routers (Wang et al., MICRO 2002), evaluated at the paper's 90 nm /
+// 1.0 V / 2 GHz design point. Every switching event costs 0.5*C*V^2 with
+// capacitances derived from the structure dimensions the area model
+// provides:
+//
+//   - buffer read/write: bit-line plus word-line charge per bit, the
+//     word-line shrinking with per-layer width when the buffer is split
+//     across layers (§3.2.1);
+//   - crossbar traversal: input + output wire of one matrix-crossbar
+//     line (length = per-layer crossbar side) plus the tri-state
+//     cross-point loading, per bit;
+//   - link traversal: repeated global wire capacitance per mm plus a
+//     fixed driver/receiver charge, per bit;
+//   - allocators: per-input gate energy per arbitration.
+//
+// Constants are chosen so the planar 2DB router reproduces the published
+// Orion breakdown (input buffers ~31 % of router dynamic energy, Wang et
+// al. [5]) and Figure 9's relative ordering (3DM < 3DM-E < 2DB < 3DB per
+// flit).
+package power
+
+import (
+	"fmt"
+
+	"mira/internal/area"
+	"mira/internal/noc"
+)
+
+// Technology constants (90 nm).
+const (
+	// VDD is the supply voltage.
+	VDD = 1.0
+	// XbarWireFFPerUM is crossbar wire capacitance per um.
+	XbarWireFFPerUM = 0.2
+	// XbarCrosspointFF is the tri-state buffer loading per cross-point
+	// on a crossbar line.
+	XbarCrosspointFF = 4.0
+	// LinkWireFFPerUM is repeated inter-router wire capacitance per um
+	// (includes repeater input/output caps).
+	LinkWireFFPerUM = 0.2
+	// LinkDriverFF is the fixed driver+receiver charge per bit per hop.
+	LinkDriverFF = 40.0
+	// BufBitlineFJ is the bit-line + cell energy per bit per access.
+	BufBitlineWriteFJ = 24.0
+	BufBitlineReadFJ  = 16.0
+	// BufWordlineFJ is the word-line energy per bit at full (unsplit)
+	// row width; it scales with the per-layer width when split.
+	BufWordlineWriteFJ = 6.0
+	BufWordlineReadFJ  = 4.0
+	// ArbInputFJ is the allocator energy per request input per
+	// arbitration.
+	ArbInputFJ = 30.0
+	// RCFJ is one route computation.
+	RCFJ = 200.0
+	// ClockGHz converts per-cycle energy to power.
+	ClockGHz = 2.0
+)
+
+// Energy holds per-event energies in pJ for one router design. Datapath
+// entries (buffer, crossbar, link) are per full-width flit; with layer
+// shutdown they scale by the flit's active-layer fraction.
+type Energy struct {
+	BufWritePJ  float64
+	BufReadPJ   float64
+	XbarPJ      float64
+	LinkPJPerMM float64 // per flit and mm of link
+	LinkFixedPJ float64 // per flit and hop (drivers)
+	SAOpPJ      float64 // per switch-allocator arbitration
+	VAOpPJ      float64 // per VC-allocator arbitration
+	RCOpPJ      float64 // per route computation
+}
+
+// Model derives per-event energies from a router design point.
+func Model(p area.Params) Energy {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	W := float64(p.FlitWidth)
+	P := float64(p.Ports)
+	side := area.XbarSideUM(p)
+	invLayers := 1.0 / float64(p.Layers)
+
+	e := Energy{}
+	half := 0.5 * VDD * VDD // fJ per fF of switched capacitance
+
+	// Buffers: the per-bit constants are energies (fJ); the word-line
+	// portion shrinks with the per-layer row width.
+	e.BufWritePJ = W * (BufBitlineWriteFJ + BufWordlineWriteFJ*invLayers) * 1e-3
+	e.BufReadPJ = W * (BufBitlineReadFJ + BufWordlineReadFJ*invLayers) * 1e-3
+
+	// Crossbar: a flit drives one input line and one output line per
+	// layer; summed over layers that is W bits each seeing wire of the
+	// per-layer side length plus P cross-points on each line.
+	e.XbarPJ = W * half * (2*XbarWireFFPerUM*side + 2*P*XbarCrosspointFF) * 1e-3
+
+	// Links.
+	e.LinkPJPerMM = W * half * LinkWireFFPerUM * 1000 * 1e-3
+	e.LinkFixedPJ = W * half * LinkDriverFF * 1e-3
+
+	// Allocators: switch requests arbitrate among P*V inputs; VC
+	// requests among P*V as well (the VA2 stage of §3.2.5).
+	e.SAOpPJ = float64(p.Ports*p.VCs) * ArbInputFJ * 1e-3
+	e.VAOpPJ = float64(p.Ports*p.VCs) * ArbInputFJ * 1e-3
+	e.RCOpPJ = RCFJ * 1e-3
+	return e
+}
+
+// FlitHop is the Figure 9 quantity: energy consumed by one full-width
+// flit traversing one router plus its outgoing link, broken down by
+// component (pJ).
+type FlitHop struct {
+	Buffer, Crossbar, Link, Allocators float64
+}
+
+// Total returns the summed per-hop flit energy.
+func (f FlitHop) Total() float64 { return f.Buffer + f.Crossbar + f.Link + f.Allocators }
+
+// FlitHopEnergy evaluates FlitHop for a design with the given average
+// link length (mm).
+func FlitHopEnergy(p area.Params, linkLenMM float64) FlitHop {
+	e := Model(p)
+	return FlitHop{
+		Buffer:     e.BufWritePJ + e.BufReadPJ,
+		Crossbar:   e.XbarPJ,
+		Link:       e.LinkPJPerMM*linkLenMM + e.LinkFixedPJ,
+		Allocators: e.SAOpPJ + e.VAOpPJ + e.RCOpPJ,
+	}
+}
+
+// Breakdown is total network energy by component over a measurement
+// window (pJ).
+type Breakdown struct {
+	Buffer, Crossbar, Link, Allocators float64
+}
+
+// Total returns the summed energy (pJ).
+func (b Breakdown) Total() float64 { return b.Buffer + b.Crossbar + b.Link + b.Allocators }
+
+// NetworkEnergy converts switching activity into energy. With shutdown
+// true the weighted (active-layer-scaled) counters drive the datapath
+// components, modeling the short-flit layer-shutdown technique; control
+// logic (allocators, RC) always runs at full width.
+func NetworkEnergy(e Energy, c noc.Counters, shutdown bool) Breakdown {
+	var b Breakdown
+	if shutdown {
+		b.Buffer = c.WBufWrites*e.BufWritePJ + c.WBufReads*e.BufReadPJ
+		b.Crossbar = c.WXbarFlits * e.XbarPJ
+		b.Link = c.WLinkMMFlits*e.LinkPJPerMM + c.WLinkFlits*e.LinkFixedPJ
+	} else {
+		b.Buffer = float64(c.BufWrites)*e.BufWritePJ + float64(c.BufReads)*e.BufReadPJ
+		b.Crossbar = float64(c.XbarFlits) * e.XbarPJ
+		b.Link = c.LinkMMFlits*e.LinkPJPerMM + float64(c.LinkFlits)*e.LinkFixedPJ
+	}
+	b.Allocators = float64(c.SAReqs)*e.SAOpPJ + float64(c.VAReqs)*e.VAOpPJ + float64(c.RCOps)*e.RCOpPJ
+	return b
+}
+
+// AvgPowerW converts a window's energy into average power in watts.
+func AvgPowerW(b Breakdown, cycles int64) float64 {
+	if cycles <= 0 {
+		panic(fmt.Sprintf("power: non-positive window %d", cycles))
+	}
+	seconds := float64(cycles) / (ClockGHz * 1e9)
+	return b.Total() * 1e-12 / seconds
+}

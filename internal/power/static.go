@@ -1,0 +1,51 @@
+package power
+
+import "math"
+
+// Static (leakage) power model. The paper's thermal discussion (§2.2)
+// notes that increased 3D temperatures raise leakage, which in turn
+// raises temperature — the classic leakage-thermal feedback loop. This
+// file provides a compact 90 nm subthreshold-leakage model: leakage
+// scales with silicon area and exponentially with temperature, with
+// constants normalized at a 358.15 K (85 C) junction reference.
+const (
+	// LeakageWPerMM2At85C is router-logic leakage power density at the
+	// reference temperature (90 nm high-performance process).
+	LeakageWPerMM2At85C = 0.05
+	// LeakageRefK is the reference junction temperature.
+	LeakageRefK = 358.15
+	// LeakageDoublingK is the temperature increase that doubles
+	// subthreshold leakage (~25-30 K at 90 nm).
+	LeakageDoublingK = 28.0
+)
+
+// StaticPowerW returns the leakage power of a block of the given silicon
+// area (um^2) at the given absolute temperature (K).
+func StaticPowerW(areaUM2, tempK float64) float64 {
+	areaMM2 := areaUM2 * 1e-6
+	return LeakageWPerMM2At85C * areaMM2 * math.Exp2((tempK-LeakageRefK)/LeakageDoublingK)
+}
+
+// LeakageFixedPoint iterates the leakage-thermal feedback: given a
+// block's dynamic power, its area, and a thermal resistance to ambient,
+// it solves P_leak = f(T), T = T_amb + R*(P_dyn + P_leak) by fixed-point
+// iteration. It returns the converged leakage power and temperature.
+// The iteration is a contraction whenever R * dP/dT < 1, which holds for
+// realistic router areas; it stops after maxIter otherwise.
+func LeakageFixedPoint(dynW, areaUM2, rKPerW, ambientK float64) (leakW, tempK float64) {
+	const (
+		maxIter = 100
+		epsW    = 1e-9
+	)
+	tempK = ambientK
+	for i := 0; i < maxIter; i++ {
+		next := StaticPowerW(areaUM2, tempK)
+		tempK = ambientK + rKPerW*(dynW+next)
+		if math.Abs(next-leakW) < epsW {
+			leakW = next
+			break
+		}
+		leakW = next
+	}
+	return leakW, tempK
+}

@@ -1,0 +1,66 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStaticPowerReference(t *testing.T) {
+	// 1 mm^2 at the reference temperature leaks exactly the reference
+	// density.
+	got := StaticPowerW(1e6, LeakageRefK)
+	if math.Abs(got-LeakageWPerMM2At85C) > 1e-12 {
+		t.Errorf("reference leakage = %v, want %v", got, LeakageWPerMM2At85C)
+	}
+}
+
+func TestStaticPowerDoubles(t *testing.T) {
+	base := StaticPowerW(1e6, LeakageRefK)
+	hot := StaticPowerW(1e6, LeakageRefK+LeakageDoublingK)
+	if math.Abs(hot/base-2) > 1e-9 {
+		t.Errorf("leakage should double per %v K: ratio %v", LeakageDoublingK, hot/base)
+	}
+}
+
+func TestStaticPowerScalesWithArea(t *testing.T) {
+	a := StaticPowerW(433628, 350) // 2DB router
+	b := StaticPowerW(2*433628, 350)
+	if math.Abs(b/a-2) > 1e-9 {
+		t.Errorf("leakage not linear in area")
+	}
+}
+
+func TestRouterLeakageSmallVsDynamic(t *testing.T) {
+	// A 2DB router (0.43 mm^2) at 85 C leaks ~22 mW — small against the
+	// ~100+ mW dynamic power at moderate load, as the dynamic-focused
+	// evaluation of the paper assumes.
+	leak := StaticPowerW(433628, LeakageRefK)
+	if leak < 0.01 || leak > 0.05 {
+		t.Errorf("2DB router leakage = %v W, want ~0.02", leak)
+	}
+}
+
+func TestLeakageFixedPointConverges(t *testing.T) {
+	leak, temp := LeakageFixedPoint(0.1, 433628, 5.0, 318.15)
+	if leak <= 0 || temp <= 318.15 {
+		t.Fatalf("fixed point degenerate: %v W, %v K", leak, temp)
+	}
+	// Self-consistency: T = amb + R*(dyn+leak) and leak = f(T).
+	wantT := 318.15 + 5.0*(0.1+leak)
+	if math.Abs(temp-wantT) > 0.01 {
+		t.Errorf("temperature inconsistent: %v vs %v", temp, wantT)
+	}
+	wantL := StaticPowerW(433628, temp)
+	if math.Abs(leak-wantL) > 1e-6 {
+		t.Errorf("leakage inconsistent: %v vs %v", leak, wantL)
+	}
+}
+
+func TestLeakageFeedbackMonotone(t *testing.T) {
+	// More dynamic power -> hotter -> strictly more leakage.
+	l1, t1 := LeakageFixedPoint(0.05, 433628, 5.0, 318.15)
+	l2, t2 := LeakageFixedPoint(0.50, 433628, 5.0, 318.15)
+	if l2 <= l1 || t2 <= t1 {
+		t.Errorf("feedback not monotone: (%v,%v) vs (%v,%v)", l1, t1, l2, t2)
+	}
+}

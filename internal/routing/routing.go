@@ -1,0 +1,165 @@
+// Package routing implements the deterministic dimension-ordered routing
+// used in the MIRA evaluation (§4: "X-Y deterministic routing algorithm
+// in all our experiments"), extended along the Z axis for the 3DB stack
+// and with express-channel awareness for 3DM-E.
+//
+// All algorithms are minimal and dimension-ordered (X fully, then Y, then
+// Z), so the channel dependency graph is acyclic and routing is
+// deadlock-free under wormhole flow control without escape VCs.
+package routing
+
+import (
+	"fmt"
+
+	"mira/internal/topology"
+)
+
+// Algorithm computes, per hop, the output port a packet should take.
+type Algorithm interface {
+	// Name identifies the algorithm in logs and experiment output.
+	Name() string
+	// NextPort returns the output direction at cur for a packet headed
+	// to dst. It returns topology.Local when cur == dst.
+	NextPort(t *topology.Topology, cur, dst topology.NodeID) topology.Dir
+}
+
+// XY is X-then-Y(-then-Z) dimension-ordered routing on meshes. On a 3D
+// mesh it is the natural X-Y-Z extension used for the 3DB configuration.
+type XY struct{}
+
+// Name implements Algorithm.
+func (XY) Name() string { return "xy" }
+
+// NextPort implements Algorithm.
+func (XY) NextPort(t *topology.Topology, cur, dst topology.NodeID) topology.Dir {
+	c, d := t.Node(cur).Coord, t.Node(dst).Coord
+	switch {
+	case c.X < d.X:
+		return topology.East
+	case c.X > d.X:
+		return topology.West
+	case c.Y < d.Y:
+		return topology.South
+	case c.Y > d.Y:
+		return topology.North
+	case c.Z < d.Z:
+		return topology.Up
+	case c.Z > d.Z:
+		return topology.Down
+	}
+	return topology.Local
+}
+
+// Express is dimension-ordered routing that prefers a multi-hop express
+// channel whenever the remaining distance in the current dimension is at
+// least the express span and the express link exists at the current node
+// (Dally's express-cube routing). Progress within each dimension is
+// monotone, so deadlock freedom is preserved.
+type Express struct{}
+
+// Name implements Algorithm.
+func (Express) Name() string { return "express" }
+
+// NextPort implements Algorithm.
+func (Express) NextPort(t *topology.Topology, cur, dst topology.NodeID) topology.Dir {
+	c, d := t.Node(cur).Coord, t.Node(dst).Coord
+	pick := func(normal, express topology.Dir, dist int) topology.Dir {
+		if l, ok := t.OutLink(cur, express); ok && dist >= l.Span {
+			return express
+		}
+		return normal
+	}
+	switch {
+	case c.X < d.X:
+		return pick(topology.East, topology.EastExp, d.X-c.X)
+	case c.X > d.X:
+		return pick(topology.West, topology.WestExp, c.X-d.X)
+	case c.Y < d.Y:
+		return pick(topology.South, topology.SouthExp, d.Y-c.Y)
+	case c.Y > d.Y:
+		return pick(topology.North, topology.NorthExp, c.Y-d.Y)
+	}
+	return topology.Local
+}
+
+// Path returns the sequence of output ports a packet takes from src to
+// dst under alg, excluding the final Local ejection. It returns an error
+// if the route does not make progress (a routing bug or a link missing
+// from the topology) within NumNodes hops.
+func Path(t *topology.Topology, alg Algorithm, src, dst topology.NodeID) ([]topology.Dir, error) {
+	var path []topology.Dir
+	cur := src
+	for cur != dst {
+		if len(path) > t.NumNodes() {
+			return nil, fmt.Errorf("routing: %s loops from %d to %d", alg.Name(), src, dst)
+		}
+		dir := alg.NextPort(t, cur, dst)
+		if dir == topology.Local {
+			return nil, fmt.Errorf("routing: %s ejects early at node %d en route %d->%d", alg.Name(), cur, src, dst)
+		}
+		l, ok := t.OutLink(cur, dir)
+		if !ok {
+			return nil, fmt.Errorf("routing: %s picked missing port %v at node %d en route %d->%d", alg.Name(), dir, cur, src, dst)
+		}
+		path = append(path, dir)
+		cur = l.Dst
+	}
+	return path, nil
+}
+
+// HopCount returns the number of router-to-router traversals from src to
+// dst under alg. Express hops count as one traversal: that is the whole
+// point of express channels (Figure 11 (d) counts hops this way).
+func HopCount(t *topology.Topology, alg Algorithm, src, dst topology.NodeID) (int, error) {
+	p, err := Path(t, alg, src, dst)
+	return len(p), err
+}
+
+// AverageHops returns the mean hop count over all ordered pairs drawn
+// from srcs x dsts, skipping src == dst pairs. With nil slices it uses
+// all nodes, giving the uniform-random average of Figure 11 (d).
+func AverageHops(t *topology.Topology, alg Algorithm, srcs, dsts []topology.NodeID) (float64, error) {
+	if srcs == nil {
+		srcs = allNodes(t)
+	}
+	if dsts == nil {
+		dsts = allNodes(t)
+	}
+	var total, pairs int
+	for _, s := range srcs {
+		for _, d := range dsts {
+			if s == d {
+				continue
+			}
+			h, err := HopCount(t, alg, s, d)
+			if err != nil {
+				return 0, err
+			}
+			total += h
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return 0, nil
+	}
+	return float64(total) / float64(pairs), nil
+}
+
+func allNodes(t *topology.Topology) []topology.NodeID {
+	ids := make([]topology.NodeID, t.NumNodes())
+	for i := range ids {
+		ids[i] = topology.NodeID(i)
+	}
+	return ids
+}
+
+// ForTopology returns the natural algorithm for a topology: Express when
+// it has express channels, XY otherwise.
+func ForTopology(t *topology.Topology) Algorithm {
+	for _, l := range t.Links() {
+		if l.SrcPort.IsExpress() {
+			return Express{}
+		}
+	}
+	return XY{}
+}

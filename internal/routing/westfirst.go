@@ -1,0 +1,141 @@
+package routing
+
+import (
+	"fmt"
+
+	"mira/internal/topology"
+)
+
+// West-first turn-model routing (Glass & Ni) with link-fault tolerance.
+// §3.3 of the MIRA paper notes that the extra physical channels of the
+// multi-layered design "can be used for purposes such as QoS
+// provisioning, for fault-tolerance, or for express channels"; this
+// algorithm is the fault-tolerance half. West-first forbids the two
+// turns into the west direction, which breaks every cycle in the
+// channel dependency graph, so any west-first path set is deadlock-free
+// — including the detours taken around faulty links.
+//
+// Routing rule on a planar mesh:
+//   - If the destination is to the west, the packet must travel the
+//     full west distance first (no turns out of west are restricted,
+//     but turns INTO west are forbidden later).
+//   - Otherwise the packet may route adaptively among {east, north,
+//     south} toward the destination, which is what allows it to slip
+//     around faulty links.
+
+// LinkFault identifies a unidirectional link by its source node and
+// output direction.
+type LinkFault struct {
+	Src topology.NodeID
+	Dir topology.Dir
+}
+
+// WestFirst is fault-tolerant west-first routing on a planar mesh.
+type WestFirst struct {
+	faults map[LinkFault]bool
+}
+
+// NewWestFirst builds the algorithm with the given faulty links (both
+// directions of a failed physical channel should normally be listed).
+// It returns an error when any node pair becomes unreachable under the
+// west-first turn rules with those faults.
+func NewWestFirst(t *topology.Topology, faults []LinkFault) (*WestFirst, error) {
+	if t.ZDim != 1 {
+		return nil, fmt.Errorf("routing: west-first requires a planar mesh")
+	}
+	w := &WestFirst{faults: make(map[LinkFault]bool, len(faults))}
+	for _, f := range faults {
+		if _, ok := t.OutLink(f.Src, f.Dir); !ok {
+			return nil, fmt.Errorf("routing: fault on non-existent link %d/%v", f.Src, f.Dir)
+		}
+		if f.Dir.IsExpress() {
+			return nil, fmt.Errorf("routing: west-first does not route express channels; fault %d/%v is moot", f.Src, f.Dir)
+		}
+		w.faults[LinkFault{f.Src, f.Dir}] = true
+	}
+	// Verify total reachability by walking every pair.
+	for _, src := range t.Nodes() {
+		for _, dst := range t.Nodes() {
+			if src.ID == dst.ID {
+				continue
+			}
+			if _, err := Path(t, w, src.ID, dst.ID); err != nil {
+				return nil, fmt.Errorf("routing: faults disconnect %d -> %d under west-first: %v", src.ID, dst.ID, err)
+			}
+		}
+	}
+	return w, nil
+}
+
+// Name implements Algorithm.
+func (w *WestFirst) Name() string { return "west-first" }
+
+// alive reports whether the link out of cur through d exists and is not
+// faulty.
+func (w *WestFirst) alive(t *topology.Topology, cur topology.NodeID, d topology.Dir) bool {
+	if w.faults[LinkFault{cur, d}] {
+		return false
+	}
+	_, ok := t.OutLink(cur, d)
+	return ok
+}
+
+// NextPort implements Algorithm. Among the admissible directions it
+// prefers productive ones (reducing distance), then falls back to a
+// non-productive east/north/south detour around faults; the west-first
+// turn rule keeps even those detours deadlock-free.
+func (w *WestFirst) NextPort(t *topology.Topology, cur, dst topology.NodeID) topology.Dir {
+	c, d := t.Node(cur).Coord, t.Node(dst).Coord
+	if c == d {
+		return topology.Local
+	}
+	// Westbound distance must be covered first and west links cannot be
+	// detoured (turning back into west is forbidden); a west fault on
+	// the needed path is fatal, which NewWestFirst screens for by
+	// walking all pairs.
+	if d.X < c.X {
+		if w.alive(t, cur, topology.West) {
+			return topology.West
+		}
+		// Detour north/south while still west of the destination is
+		// not allowed to return west, so reject at construction time.
+		return topology.Local
+	}
+	// Adaptive phase: prefer productive directions.
+	var productive []topology.Dir
+	if d.X > c.X {
+		productive = append(productive, topology.East)
+	}
+	if d.Y > c.Y {
+		productive = append(productive, topology.South)
+	}
+	if d.Y < c.Y {
+		productive = append(productive, topology.North)
+	}
+	for _, dir := range productive {
+		if w.alive(t, cur, dir) {
+			return dir
+		}
+	}
+	// No productive live link: detour vertically (never east — when
+	// dX == 0 an east detour would overshoot and require a forbidden
+	// later turn into west; when dX > 0 east was already productive).
+	// Deadlock freedom survives non-minimal vertical detours: routing
+	// is memoryless, so a 180-degree reversal would revisit a node,
+	// repeat its decision, loop, and be rejected by the construction-
+	// time walk — accepted fault sets therefore yield reversal-free,
+	// into-west-free paths, which Glass & Ni's argument proves
+	// deadlock-free.
+	for _, dir := range []topology.Dir{topology.South, topology.North} {
+		alreadyTried := false
+		for _, p := range productive {
+			if p == dir {
+				alreadyTried = true
+			}
+		}
+		if !alreadyTried && w.alive(t, cur, dir) {
+			return dir
+		}
+	}
+	return topology.Local // construction-time walk rejects this state
+}

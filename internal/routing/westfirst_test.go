@@ -1,0 +1,139 @@
+package routing
+
+import (
+	"testing"
+
+	"mira/internal/topology"
+)
+
+func TestWestFirstNoFaultsMatchesManhattan(t *testing.T) {
+	m := mesh6()
+	w, err := NewWestFirst(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range m.Nodes() {
+		for _, b := range m.Nodes() {
+			h, err := HopCount(m, w, a.ID, b.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			man := abs(a.Coord.X-b.Coord.X) + abs(a.Coord.Y-b.Coord.Y)
+			if h != man {
+				t.Fatalf("west-first %d->%d hops %d, want %d (minimal)", a.ID, b.ID, h, man)
+			}
+		}
+	}
+}
+
+func TestWestFirstRoutesAroundFault(t *testing.T) {
+	m := mesh6()
+	// Kill the east link out of (1,2); traffic from (1,2) to (4,2)
+	// must detour vertically around it. (Only the east direction can
+	// fail under west-first: a west fault is never routable, which
+	// TestWestFirstRejectsWestFault pins down.)
+	src := m.MustNodeAt(topology.Coord{X: 1, Y: 2}).ID
+	faults := []LinkFault{{Src: src, Dir: topology.East}}
+	w, err := NewWestFirst(m, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := m.MustNodeAt(topology.Coord{X: 4, Y: 2}).ID
+	path, err := Path(m, w, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fault forces a first hop that is not east.
+	if path[0] == topology.East {
+		t.Fatalf("path starts on the faulty link: %v", path)
+	}
+	// The detour stays minimal only when a productive alternative
+	// exists; from (1,2) to (4,2) the Y distance is 0, so the detour
+	// is rejected... unless construction failed. Since it did not, the
+	// route must still complete.
+	if got := m.Node(pathEnd(m, src, path)).Coord; got != m.Node(dst).Coord {
+		t.Fatalf("path does not reach destination")
+	}
+}
+
+func TestWestFirstRejectsDisconnectingFaults(t *testing.T) {
+	m := mesh6()
+	// Corner (0,0): killing both outgoing links isolates it.
+	c := m.MustNodeAt(topology.Coord{}).ID
+	faults := []LinkFault{
+		{Src: c, Dir: topology.East},
+		{Src: c, Dir: topology.South},
+	}
+	if _, err := NewWestFirst(m, faults); err == nil {
+		t.Fatalf("isolating faults should be rejected")
+	}
+}
+
+func TestWestFirstRejectsWestFault(t *testing.T) {
+	m := mesh6()
+	// A west link fault cannot be detoured (turns into west are
+	// forbidden), so any pair needing it becomes unreachable.
+	src := m.MustNodeAt(topology.Coord{X: 3, Y: 3}).ID
+	if _, err := NewWestFirst(m, []LinkFault{{Src: src, Dir: topology.West}}); err == nil {
+		t.Fatalf("west-link fault should be rejected (unroutable under west-first)")
+	}
+}
+
+func TestWestFirstValidation(t *testing.T) {
+	m := mesh6()
+	if _, err := NewWestFirst(m, []LinkFault{{Src: 0, Dir: topology.West}}); err == nil {
+		t.Errorf("fault on non-existent link should be rejected")
+	}
+	m3 := mesh334()
+	if _, err := NewWestFirst(m3, nil); err == nil {
+		t.Errorf("3D mesh should be rejected")
+	}
+	me := expressM()
+	if _, err := NewWestFirst(me, []LinkFault{{Src: 0, Dir: topology.EastExp}}); err == nil {
+		t.Errorf("express-link fault should be rejected")
+	}
+}
+
+// West-first never takes a turn into the west direction (the invariant
+// behind its deadlock freedom), fault or no fault.
+func TestWestFirstTurnRule(t *testing.T) {
+	m := mesh6()
+	// A one-way east fault (west faults are never routable under
+	// west-first, so symmetric channel failures are rejected).
+	mid := m.MustNodeAt(topology.Coord{X: 2, Y: 2}).ID
+	w, err := NewWestFirst(m, []LinkFault{{Src: mid, Dir: topology.East}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range m.Nodes() {
+		for _, b := range m.Nodes() {
+			path, err := Path(m, w, a.ID, b.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seenNonWest := false
+			for _, d := range path {
+				if d == topology.West {
+					if seenNonWest {
+						t.Fatalf("turn into west in %d->%d: %v", a.ID, b.ID, path)
+					}
+				} else {
+					seenNonWest = true
+				}
+			}
+		}
+	}
+}
+
+// pathEnd walks a path from src and returns the final node.
+func pathEnd(m *topology.Topology, src topology.NodeID, path []topology.Dir) topology.NodeID {
+	cur := src
+	for _, d := range path {
+		l, ok := m.OutLink(cur, d)
+		if !ok {
+			return -1
+		}
+		cur = l.Dst
+	}
+	return cur
+}

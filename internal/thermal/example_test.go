@@ -1,0 +1,23 @@
+package thermal_test
+
+import (
+	"fmt"
+
+	"mira/internal/thermal"
+)
+
+func ExampleGrid_Solve() {
+	// A 2x2x2 stack with one hot block in the bottom layer (far from
+	// the heat sink).
+	g := thermal.NewGrid(2, 2, 2, 3.1)
+	p := make([]float64, g.NumBlocks())
+	p[g.Index(0, 0, 0)] = 2.0 // watts
+	t := g.Solve(p)
+	hot := t[g.Index(0, 0, 0)]
+	above := t[g.Index(0, 0, 1)]
+	fmt.Printf("hot block rises more than the block above it: %v\n", hot > above)
+	fmt.Printf("everything is warmer than ambient: %v\n", thermal.Max(t) > 0 && t[g.Index(1, 1, 1)] > 0)
+	// Output:
+	// hot block rises more than the block above it: true
+	// everything is warmer than ambient: true
+}

@@ -1,0 +1,153 @@
+// Package thermal is a steady-state compact thermal model in the style
+// of HotSpot (Skadron et al., ISCA 2003), which the paper uses for its
+// temperature analysis (§4.2.3). The chip is a 3D grid of silicon
+// blocks; each block receives a power input and exchanges heat laterally
+// with in-layer neighbours, vertically with the layers above and below,
+// and — from the layer adjacent to the heat sink — with the ambient
+// through the sink's convection resistance. The resulting linear
+// resistance network is solved by Gauss–Seidel iteration.
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Physical constants of the package model (90 nm-era stack).
+const (
+	// SiliconWPerMK is bulk silicon thermal conductivity.
+	SiliconWPerMK = 150.0
+	// LayerThicknessMM is a thinned, stacked die (~100 um).
+	LayerThicknessMM = 0.1
+	// SinkRKM2PerW is the heat-sink + spreader resistance per unit
+	// area (K*m^2/W): a 0.4 K/W sink under a ~350 mm^2 die.
+	SinkRKM2PerW = 1.4e-4
+	// AmbientK is the reference ambient (45 C, a loaded-case assumption
+	// typical of HotSpot studies).
+	AmbientK = 318.15
+)
+
+// Grid is a chip thermal model. Layer index Layers-1 is adjacent to the
+// heat sink (the "top" layer where MIRA places CPUs and hot router
+// logic); layer 0 is the furthest from the sink.
+type Grid struct {
+	X, Y, Layers int
+	// BlockEdgeMM is the (square) block footprint edge.
+	BlockEdgeMM float64
+
+	rLat  float64 // block-to-block lateral resistance (K/W)
+	rVert float64 // layer-to-layer vertical resistance (K/W)
+	rSink float64 // top-block-to-ambient resistance (K/W)
+}
+
+// NewGrid builds a thermal grid for an x*y*layers block floorplan.
+func NewGrid(x, y, layers int, blockEdgeMM float64) *Grid {
+	if x < 1 || y < 1 || layers < 1 || blockEdgeMM <= 0 {
+		panic(fmt.Sprintf("thermal: invalid grid %dx%dx%d edge %v", x, y, layers, blockEdgeMM))
+	}
+	edgeM := blockEdgeMM * 1e-3
+	thickM := LayerThicknessMM * 1e-3
+	areaM2 := edgeM * edgeM
+	g := &Grid{X: x, Y: y, Layers: layers, BlockEdgeMM: blockEdgeMM}
+	// Lateral conduction: length edge, cross-section edge*thickness.
+	g.rLat = edgeM / (SiliconWPerMK * edgeM * thickM)
+	// Vertical conduction through the die.
+	g.rVert = thickM / (SiliconWPerMK * areaM2)
+	// Sink convection per block.
+	g.rSink = SinkRKM2PerW / areaM2
+	return g
+}
+
+// NumBlocks returns the block count; power and temperature vectors use
+// index z*X*Y + y*X + x.
+func (g *Grid) NumBlocks() int { return g.X * g.Y * g.Layers }
+
+// Index returns the vector index of block (x, y, z).
+func (g *Grid) Index(x, y, z int) int { return z*g.X*g.Y + y*g.X + x }
+
+// Solve returns the steady-state temperature rise above ambient (K) for
+// the given per-block power map (W). It panics if the power vector has
+// the wrong length.
+func (g *Grid) Solve(powerW []float64) []float64 {
+	if len(powerW) != g.NumBlocks() {
+		panic(fmt.Sprintf("thermal: power vector %d, want %d", len(powerW), g.NumBlocks()))
+	}
+	t := make([]float64, g.NumBlocks())
+	const (
+		maxIter = 200000
+		epsK    = 1e-7
+	)
+	gLat, gVert, gSink := 1/g.rLat, 1/g.rVert, 1/g.rSink
+	for iter := 0; iter < maxIter; iter++ {
+		var maxDelta float64
+		for z := 0; z < g.Layers; z++ {
+			for y := 0; y < g.Y; y++ {
+				for x := 0; x < g.X; x++ {
+					i := g.Index(x, y, z)
+					num := powerW[i]
+					den := 0.0
+					if x > 0 {
+						num += t[g.Index(x-1, y, z)] * gLat
+						den += gLat
+					}
+					if x+1 < g.X {
+						num += t[g.Index(x+1, y, z)] * gLat
+						den += gLat
+					}
+					if y > 0 {
+						num += t[g.Index(x, y-1, z)] * gLat
+						den += gLat
+					}
+					if y+1 < g.Y {
+						num += t[g.Index(x, y+1, z)] * gLat
+						den += gLat
+					}
+					if z > 0 {
+						num += t[g.Index(x, y, z-1)] * gVert
+						den += gVert
+					}
+					if z+1 < g.Layers {
+						num += t[g.Index(x, y, z+1)] * gVert
+						den += gVert
+					}
+					if z == g.Layers-1 {
+						// Ambient is the zero reference.
+						den += gSink
+					}
+					next := num / den
+					if d := math.Abs(next - t[i]); d > maxDelta {
+						maxDelta = d
+					}
+					t[i] = next
+				}
+			}
+		}
+		if maxDelta < epsK {
+			break
+		}
+	}
+	return t
+}
+
+// Average returns the mean of a temperature vector.
+func Average(t []float64) float64 {
+	if len(t) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range t {
+		sum += v
+	}
+	return sum / float64(len(t))
+}
+
+// Max returns the hottest block's temperature rise.
+func Max(t []float64) float64 {
+	m := 0.0
+	for _, v := range t {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,183 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZeroPower(t *testing.T) {
+	g := NewGrid(3, 3, 2, 1.58)
+	temps := g.Solve(make([]float64, g.NumBlocks()))
+	for i, v := range temps {
+		if v != 0 {
+			t.Fatalf("block %d = %v K with zero power", i, v)
+		}
+	}
+}
+
+func TestAllTemperaturesPositive(t *testing.T) {
+	g := NewGrid(6, 6, 4, 1.58)
+	p := make([]float64, g.NumBlocks())
+	for i := range p {
+		p[i] = 0.1
+	}
+	for i, v := range g.Solve(p) {
+		if v <= 0 {
+			t.Fatalf("block %d = %v K, want positive rise", i, v)
+		}
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	// In steady state all injected power leaves through the sink:
+	// sum(T_top / rSink) == sum(P).
+	g := NewGrid(4, 4, 3, 2.0)
+	p := make([]float64, g.NumBlocks())
+	var total float64
+	for i := range p {
+		p[i] = 0.05 * float64(i%7)
+		total += p[i]
+	}
+	temps := g.Solve(p)
+	var out float64
+	top := g.Layers - 1
+	for y := 0; y < g.Y; y++ {
+		for x := 0; x < g.X; x++ {
+			out += temps[g.Index(x, y, top)] / g.rSink
+		}
+	}
+	if math.Abs(out-total) > 0.01*total {
+		t.Errorf("sink heat flow %.4f W != injected %.4f W", out, total)
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	// The network is linear: T(a+b) = T(a) + T(b).
+	g := NewGrid(3, 3, 4, 1.58)
+	a := make([]float64, g.NumBlocks())
+	b := make([]float64, g.NumBlocks())
+	ab := make([]float64, g.NumBlocks())
+	for i := range a {
+		a[i] = float64(i%3) * 0.1
+		b[i] = float64(i%5) * 0.05
+		ab[i] = a[i] + b[i]
+	}
+	ta, tb, tab := g.Solve(a), g.Solve(b), g.Solve(ab)
+	for i := range ta {
+		if math.Abs(ta[i]+tb[i]-tab[i]) > 1e-3 {
+			t.Fatalf("superposition violated at %d: %v + %v != %v", i, ta[i], tb[i], tab[i])
+		}
+	}
+}
+
+func TestMonotonicInPower(t *testing.T) {
+	g := NewGrid(6, 6, 4, 1.58)
+	lo := make([]float64, g.NumBlocks())
+	hi := make([]float64, g.NumBlocks())
+	for i := range lo {
+		lo[i] = 0.05
+		hi[i] = 0.08
+	}
+	tl, th := g.Solve(lo), g.Solve(hi)
+	if Average(th) <= Average(tl) {
+		t.Errorf("more power should be hotter: %v vs %v", Average(th), Average(tl))
+	}
+	if Max(th) <= Max(tl) {
+		t.Errorf("max should grow with power")
+	}
+}
+
+func TestHeatSinkGradient(t *testing.T) {
+	// With uniform power, layers farther from the sink run hotter: this
+	// is why MIRA pins CPUs and hot router logic to the top layer.
+	g := NewGrid(3, 3, 4, 3.1)
+	p := make([]float64, g.NumBlocks())
+	for i := range p {
+		p[i] = 0.5
+	}
+	temps := g.Solve(p)
+	for z := 1; z < g.Layers; z++ {
+		lower := temps[g.Index(1, 1, z-1)]
+		upper := temps[g.Index(1, 1, z)]
+		if upper >= lower {
+			t.Errorf("layer %d (%.3f K) should be cooler than layer %d (%.3f K)", z, upper, z-1, lower)
+		}
+	}
+}
+
+func TestHotspotSpreads(t *testing.T) {
+	// A single hot block heats its neighbours less than itself.
+	g := NewGrid(5, 5, 1, 3.1)
+	p := make([]float64, g.NumBlocks())
+	p[g.Index(2, 2, 0)] = 2
+	temps := g.Solve(p)
+	centre := temps[g.Index(2, 2, 0)]
+	edge := temps[g.Index(0, 0, 0)]
+	if centre <= edge {
+		t.Errorf("hotspot %.3f K should exceed corner %.3f K", centre, edge)
+	}
+	if edge <= 0 {
+		t.Errorf("heat should spread to the corner")
+	}
+}
+
+func TestRealisticCMPDeltas(t *testing.T) {
+	// 8 CPUs at 8 W + caches at 0.1 W (paper's §4.2.3 numbers) spread
+	// over a 4-layer 3DM stack: reducing router power by a few hundred
+	// mW should move average temperature by order 0.1-2 K, matching the
+	// magnitude of Figure 13 (c).
+	g := NewGrid(6, 6, 4, 1.58)
+	base := make([]float64, g.NumBlocks())
+	perLayerCPU := 8.0 / 4
+	perLayerCache := 0.1 / 4
+	for z := 0; z < 4; z++ {
+		for y := 0; y < 6; y++ {
+			for x := 0; x < 6; x++ {
+				if (y == 2 || y == 3) && x >= 1 && x <= 4 {
+					base[g.Index(x, y, z)] = perLayerCPU
+				} else {
+					base[g.Index(x, y, z)] = perLayerCache
+				}
+			}
+		}
+	}
+	saved := make([]float64, len(base))
+	copy(saved, base)
+	// Router power drops by 10 mW per node per layer with shutdown.
+	for i := range saved {
+		saved[i] -= 0.01
+	}
+	d := Average(g.Solve(base)) - Average(g.Solve(saved))
+	if d <= 0.05 || d > 5 {
+		t.Errorf("average temperature delta = %.3f K, want order 0.1-2 K", d)
+	}
+}
+
+func TestSolvePanicsOnBadLength(t *testing.T) {
+	g := NewGrid(2, 2, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("bad power vector length should panic")
+		}
+	}()
+	g.Solve(make([]float64, 3))
+}
+
+func TestNewGridPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("invalid dims should panic")
+		}
+	}()
+	NewGrid(0, 1, 1, 1)
+}
+
+func TestAverageMaxHelpers(t *testing.T) {
+	if Average(nil) != 0 || Max(nil) != 0 {
+		t.Errorf("empty helpers should be 0")
+	}
+	v := []float64{1, 3, 2}
+	if Average(v) != 2 || Max(v) != 3 {
+		t.Errorf("Average/Max wrong: %v %v", Average(v), Max(v))
+	}
+}

@@ -1,0 +1,80 @@
+// Package timing models router stage delays for the pipeline-combination
+// analysis of §3.4.1 (Tables 2 and 3): whether the switch-traversal (ST)
+// and link-traversal (LT) stages fit together in one 500 ps cycle of a
+// 2 GHz router.
+//
+// Links use optimally repeated (buffered) wires, giving a delay linear
+// in length; the rate constant reproduces the paper's 3.1 mm / 309.48 ps
+// design point. Crossbar delay is fixed logic plus an RC wire term,
+// fitted exactly through the paper's three synthesized design points
+// (480 um -> 378.57 ps, 120 um -> 142.86 ps, 216 um -> 182.85 ps).
+package timing
+
+// Design constants from Table 2 and the 2 GHz clock target.
+const (
+	// ClockGHz is the router/core clock of the evaluation.
+	ClockGHz = 2.0
+	// StageBudgetPS is the maximum per-stage delay (one cycle at 2 GHz).
+	StageBudgetPS = 500.0
+	// UnbufferedLinkPSPerMM is the raw wire delay of Table 2 (254 ps/mm,
+	// before optimal repeater insertion).
+	UnbufferedLinkPSPerMM = 254.0
+	// InverterDelayPS is the HSPICE FO4-style inverter delay (Table 2).
+	InverterDelayPS = 9.81
+	// BufferedLinkPSPerMM is the repeated-wire delay rate implied by
+	// Table 3's 2DB row: 309.48 ps over 3.1 mm.
+	BufferedLinkPSPerMM = 309.48 / 3.1
+)
+
+// Crossbar delay fit t(L) = a + b*L + c*L^2 (L: per-layer crossbar side
+// in um). The quadratic term is unrepeated RC wire; the constant is
+// arbiter-to-output logic.
+const (
+	xbarLogicPS  = 116.2575
+	xbarLinPSUM  = 0.1133861
+	xbarQuadPSUM = 0.00090226
+)
+
+// LinkDelayPS returns the buffered inter-router link delay for a length
+// in mm.
+func LinkDelayPS(lengthMM float64) float64 {
+	return BufferedLinkPSPerMM * lengthMM
+}
+
+// CrossbarDelayPS returns the switch-traversal delay for a crossbar of
+// the given per-layer side length in um.
+func CrossbarDelayPS(sideUM float64) float64 {
+	return xbarLogicPS + xbarLinPSUM*sideUM + xbarQuadPSUM*sideUM*sideUM
+}
+
+// StageDelays is one row of Table 3.
+type StageDelays struct {
+	XbarPS     float64
+	LinkPS     float64
+	CombinedPS float64
+	// Combinable reports whether ST and LT fit in one cycle, enabling
+	// the shorter 3DM pipeline of Figure 8 (d).
+	Combinable bool
+}
+
+// Evaluate computes the ST+LT combination feasibility for a design with
+// the given per-layer crossbar side (um) and link length (mm).
+func Evaluate(xbarSideUM, linkLenMM float64) StageDelays {
+	d := StageDelays{
+		XbarPS: CrossbarDelayPS(xbarSideUM),
+		LinkPS: LinkDelayPS(linkLenMM),
+	}
+	d.CombinedPS = d.XbarPS + d.LinkPS
+	d.Combinable = d.CombinedPS <= StageBudgetPS
+	return d
+}
+
+// STLTCycles returns the pipeline cycles to charge from switch
+// allocation to the downstream buffer write: 1 when ST and LT combine,
+// otherwise 2. This feeds noc.Config.STLTCycles.
+func STLTCycles(xbarSideUM, linkLenMM float64) int {
+	if Evaluate(xbarSideUM, linkLenMM).Combinable {
+		return 1
+	}
+	return 2
+}

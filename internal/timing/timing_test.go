@@ -1,0 +1,110 @@
+package timing
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.3f, want %.3f", name, got, want)
+	}
+}
+
+// TestTable3 pins the model to the paper's delay validation numbers.
+func TestTable3(t *testing.T) {
+	// 2DB: 480 um crossbar, 3.1 mm link -> 378.57 + 309.48 = 688.05, no.
+	d2 := Evaluate(480, 3.1)
+	approx(t, "2DB xbar", d2.XbarPS, 378.57, 0.05)
+	approx(t, "2DB link", d2.LinkPS, 309.48, 0.05)
+	approx(t, "2DB combined", d2.CombinedPS, 688.05, 0.1)
+	if d2.Combinable {
+		t.Errorf("2DB must not combine ST and LT (688 ps > 500 ps)")
+	}
+
+	// 3DM: 120 um crossbar, half-pitch link -> combinable.
+	dm := Evaluate(120, 1.58)
+	approx(t, "3DM xbar", dm.XbarPS, 142.86, 0.05)
+	// The paper tabulates 154.74 ps (computed at exactly half of
+	// 3.1 mm); at the stated 1.58 mm pitch the model gives 157.7 ps.
+	approx(t, "3DM link", dm.LinkPS, 157.74, 1.0)
+	if !dm.Combinable {
+		t.Errorf("3DM must combine ST and LT")
+	}
+
+	// 3DM-E: 216 um crossbar; the express link spans two 1.58 mm hops.
+	de := Evaluate(216, 3.16)
+	approx(t, "3DM-E xbar", de.XbarPS, 182.85, 0.05)
+	approx(t, "3DM-E combined", de.CombinedPS, 182.85+315.47, 1.0)
+	if !de.Combinable {
+		t.Errorf("3DM-E must combine ST and LT (~498 ps <= 500 ps)")
+	}
+}
+
+func TestTable3_3DBNotCombinable(t *testing.T) {
+	// 3DB keeps the 2DB link pitch with a larger (672 um) crossbar.
+	d := Evaluate(672, 3.1)
+	if d.Combinable {
+		t.Errorf("3DB must not combine: %.1f ps", d.CombinedPS)
+	}
+	if d.XbarPS <= 378.57 {
+		t.Errorf("7-port crossbar should be slower than 5-port: %.2f", d.XbarPS)
+	}
+}
+
+func TestSTLTCycles(t *testing.T) {
+	if c := STLTCycles(480, 3.1); c != 2 {
+		t.Errorf("2DB STLT cycles = %d, want 2", c)
+	}
+	if c := STLTCycles(120, 1.58); c != 1 {
+		t.Errorf("3DM STLT cycles = %d, want 1", c)
+	}
+	if c := STLTCycles(216, 3.16); c != 1 {
+		t.Errorf("3DM-E STLT cycles = %d, want 1", c)
+	}
+	if c := STLTCycles(672, 3.1); c != 2 {
+		t.Errorf("3DB STLT cycles = %d, want 2", c)
+	}
+}
+
+func TestLinkDelayLinear(t *testing.T) {
+	if d := LinkDelayPS(0); d != 0 {
+		t.Errorf("zero-length link delay = %v", d)
+	}
+	if d1, d2 := LinkDelayPS(1), LinkDelayPS(2); math.Abs(d2-2*d1) > 1e-9 {
+		t.Errorf("link delay not linear: %v, %v", d1, d2)
+	}
+	// Buffered wire must beat the unbuffered rate.
+	if BufferedLinkPSPerMM >= UnbufferedLinkPSPerMM {
+		t.Errorf("buffered rate %v should be below unbuffered %v",
+			BufferedLinkPSPerMM, UnbufferedLinkPSPerMM)
+	}
+}
+
+func TestCrossbarDelayMonotone(t *testing.T) {
+	prev := 0.0
+	for side := 50.0; side <= 1000; side += 50 {
+		d := CrossbarDelayPS(side)
+		if d <= prev {
+			t.Errorf("crossbar delay not monotone at %v um", side)
+		}
+		prev = d
+	}
+}
+
+func TestCrossbarQuadraticDominatesLong(t *testing.T) {
+	// Unrepeated crossbar wire: doubling a long side should more than
+	// double the wire delay portion.
+	short := CrossbarDelayPS(480) - xbarLogicPS
+	long := CrossbarDelayPS(960) - xbarLogicPS
+	if long <= 2*short {
+		t.Errorf("quadratic wire term missing: %v vs %v", long, short)
+	}
+}
+
+func TestStageBudgetMatchesClock(t *testing.T) {
+	if StageBudgetPS != 1000.0/ClockGHz {
+		t.Errorf("stage budget %v inconsistent with %v GHz clock", StageBudgetPS, ClockGHz)
+	}
+}

@@ -1,0 +1,36 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"mira/internal/topology"
+)
+
+func ExampleNewMesh2D() {
+	m := topology.NewMesh2D(6, 6, 3.1)
+	fmt.Println(m.Name, m.NumNodes(), "nodes, max radix", m.MaxPorts())
+	// Output: mesh6x6 36 nodes, max radix 5
+}
+
+func ExampleNewExpressMesh2D() {
+	m := topology.NewExpressMesh2D(6, 6, 1.58, 2)
+	l, _ := m.OutLink(0, topology.EastExp)
+	fmt.Printf("express link spans %d hops, %.2f mm, radix %d\n",
+		l.Span, l.LengthMM, m.MaxPorts())
+	// Output: express link spans 2 hops, 3.16 mm, radix 9
+}
+
+func ExampleLayoutString() {
+	m := topology.NewMesh2D(6, 6, 3.1)
+	if err := topology.ApplyNUCALayout2D(m); err != nil {
+		panic(err)
+	}
+	fmt.Print(topology.LayoutString(m))
+	// Output:
+	// c c c c c c
+	// c c c c c c
+	// c P P P P c
+	// c P P P P c
+	// c c c c c c
+	// c c c c c c
+}

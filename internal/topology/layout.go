@@ -1,0 +1,80 @@
+package topology
+
+import "fmt"
+
+// The MIRA evaluation uses 36 nodes: 8 Niagara-like CPUs and 28 512 KB L2
+// cache banks (§4.1.1, Figure 10). This file encodes the two placements:
+//
+//   - 2DB / 3DM / 3DM-E: 6x6 mesh with the CPUs spread in the middle two
+//     rows (Figure 10 (a), (b)).
+//   - 3DB: 3x3x4 stack with all CPUs plus one cache in the top layer
+//     (closest to the heat sink) and the remaining 27 caches below
+//     (Figure 10 (c)).
+
+// NumCPUs is the CPU count of the paper's 36-node configuration.
+const NumCPUs = 8
+
+// ApplyNUCALayout2D marks 8 middle nodes of a 6x6 planar topology as
+// CPUs. It returns an error when the topology is not 6x6x1.
+func ApplyNUCALayout2D(t *Topology) error {
+	if t.XDim != 6 || t.YDim != 6 || t.ZDim != 1 {
+		return fmt.Errorf("topology: NUCA 2D layout requires a 6x6 mesh, have %dx%dx%d", t.XDim, t.YDim, t.ZDim)
+	}
+	for _, c := range nucaCPUCoords2D {
+		t.SetType(t.MustNodeAt(c).ID, CPU)
+	}
+	return nil
+}
+
+// nucaCPUCoords2D places the 8 CPUs in the middle of the 6x6 mesh.
+var nucaCPUCoords2D = []Coord{
+	{X: 1, Y: 2}, {X: 2, Y: 2}, {X: 3, Y: 2}, {X: 4, Y: 2},
+	{X: 1, Y: 3}, {X: 2, Y: 3}, {X: 3, Y: 3}, {X: 4, Y: 3},
+}
+
+// ApplyNUCALayout3D marks the 8 CPUs in the top layer (z = ZDim-1) of a
+// 3x3x4 topology; the ninth top-layer node stays a cache. The top layer
+// is the one adjacent to the heat sink, which is why the power-hungry
+// CPUs live there (§3.1).
+func ApplyNUCALayout3D(t *Topology) error {
+	if t.XDim != 3 || t.YDim != 3 || t.ZDim != 4 {
+		return fmt.Errorf("topology: NUCA 3D layout requires a 3x3x4 mesh, have %dx%dx%d", t.XDim, t.YDim, t.ZDim)
+	}
+	top := t.ZDim - 1
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			if x == 1 && y == 1 {
+				continue // centre node of the top layer stays a cache
+			}
+			t.SetType(t.MustNodeAt(Coord{X: x, Y: y, Z: top}).ID, CPU)
+		}
+	}
+	return nil
+}
+
+// LayoutString renders the CPU/cache placement layer by layer, one
+// character per node ('P' for CPU, 'c' for cache), for the Figure 10
+// reproduction.
+func LayoutString(t *Topology) string {
+	var out []byte
+	for z := 0; z < t.ZDim; z++ {
+		if t.ZDim > 1 {
+			out = append(out, fmt.Sprintf("layer %d:\n", z)...)
+		}
+		for y := 0; y < t.YDim; y++ {
+			for x := 0; x < t.XDim; x++ {
+				n := t.MustNodeAt(Coord{X: x, Y: y, Z: z})
+				if n.Type == CPU {
+					out = append(out, 'P')
+				} else {
+					out = append(out, 'c')
+				}
+				if x+1 < t.XDim {
+					out = append(out, ' ')
+				}
+			}
+			out = append(out, '\n')
+		}
+	}
+	return string(out)
+}

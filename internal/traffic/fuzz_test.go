@@ -1,0 +1,51 @@
+package traffic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrace hardens the trace parser against malformed input: it
+// must either return an error or a structurally valid trace, never
+// panic, and valid traces must round-trip.
+func FuzzReadTrace(f *testing.F) {
+	f.Add("# name demo\n0 1 2 1 0 -\n")
+	f.Add("0 1 2 4 1 1,4,4,1\n")
+	f.Add("")
+	f.Add("# comment only\n")
+	f.Add("garbage\n")
+	f.Add("0 1 2 1 0 999\n")
+	f.Add("-5 -1 -2 -1 -7 -\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadTrace(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Structural sanity.
+		for _, e := range tr.Events {
+			if e.Layers != nil && len(e.Layers) != e.Size {
+				t.Fatalf("parsed event with %d layers for %d flits", len(e.Layers), e.Size)
+			}
+		}
+		// Round-trip: what we accepted must re-serialize and re-parse
+		// to the same events.
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo after successful parse: %v", err)
+		}
+		tr2, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(tr2.Events) != len(tr.Events) {
+			t.Fatalf("round trip changed event count: %d vs %d", len(tr2.Events), len(tr.Events))
+		}
+		for i := range tr.Events {
+			a, b := tr.Events[i], tr2.Events[i]
+			if a.Cycle != b.Cycle || a.Src != b.Src || a.Dst != b.Dst || a.Size != b.Size || a.Class != b.Class {
+				t.Fatalf("round trip changed event %d: %+v vs %+v", i, a, b)
+			}
+		}
+	})
+}
