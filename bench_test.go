@@ -9,6 +9,8 @@
 package mira_test
 
 import (
+	"math/rand"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -20,6 +22,7 @@ import (
 	"mira/internal/power"
 	"mira/internal/routing"
 	"mira/internal/timing"
+	"mira/internal/traffic"
 )
 
 // benchOpts trims the windows so each iteration is sub-second.
@@ -364,3 +367,74 @@ func BenchmarkRouterCycle(b *testing.B) {
 	exp.RunUR(d, 0.2, 0, o)
 	b.ReportMetric(float64(36), "routers")
 }
+
+// BenchmarkStepUR measures the allocation profile of the generate/
+// enqueue/step hot path on a loaded 6x6 mesh. The steady state should
+// be allocation-light: the spec buffer is reused across cycles and the
+// injection queues hold values, so per-cycle garbage comes only from
+// packet births.
+func BenchmarkStepUR(b *testing.B) {
+	d := core.MustDesign(core.Arch2DB)
+	gen := &traffic.Uniform{Topo: d.Topo, InjectionRate: 0.2, PacketSize: core.DataPacketFlits}
+	net := noc.NewNetwork(d.NoCConfig(noc.AnyFree, 1))
+	rng := rand.New(rand.NewSource(1))
+	var specs []noc.Spec
+	cycle := int64(0)
+	step := func() {
+		specs = gen.Generate(cycle, rng, specs[:0])
+		for _, sp := range specs {
+			if _, err := net.Enqueue(sp); err != nil {
+				b.Fatal(err)
+			}
+		}
+		net.Step()
+		cycle++
+	}
+	for cycle < 1000 { // reach steady state before measuring
+		step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}
+
+// sweepPoints is the parallel-engine workload: a quick fig11a-style
+// (rate × arch) grid of independent uniform-random simulations.
+func sweepPoints() []exp.Point[float64] {
+	rates := []float64{0.05, 0.15, 0.30}
+	points := make([]exp.Point[float64], 0, len(rates)*len(core.Archs))
+	for _, rate := range rates {
+		for _, a := range core.Archs {
+			rate, a := rate, a
+			points = append(points, exp.Point[float64]{
+				Label: "bench sweep",
+				Run: func(o exp.Options) float64 {
+					return exp.RunUR(core.MustDesign(a), rate, 0, o).AvgLatency
+				},
+			})
+		}
+	}
+	return points
+}
+
+func benchSweep(b *testing.B, workers int) {
+	o := benchOpts()
+	o.Workers = workers
+	points := sweepPoints()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp.RunAll(o, points)
+	}
+}
+
+// BenchmarkSweepSequential runs the quick sweep grid on one worker —
+// the baseline for BenchmarkSweepParallel.
+func BenchmarkSweepSequential(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel runs the same grid across all CPUs; on an
+// N-core machine the speedup over BenchmarkSweepSequential approaches
+// min(N, points) since sweep points are fully independent.
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, runtime.NumCPU()) }

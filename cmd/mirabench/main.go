@@ -4,9 +4,14 @@
 //
 // Usage:
 //
-//	mirabench [-quick] [-csv] [-svg DIR] [-seed N] <experiment>...
+//	mirabench [-quick] [-csv] [-svg DIR] [-seed N] [-workers N] [-progress] [-timing FILE] <experiment>...
 //	mirabench all
 //	mirabench list
+//
+// Sweep points fan out across -workers goroutines (default: all CPUs);
+// tables are bit-identical for any worker count. -progress logs a
+// per-point timing line to stderr; -timing records per-experiment
+// wall-clock times as JSON.
 //
 // Experiments: table1 table2 table3, fig1 fig2 fig3 fig8 fig9 fig10,
 // fig11a-d, fig12a-d, fig13a-c, plus the ablation-* and ext-* studies
@@ -14,10 +19,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"mira/internal/exp"
@@ -75,6 +82,9 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	svgDir := flag.String("svg", "", "also write an SVG figure per experiment into this directory")
 	seed := flag.Int64("seed", 42, "simulation seed")
+	workers := flag.Int("workers", 0, "sweep-point worker goroutines (0 = all CPUs); results are identical for any value")
+	progress := flag.Bool("progress", false, "log a per-point progress/timing line to stderr")
+	timingFile := flag.String("timing", "", "write per-experiment wall-clock times to this JSON file")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -89,6 +99,13 @@ func main() {
 		opts = exp.Quick()
 	}
 	opts.Seed = *seed
+	opts.Workers = *workers
+	if *progress {
+		opts.Progress = func(p exp.Progress) {
+			fmt.Fprintf(os.Stderr, "  [%*d/%d] %-40s %8v\n",
+				len(fmt.Sprint(p.Total)), p.Done, p.Total, p.Label, p.Elapsed.Round(time.Millisecond))
+		}
+	}
 
 	if args[0] == "list" {
 		for _, e := range experiments {
@@ -115,18 +132,26 @@ func main() {
 		}
 	}
 
+	var timings []expTiming
 	for _, e := range selected {
+		if *progress {
+			fmt.Fprintf(os.Stderr, "%s:\n", e.id)
+		}
 		start := time.Now()
 		tb, err := e.run(opts)
+		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mirabench: %s: %v\n", e.id, err)
 			os.Exit(1)
 		}
+		timings = append(timings, expTiming{ID: e.id, Seconds: elapsed.Seconds()})
 		if *csv {
 			fmt.Printf("# %s\n%s\n", tb.ID, tb.CSV())
 		} else {
 			fmt.Println(tb.String())
-			fmt.Printf("(%s completed in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+			// Timing goes to stderr so stdout stays byte-identical
+			// across worker counts and machines.
+			fmt.Fprintf(os.Stderr, "(%s completed in %v)\n\n", e.id, elapsed.Round(time.Millisecond))
 		}
 		if *svgDir != "" {
 			if err := writeSVG(*svgDir, tb); err != nil {
@@ -134,6 +159,47 @@ func main() {
 			}
 		}
 	}
+	if *timingFile != "" {
+		if err := writeTimings(*timingFile, opts, *workers, timings); err != nil {
+			fmt.Fprintf(os.Stderr, "mirabench: timing file: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// expTiming is one experiment's wall-clock entry in the -timing file.
+type expTiming struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+}
+
+// timingReport is the -timing JSON document; it captures enough context
+// (worker count, windows, seed) to compare runs across machines.
+type timingReport struct {
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	Workers     int         `json:"workers"` // as requested; 0 means GOMAXPROCS
+	Quick       bool        `json:"quick"`
+	Seed        int64       `json:"seed"`
+	Experiments []expTiming `json:"experiments"`
+	TotalSec    float64     `json:"total_seconds"`
+}
+
+func writeTimings(path string, o exp.Options, workers int, timings []expTiming) error {
+	rep := timingReport{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Workers:     workers,
+		Quick:       o.Measure < exp.Default().Measure,
+		Seed:        o.Seed,
+		Experiments: timings,
+	}
+	for _, t := range timings {
+		rep.TotalSec += t.Seconds
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // writeSVG renders a table as a figure in dir. Tables with no numeric
@@ -157,7 +223,7 @@ func writeSVG(dir string, tb exp.Table) error {
 func usage() {
 	fmt.Fprintf(os.Stderr, `mirabench regenerates the MIRA paper's tables and figures.
 
-usage: mirabench [-quick] [-seed N] <experiment>... | all | list
+usage: mirabench [-quick] [-seed N] [-workers N] [-progress] [-timing FILE] <experiment>... | all | list
 `)
 	flag.PrintDefaults()
 }

@@ -173,8 +173,7 @@ func TestDesignsSimulate(t *testing.T) {
 	for _, a := range Archs {
 		d := MustDesign(a)
 		net := noc.NewNetwork(d.NoCConfig(noc.AnyFree, 7))
-		gen := noc.GeneratorFunc(func(cycle int64, rng *rand.Rand) []noc.Spec {
-			var out []noc.Spec
+		gen := noc.GeneratorFunc(func(cycle int64, rng *rand.Rand, out []noc.Spec) []noc.Spec {
 			n := d.Topo.NumNodes()
 			for src := 0; src < n; src++ {
 				if rng.Float64() < 0.02 {

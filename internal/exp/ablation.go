@@ -40,14 +40,13 @@ func AblationBufferDepth(o Options) Table {
 		Title:  "3DM buffer-depth ablation (uniform random)",
 		Header: []string{"depth (flits)", "lat @0.15", "lat @0.30", "buffer area um^2/layer"},
 	}
-	for _, depth := range []int{2, 4, 8, 16} {
-		d := core.MustDesign(core.Arch3DM)
-		lo := runCustomUR(d, core.VCsPerPort, depth, 0.15, o)
-		hi := runCustomUR(d, core.VCsPerPort, depth, 0.30, o)
-		ap := d.AreaParams
+	depths := []int{2, 4, 8, 16}
+	res := RunAll(o, bufGridPoints(depths, func(depth int) (vcs, d int) { return core.VCsPerPort, depth }))
+	for i, depth := range depths {
+		ap := corePowerOf(core.Arch3DM).AreaParams
 		ap.BufDepth = depth
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", depth), latCell(lo), latCell(hi),
+			fmt.Sprintf("%d", depth), latCell(res[2*i]), latCell(res[2*i+1]),
 			fmt.Sprintf("%.0f", areaBufPerLayer(ap)),
 		})
 	}
@@ -63,15 +62,42 @@ func AblationVCs(o Options) Table {
 		Title:  "3DM virtual-channel ablation at constant buffer bits (uniform random)",
 		Header: []string{"VCs x depth", "lat @0.15", "lat @0.30"},
 	}
-	for _, c := range []struct{ vcs, depth int }{{1, 16}, {2, 8}, {4, 4}} {
-		d := core.MustDesign(core.Arch3DM)
-		lo := runCustomUR(d, c.vcs, c.depth, 0.15, o)
-		hi := runCustomUR(d, c.vcs, c.depth, 0.30, o)
+	cfgs := []struct{ vcs, depth int }{{1, 16}, {2, 8}, {4, 4}}
+	idx := make([]int, len(cfgs))
+	for i := range cfgs {
+		idx[i] = i
+	}
+	res := RunAll(o, bufGridPoints(idx, func(i int) (vcs, depth int) { return cfgs[i].vcs, cfgs[i].depth }))
+	for i, c := range cfgs {
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%dx%d", c.vcs, c.depth), latCell(lo), latCell(hi),
+			fmt.Sprintf("%dx%d", c.vcs, c.depth), latCell(res[2*i]), latCell(res[2*i+1]),
 		})
 	}
 	return t
+}
+
+// ablationRates are the moderate/high loads every buffer-geometry
+// ablation row reports.
+var ablationRates = []float64{0.15, 0.30}
+
+// bufGridPoints expands a buffer-geometry sweep into (config × rate)
+// points for the parallel runner; geom maps a config key to its
+// (VCs, depth) pair.
+func bufGridPoints[K any](keys []K, geom func(K) (vcs, depth int)) []Point[noc.Result] {
+	points := make([]Point[noc.Result], 0, len(keys)*len(ablationRates))
+	for _, k := range keys {
+		vcs, depth := geom(k)
+		for _, rate := range ablationRates {
+			vcs, depth, rate := vcs, depth, rate
+			points = append(points, Point[noc.Result]{
+				Label: fmt.Sprintf("vcs=%d depth=%d rate=%.2f", vcs, depth, rate),
+				Run: func(o Options) noc.Result {
+					return runCustomUR(core.MustDesign(core.Arch3DM), vcs, depth, rate, o)
+				},
+			})
+		}
+	}
+	return points
 }
 
 // AblationExpressInterval compares express-channel hop spans on the
@@ -83,33 +109,55 @@ func AblationExpressInterval(o Options) (Table, error) {
 		Title:  "Express-channel interval ablation (uniform random)",
 		Header: []string{"interval", "max ports", "avg hops (UR)", "lat @0.15", "lat @0.30"},
 	}
-	for _, interval := range []int{2, 3} {
-		topo := topology.NewExpressMesh2D(6, 6, core.Pitch3DMMM, interval)
-		if err := topology.ApplyNUCALayout2D(topo); err != nil {
-			return t, err
+	intervals := []int{2, 3}
+	points := make([]Point[noc.Result], 0, len(intervals)*len(ablationRates))
+	for _, interval := range intervals {
+		for _, rate := range ablationRates {
+			interval, rate := interval, rate
+			points = append(points, Point[noc.Result]{
+				Label: fmt.Sprintf("interval=%d rate=%.2f", interval, rate),
+				Run: func(o Options) noc.Result {
+					topo, err := expressMesh(interval)
+					if err != nil {
+						panic(err) // NUCA layout always fits a 6x6 mesh
+					}
+					cfg := noc.Config{
+						Topo: topo, Alg: routing.Express{}, VCs: core.VCsPerPort, BufDepth: core.BufDepth,
+						STLTCycles: 1, Layers: core.Layers, Policy: noc.AnyFree, Seed: o.Seed,
+					}
+					gen := &traffic.Uniform{Topo: topo, InjectionRate: rate, PacketSize: core.DataPacketFlits}
+					s := noc.NewSim(noc.NewNetwork(cfg), gen)
+					s.Params = o.simParams()
+					return s.Run()
+				},
+			})
 		}
-		alg := routing.Express{}
-		hops, err := routing.AverageHops(topo, alg, nil, nil)
+	}
+	res := RunAll(o, points)
+	for i, interval := range intervals {
+		topo, err := expressMesh(interval)
 		if err != nil {
 			return t, err
 		}
-		cfg := noc.Config{
-			Topo: topo, Alg: alg, VCs: core.VCsPerPort, BufDepth: core.BufDepth,
-			STLTCycles: 1, Layers: core.Layers, Policy: noc.AnyFree, Seed: o.Seed,
+		hops, err := routing.AverageHops(topo, routing.Express{}, nil, nil)
+		if err != nil {
+			return t, err
 		}
-		run := func(rate float64) noc.Result {
-			gen := &traffic.Uniform{Topo: topo, InjectionRate: rate, PacketSize: core.DataPacketFlits}
-			s := noc.NewSim(noc.NewNetwork(cfg), gen)
-			s.Params = o.simParams()
-			return s.Run()
-		}
-		lo, hi := run(0.15), run(0.30)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", interval), fmt.Sprintf("%d", topo.MaxPorts()),
-			f2(hops), latCell(lo), latCell(hi),
+			f2(hops), latCell(res[2*i]), latCell(res[2*i+1]),
 		})
 	}
 	return t, nil
+}
+
+// expressMesh builds the 6x6 express mesh with the NUCA layout applied.
+func expressMesh(interval int) (*topology.Topology, error) {
+	topo := topology.NewExpressMesh2D(6, 6, core.Pitch3DMMM, interval)
+	if err := topology.ApplyNUCALayout2D(topo); err != nil {
+		return nil, err
+	}
+	return topo, nil
 }
 
 // areaBufPerLayer returns the per-layer buffer area for modified params

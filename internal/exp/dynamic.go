@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"sync"
 
 	"mira/internal/cmp"
 	"mira/internal/core"
@@ -30,12 +31,12 @@ func Fig1(o Options) (Table, error) {
 		Title:  "Data pattern breakdown (fraction of data words)",
 		Header: []string{"Workload", "all-0", "all-1", "frequent", "other", "short flits %"},
 	}
-	topo := nucaMesh()
-	for _, w := range cmp.Workloads {
-		_, st, err := cmp.GenerateTrace(w, topo, o.TraceCycles, o.Seed)
-		if err != nil {
-			return t, err
+	res := RunAll(o, traceStatPoints(cmp.Workloads))
+	for i, w := range cmp.Workloads {
+		if res[i].err != nil {
+			return t, res[i].err
 		}
+		st := res[i].st
 		sh := st.WordPatternShares()
 		t.Rows = append(t.Rows, []string{
 			w.Name,
@@ -47,6 +48,29 @@ func Fig1(o Options) (Table, error) {
 	return t, nil
 }
 
+// statOut carries one workload's trace statistics through the runner.
+type statOut struct {
+	st  cmp.Stats
+	err error
+}
+
+// traceStatPoints builds one trace-generation point per workload; the
+// trace itself is discarded, only the statistics are kept.
+func traceStatPoints(ws []cmp.Workload) []Point[statOut] {
+	points := make([]Point[statOut], 0, len(ws))
+	for _, w := range ws {
+		w := w
+		points = append(points, Point[statOut]{
+			Label: "trace-stats " + w.Name,
+			Run: func(o Options) statOut {
+				_, st, err := cmp.GenerateTrace(w, nucaMesh(), o.TraceCycles, o.Seed)
+				return statOut{st: st, err: err}
+			},
+		})
+	}
+	return points
+}
+
 // Fig2 reports the packet-type distribution of the coherence traffic.
 func Fig2(o Options) (Table, error) {
 	t := Table{
@@ -54,13 +78,13 @@ func Fig2(o Options) (Table, error) {
 		Title:  "Packet type distribution (fraction of packets)",
 		Header: []string{"Workload", "GetS", "GetX", "Upgrade", "Inv", "Fwd", "Ack", "Data", "WB", "control total"},
 	}
-	topo := nucaMesh()
-	for _, name := range cmp.Presented {
-		w, _ := cmp.ByName(name)
-		_, st, err := cmp.GenerateTrace(w, topo, o.TraceCycles, o.Seed)
-		if err != nil {
-			return t, err
+	ws := presentedWorkloads()
+	res := RunAll(o, traceStatPoints(ws))
+	for i, w := range ws {
+		if res[i].err != nil {
+			return t, res[i].err
 		}
+		st := res[i].st
 		var total int64
 		for _, c := range st.KindCounts {
 			total += c
@@ -73,6 +97,16 @@ func Fig2(o Options) (Table, error) {
 		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
+}
+
+// presentedWorkloads resolves cmp.Presented names to their workloads.
+func presentedWorkloads() []cmp.Workload {
+	ws := make([]cmp.Workload, 0, len(cmp.Presented))
+	for _, name := range cmp.Presented {
+		w, _ := cmp.ByName(name)
+		ws = append(ws, w)
+	}
+	return ws
 }
 
 func nucaMesh() *topology.Topology {
@@ -90,14 +124,30 @@ type SweepResult struct {
 }
 
 // runSweep executes one generator family over all architectures and
-// rates.
-func runSweep(rates []float64, run func(*core.Design, float64) noc.Result) []SweepResult {
-	designs := Designs()
-	out := make([]SweepResult, 0, len(rates))
+// rates as a (rate × arch) grid of independent points on the parallel
+// runner. Each point elaborates its own Design so no topology state is
+// shared between workers.
+func runSweep(o Options, rates []float64, run func(d *core.Design, rate float64, o Options) noc.Result) []SweepResult {
+	points := make([]Point[noc.Result], 0, len(rates)*len(core.Archs))
 	for _, rate := range rates {
-		sr := SweepResult{Rate: rate, Results: make(map[core.Arch]noc.Result, len(designs))}
-		for _, d := range designs {
-			sr.Results[d.Arch] = run(d, rate)
+		for _, a := range core.Archs {
+			rate, a := rate, a
+			points = append(points, Point[noc.Result]{
+				Label: fmt.Sprintf("rate=%.2f arch=%s", rate, a),
+				Run: func(o Options) noc.Result {
+					return run(core.MustDesign(a), rate, o)
+				},
+			})
+		}
+	}
+	res := RunAll(o, points)
+	out := make([]SweepResult, 0, len(rates))
+	k := 0
+	for _, rate := range rates {
+		sr := SweepResult{Rate: rate, Results: make(map[core.Arch]noc.Result, len(core.Archs))}
+		for _, a := range core.Archs {
+			sr.Results[a] = res[k]
+			k++
 		}
 		out = append(out, sr)
 	}
@@ -124,7 +174,7 @@ func sweepTable(id, title, metric string, sweep []SweepResult, cell func(*core.D
 
 // Fig11a: average latency vs injection rate, uniform random traffic.
 func Fig11a(o Options) Table {
-	sweep := runSweep(URRates, func(d *core.Design, rate float64) noc.Result {
+	sweep := runSweep(o, URRates, func(d *core.Design, rate float64, o Options) noc.Result {
 		return RunUR(d, rate, 0, o)
 	})
 	return sweepTable("fig11a", "Average latency, uniform random (cycles)", "avg packet latency",
@@ -134,7 +184,7 @@ func Fig11a(o Options) Table {
 // Fig11b: average latency vs injection rate, NUCA-constrained bimodal
 // traffic.
 func Fig11b(o Options) Table {
-	sweep := runSweep(URRates, func(d *core.Design, rate float64) noc.Result {
+	sweep := runSweep(o, URRates, func(d *core.Design, rate float64, o Options) noc.Result {
 		return RunNUCAUR(d, rate, 0, o)
 	})
 	return sweepTable("fig11b", "Average latency, NUCA-UR (cycles)", "avg packet latency",
@@ -149,24 +199,45 @@ type TraceRun struct {
 	Stats    map[core.Arch]cmp.Stats
 }
 
-// RunTraces executes all presented workloads over all architectures.
+// RunTraces executes all presented workloads over all architectures as
+// a (workload × arch) grid on the parallel runner.
 func RunTraces(o Options) ([]TraceRun, error) {
-	designs := Designs()
-	var out []TraceRun
+	type traceOut struct {
+		res noc.Result
+		st  cmp.Stats
+		err error
+	}
+	points := make([]Point[traceOut], 0, len(cmp.Presented)*len(core.Archs))
 	for _, name := range cmp.Presented {
 		w, _ := cmp.ByName(name)
+		for _, a := range core.Archs {
+			w, a := w, a
+			points = append(points, Point[traceOut]{
+				Label: fmt.Sprintf("trace=%s arch=%s", w.Name, a),
+				Run: func(o Options) traceOut {
+					res, st, err := RunTrace(core.MustDesign(a), w, o)
+					return traceOut{res: res, st: st, err: err}
+				},
+			})
+		}
+	}
+	res := RunAll(o, points)
+	var out []TraceRun
+	k := 0
+	for _, name := range cmp.Presented {
 		tr := TraceRun{
 			Workload: name,
-			Results:  make(map[core.Arch]noc.Result, len(designs)),
-			Stats:    make(map[core.Arch]cmp.Stats, len(designs)),
+			Results:  make(map[core.Arch]noc.Result, len(core.Archs)),
+			Stats:    make(map[core.Arch]cmp.Stats, len(core.Archs)),
 		}
-		for _, d := range designs {
-			res, st, err := RunTrace(d, w, o)
-			if err != nil {
-				return nil, err
+		for _, a := range core.Archs {
+			r := res[k]
+			k++
+			if r.err != nil {
+				return nil, r.err
 			}
-			tr.Results[d.Arch] = res
-			tr.Stats[d.Arch] = st
+			tr.Results[a] = r.res
+			tr.Stats[a] = r.st
 		}
 		out = append(out, tr)
 	}
@@ -244,7 +315,7 @@ func Fig11d(o Options) (Table, error) {
 // Fig12a: average network power vs injection rate, uniform random, 0 %
 // short flits (pure structural comparison, no shutdown).
 func Fig12a(o Options) Table {
-	sweep := runSweep(URRates, func(d *core.Design, rate float64) noc.Result {
+	sweep := runSweep(o, URRates, func(d *core.Design, rate float64, o Options) noc.Result {
 		return RunUR(d, rate, 0, o)
 	})
 	return sweepTable("fig12a", "Average power, uniform random, 0% short flits (W)", "avg network power",
@@ -253,7 +324,7 @@ func Fig12a(o Options) Table {
 
 // Fig12b: average power under NUCA-UR traffic.
 func Fig12b(o Options) Table {
-	sweep := runSweep(URRates, func(d *core.Design, rate float64) noc.Result {
+	sweep := runSweep(o, URRates, func(d *core.Design, rate float64, o Options) noc.Result {
 		return RunNUCAUR(d, rate, 0, o)
 	})
 	return sweepTable("fig12b", "Average power, NUCA-UR (W)", "avg network power",
@@ -278,9 +349,17 @@ func Fig12c(o Options) (Table, error) {
 	return t, nil
 }
 
-var designCache = map[core.Arch]*core.Design{}
+var (
+	designMu    sync.Mutex
+	designCache = map[core.Arch]*core.Design{}
+)
 
+// corePowerOf returns a cached design for power/area lookups. The cache
+// is mutex-guarded because table builders may consult it from parallel
+// sweep workers; callers must treat the returned design as read-only.
 func corePowerOf(a core.Arch) *core.Design {
+	designMu.Lock()
+	defer designMu.Unlock()
 	if d, ok := designCache[a]; ok {
 		return d
 	}
@@ -291,7 +370,7 @@ func corePowerOf(a core.Arch) *core.Design {
 
 // Fig12d: power-delay product normalized to 2DB, uniform random.
 func Fig12d(o Options) Table {
-	sweep := runSweep(URRates, func(d *core.Design, rate float64) noc.Result {
+	sweep := runSweep(o, URRates, func(d *core.Design, rate float64, o Options) noc.Result {
 		return RunUR(d, rate, 0, o)
 	})
 	t := Table{ID: "fig12d", Title: "Normalized power-delay product, uniform random", Header: []string{"inj rate"}}
@@ -320,16 +399,16 @@ func Fig13a(o Options) (Table, error) {
 		Title:  "Short flit percentage per workload",
 		Header: []string{"workload", "short flits %"},
 	}
-	topo := nucaMesh()
+	ws := presentedWorkloads()
+	res := RunAll(o, traceStatPoints(ws))
 	var avg stats.Mean
-	for _, name := range cmp.Presented {
-		w, _ := cmp.ByName(name)
-		_, st, err := cmp.GenerateTrace(w, topo, o.TraceCycles, o.Seed)
-		if err != nil {
-			return t, err
+	for i, w := range ws {
+		if res[i].err != nil {
+			return t, res[i].err
 		}
+		st := res[i].st
 		avg.Add(st.ShortFlitPct())
-		t.Rows = append(t.Rows, []string{name, f1(st.ShortFlitPct())})
+		t.Rows = append(t.Rows, []string{w.Name, f1(st.ShortFlitPct())})
 	}
 	t.Rows = append(t.Rows, []string{"average", f1(avg.Mean())})
 	return t, nil
@@ -344,15 +423,26 @@ func Fig13b(o Options) Table {
 		Header: []string{"design", "25% short", "50% short"},
 	}
 	const rate = 0.15
-	for _, d := range Designs() {
-		if d.Arch == core.Arch3DMNC || d.Arch == core.Arch3DMENC || d.Arch == core.Arch3DB {
-			continue // the paper reports 2DB/3DM/3DM-E
+	archs := []core.Arch{core.Arch2DB, core.Arch3DM, core.Arch3DME} // the paper reports 2DB/3DM/3DM-E
+	fracs := []float64{0, 0.25, 0.50}
+	points := make([]Point[float64], 0, len(archs)*len(fracs))
+	for _, a := range archs {
+		for _, frac := range fracs {
+			a, frac := a, frac
+			points = append(points, Point[float64]{
+				Label: fmt.Sprintf("arch=%s short=%.0f%%", a, 100*frac),
+				Run: func(o Options) float64 {
+					d := core.MustDesign(a)
+					return NetworkPowerW(d, RunUR(d, rate, frac, o), true)
+				},
+			})
 		}
-		base := NetworkPowerW(d, RunUR(d, rate, 0, o), true)
-		s25 := NetworkPowerW(d, RunUR(d, rate, 0.25, o), true)
-		s50 := NetworkPowerW(d, RunUR(d, rate, 0.50, o), true)
+	}
+	res := RunAll(o, points)
+	for i, a := range archs {
+		base, s25, s50 := res[3*i], res[3*i+1], res[3*i+2]
 		t.Rows = append(t.Rows, []string{
-			d.Arch.String(),
+			a.String(),
 			f1(100 * (1 - s25/base)),
 			f1(100 * (1 - s50/base)),
 		})
@@ -370,10 +460,20 @@ func Fig13c(o Options) Table {
 		Title:  "3DM average temperature reduction, 50% vs 0% short flits (K)",
 		Header: []string{"inj rate", "avg dT (K)", "max dT (K)"},
 	}
-	d := corePowerOf(core.Arch3DM)
-	for _, rate := range []float64{0.10, 0.20, 0.30} {
-		avgDT, maxDT := fig13cDeltas(d, o, rate)
-		t.Rows = append(t.Rows, []string{f2(rate), f2(avgDT), f2(maxDT)})
+	rates := []float64{0.10, 0.20, 0.30}
+	points := make([]Point[[2]float64], 0, len(rates))
+	for _, rate := range rates {
+		rate := rate
+		points = append(points, Point[[2]float64]{
+			Label: fmt.Sprintf("rate=%.2f", rate),
+			Run: func(o Options) [2]float64 {
+				avgDT, maxDT := fig13cDeltas(core.MustDesign(core.Arch3DM), o, rate)
+				return [2]float64{avgDT, maxDT}
+			},
+		})
+	}
+	for i, dt := range RunAll(o, points) {
+		t.Rows = append(t.Rows, []string{f2(rates[i]), f2(dt[0]), f2(dt[1])})
 	}
 	t.Notes = append(t.Notes, "CPU 8 W, cache bank 0.1 W static; router power from simulation with shutdown")
 	return t

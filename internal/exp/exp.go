@@ -25,6 +25,13 @@ type Options struct {
 	// experiments.
 	TraceCycles int64
 	Seed        int64
+	// Workers caps the RunAll worker pool that fans independent sweep
+	// points across goroutines; 0 (the default) means GOMAXPROCS.
+	// Results are bit-identical for every worker count — see runner.go.
+	Workers int
+	// Progress, when non-nil, is invoked (serialized) after each
+	// completed sweep point, for per-point progress/timing reporting.
+	Progress func(Progress)
 }
 
 // Default returns the full-size experiment windows.

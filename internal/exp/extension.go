@@ -34,11 +34,27 @@ func ExtLeakage(o Options) Table {
 	// with lateral spreading; a compact constant derived from the
 	// thermal grid at the 3DM node pitch.
 	const rNodeKPerW = 5.0
-	for _, d := range Designs() {
-		if d.Arch == core.Arch3DMNC || d.Arch == core.Arch3DMENC {
+	var archs []core.Arch
+	for _, a := range core.Archs {
+		if a == core.Arch3DMNC || a == core.Arch3DMENC {
 			continue // identical silicon to the combined variants
 		}
-		res := RunUR(d, rate, 0, o)
+		archs = append(archs, a)
+	}
+	points := make([]Point[noc.Result], 0, len(archs))
+	for _, a := range archs {
+		a := a
+		points = append(points, Point[noc.Result]{
+			Label: fmt.Sprintf("leakage arch=%s", a),
+			Run: func(o Options) noc.Result {
+				return RunUR(core.MustDesign(a), rate, 0, o)
+			},
+		})
+	}
+	results := RunAll(o, points)
+	for i, a := range archs {
+		d := corePowerOf(a)
+		res := results[i]
 		dynTotal := NetworkPowerW(d, res, false)
 		routers := float64(d.Topo.NumNodes())
 		dynPerRouter := dynTotal / routers
@@ -71,28 +87,50 @@ func ExtCosim(o Options) (Table, error) {
 		Title:  "Closed-loop CMP co-simulation: L1-miss (L2 access) latency",
 		Header: []string{"workload", "2DB", "3DB", "3DM", "3DM-E", "3DM-E vs 2DB"},
 	}
-	for _, name := range []string{"tpcw", "ocean"} {
+	names := []string{"tpcw", "ocean"}
+	archs := []core.Arch{core.Arch2DB, core.Arch3DB, core.Arch3DM, core.Arch3DME}
+	type cosimOut struct {
+		mean float64
+		err  error
+	}
+	points := make([]Point[cosimOut], 0, len(names)*len(archs))
+	for _, name := range names {
 		w, ok := cmp.ByName(name)
 		if !ok {
 			return t, fmt.Errorf("exp: workload %s missing", name)
 		}
+		for _, a := range archs {
+			w, a := w, a
+			points = append(points, Point[cosimOut]{
+				Label: fmt.Sprintf("cosim %s arch=%s", w.Name, a),
+				Run: func(o Options) cosimOut {
+					d := core.MustDesign(a)
+					p := cmp.DefaultParams(w, d.Topo, o.Seed)
+					cs, err := cmp.NewClosedSystem(p, d.NoCConfig(noc.ByClass, o.Seed))
+					if err != nil {
+						return cosimOut{err: err}
+					}
+					st := cs.Run(o.Measure + o.Warmup)
+					return cosimOut{mean: st.MissLatency.Mean()}
+				},
+			})
+		}
+	}
+	res := RunAll(o, points)
+	for i, name := range names {
 		row := []string{name}
 		var base, express float64
-		for _, a := range []core.Arch{core.Arch2DB, core.Arch3DB, core.Arch3DM, core.Arch3DME} {
-			d := core.MustDesign(a)
-			p := cmp.DefaultParams(w, d.Topo, o.Seed)
-			cs, err := cmp.NewClosedSystem(p, d.NoCConfig(noc.ByClass, o.Seed))
-			if err != nil {
-				return t, err
+		for j, a := range archs {
+			r := res[i*len(archs)+j]
+			if r.err != nil {
+				return t, r.err
 			}
-			st := cs.Run(o.Measure + o.Warmup)
-			mean := st.MissLatency.Mean()
-			row = append(row, f1(mean))
+			row = append(row, f1(r.mean))
 			switch a {
 			case core.Arch2DB:
-				base = mean
+				base = r.mean
 			case core.Arch3DME:
-				express = mean
+				express = r.mean
 			}
 		}
 		row = append(row, fmt.Sprintf("-%.0f%%", 100*(1-stats.Ratio(express, base))))
@@ -113,24 +151,38 @@ func ExtQoS(o Options) Table {
 		Title:  "QoS priority arbitration, bimodal NUCA traffic (3DM)",
 		Header: []string{"inj rate / QoS", "ctrl lat", "data lat", "avg lat"},
 	}
-	d := core.MustDesign(core.Arch3DM)
-	run := func(rate float64, qos bool) noc.Result {
-		cfg := d.NoCConfig(noc.ByClass, o.Seed)
-		cfg.QoSPriority = qos
-		gen := &traffic.NUCA{
-			Topo:          d.Topo,
-			InjectionRate: rate,
-			RequestSize:   core.ControlPacketFlits,
-			ResponseSize:  core.DataPacketFlits,
-			BankDelay:     24,
+	rates := []float64{0.15, 0.20}
+	qosModes := []bool{false, true}
+	points := make([]Point[noc.Result], 0, len(rates)*len(qosModes))
+	for _, rate := range rates {
+		for _, qos := range qosModes {
+			rate, qos := rate, qos
+			points = append(points, Point[noc.Result]{
+				Label: fmt.Sprintf("qos rate=%.2f on=%v", rate, qos),
+				Run: func(o Options) noc.Result {
+					d := core.MustDesign(core.Arch3DM)
+					cfg := d.NoCConfig(noc.ByClass, o.Seed)
+					cfg.QoSPriority = qos
+					gen := &traffic.NUCA{
+						Topo:          d.Topo,
+						InjectionRate: rate,
+						RequestSize:   core.ControlPacketFlits,
+						ResponseSize:  core.DataPacketFlits,
+						BankDelay:     24,
+					}
+					s := noc.NewSim(noc.NewNetwork(cfg), gen)
+					s.Params = o.simParams()
+					return s.Run()
+				},
+			})
 		}
-		s := noc.NewSim(noc.NewNetwork(cfg), gen)
-		s.Params = o.simParams()
-		return s.Run()
 	}
-	for _, rate := range []float64{0.15, 0.20} {
-		for _, qos := range []bool{false, true} {
-			r := run(rate, qos)
+	res := RunAll(o, points)
+	k := 0
+	for _, rate := range rates {
+		for _, qos := range qosModes {
+			r := res[k]
+			k++
 			label := fmt.Sprintf("%.2f / off", rate)
 			if qos {
 				label = fmt.Sprintf("%.2f / on", rate)
@@ -159,35 +211,55 @@ func ExtFault(o Options) (Table, error) {
 		Title:  "Link-fault tolerance via west-first routing (3DM, uniform random @ 0.15)",
 		Header: []string{"configuration", "avg lat", "avg hops", "delivered"},
 	}
-	d := core.MustDesign(core.Arch3DM)
-	run := func(alg routing.Algorithm) noc.Result {
-		cfg := d.NoCConfig(noc.AnyFree, o.Seed)
-		cfg.Alg = alg
-		gen := &traffic.Uniform{Topo: d.Topo, InjectionRate: 0.15, PacketSize: core.DataPacketFlits}
-		s := noc.NewSim(noc.NewNetwork(cfg), gen)
-		s.Params = o.simParams()
-		return s.Run()
+	type faultOut struct {
+		res noc.Result
+		err error
 	}
-	addRow := func(name string, r noc.Result) {
-		t.Rows = append(t.Rows, []string{name, latCell(r), f2(r.AvgHops), fmt.Sprintf("%d/%d", r.Ejected, r.Generated)})
+	// Each point elaborates its own design and routing algorithm; the
+	// faulted configuration fails the east link out of the centre node
+	// (2,2), the highest-traffic region of the mesh.
+	mkAlg := []struct {
+		name string
+		alg  func(d *core.Design) (routing.Algorithm, error)
+	}{
+		{"healthy, X-Y", func(*core.Design) (routing.Algorithm, error) { return routing.XY{}, nil }},
+		{"healthy, west-first", func(d *core.Design) (routing.Algorithm, error) {
+			return routing.NewWestFirst(d.Topo, nil)
+		}},
+		{"east link (2,2) failed, west-first", func(d *core.Design) (routing.Algorithm, error) {
+			mid := d.Topo.MustNodeAt(topology.Coord{X: 2, Y: 2}).ID
+			return routing.NewWestFirst(d.Topo, []routing.LinkFault{{Src: mid, Dir: topology.East}})
+		}},
 	}
-
-	addRow("healthy, X-Y", run(routing.XY{}))
-
-	healthyWF, err := routing.NewWestFirst(d.Topo, nil)
-	if err != nil {
-		return t, err
+	points := make([]Point[faultOut], 0, len(mkAlg))
+	for _, m := range mkAlg {
+		m := m
+		points = append(points, Point[faultOut]{
+			Label: "fault " + m.name,
+			Run: func(o Options) faultOut {
+				d := core.MustDesign(core.Arch3DM)
+				alg, err := m.alg(d)
+				if err != nil {
+					return faultOut{err: err}
+				}
+				cfg := d.NoCConfig(noc.AnyFree, o.Seed)
+				cfg.Alg = alg
+				gen := &traffic.Uniform{Topo: d.Topo, InjectionRate: 0.15, PacketSize: core.DataPacketFlits}
+				s := noc.NewSim(noc.NewNetwork(cfg), gen)
+				s.Params = o.simParams()
+				return faultOut{res: s.Run()}
+			},
+		})
 	}
-	addRow("healthy, west-first", run(healthyWF))
-
-	// Fail the east link out of the centre node (2,2) — the highest-
-	// traffic region of the mesh.
-	mid := d.Topo.MustNodeAt(topology.Coord{X: 2, Y: 2}).ID
-	faulty, err := routing.NewWestFirst(d.Topo, []routing.LinkFault{{Src: mid, Dir: topology.East}})
-	if err != nil {
-		return t, err
+	for i, r := range RunAll(o, points) {
+		if r.err != nil {
+			return t, r.err
+		}
+		t.Rows = append(t.Rows, []string{
+			mkAlg[i].name, latCell(r.res), f2(r.res.AvgHops),
+			fmt.Sprintf("%d/%d", r.res.Ejected, r.res.Generated),
+		})
 	}
-	addRow("east link (2,2) failed, west-first", run(faulty))
 
 	t.Notes = append(t.Notes,
 		"extension beyond the paper (§3.3 flags fault tolerance as a use of the spare channels)",
@@ -205,30 +277,61 @@ func ExtProtocol(o Options) (Table, error) {
 		Title:  "MESI vs MOESI coherence traffic on the 3DM network",
 		Header: []string{"workload/protocol", "WB packets", "flits", "net power (W)", "avg lat"},
 	}
-	d := corePowerOf(core.Arch3DM)
-	for _, name := range []string{"barnes", "tpcw"} {
+	names := []string{"barnes", "tpcw"}
+	protos := []cmp.Protocol{cmp.MESI, cmp.MOESI}
+	type protoOut struct {
+		wb    int64
+		flits int64
+		res   noc.Result
+		err   error
+	}
+	points := make([]Point[protoOut], 0, len(names)*len(protos))
+	for _, name := range names {
 		w, ok := cmp.ByName(name)
 		if !ok {
 			return t, fmt.Errorf("exp: workload %s missing", name)
 		}
-		for _, proto := range []cmp.Protocol{cmp.MESI, cmp.MOESI} {
-			p := cmp.DefaultParams(w, d.Topo, o.Seed)
-			p.Protocol = proto
-			sys, err := cmp.NewSystem(p)
-			if err != nil {
-				return t, err
+		for _, proto := range protos {
+			w, proto := w, proto
+			points = append(points, Point[protoOut]{
+				Label: fmt.Sprintf("protocol %s/%s", w.Name, proto),
+				Run: func(o Options) protoOut {
+					d := core.MustDesign(core.Arch3DM)
+					p := cmp.DefaultParams(w, d.Topo, o.Seed)
+					p.Protocol = proto
+					sys, err := cmp.NewSystem(p)
+					if err != nil {
+						return protoOut{err: err}
+					}
+					tr, st := sys.Run(o.TraceCycles)
+					net := noc.NewNetwork(d.NoCConfig(noc.ByClass, o.Seed))
+					s := noc.NewSim(net, &traffic.Replayer{Trace: tr, Loop: true})
+					s.Params = o.simParams()
+					return protoOut{
+						wb:    st.KindCounts[cmp.KindWriteBack],
+						flits: tr.Flits(),
+						res:   s.Run(),
+					}
+				},
+			})
+		}
+	}
+	res := RunAll(o, points)
+	d := corePowerOf(core.Arch3DM)
+	k := 0
+	for _, name := range names {
+		for _, proto := range protos {
+			r := res[k]
+			k++
+			if r.err != nil {
+				return t, r.err
 			}
-			tr, st := sys.Run(o.TraceCycles)
-			net := noc.NewNetwork(d.NoCConfig(noc.ByClass, o.Seed))
-			s := noc.NewSim(net, &traffic.Replayer{Trace: tr, Loop: true})
-			s.Params = o.simParams()
-			res := s.Run()
 			t.Rows = append(t.Rows, []string{
 				fmt.Sprintf("%s/%s", name, proto),
-				fmt.Sprintf("%d", st.KindCounts[cmp.KindWriteBack]),
-				fmt.Sprintf("%d", tr.Flits()),
-				f3(NetworkPowerW(d, res, true)),
-				latCell(res),
+				fmt.Sprintf("%d", r.wb),
+				fmt.Sprintf("%d", r.flits),
+				f3(NetworkPowerW(d, r.res, true)),
+				latCell(r.res),
 			})
 		}
 	}
@@ -247,9 +350,20 @@ func ExtHerding(o Options) Table {
 		Title:  "Thermal herding + 3DM router shutdown (uniform random @ 0.20)",
 		Header: []string{"configuration", "avg T rise (K)", "max T rise (K)"},
 	}
+	fracs := []float64{0, 0.5}
+	points := make([]Point[noc.Result], 0, len(fracs))
+	for _, frac := range fracs {
+		frac := frac
+		points = append(points, Point[noc.Result]{
+			Label: fmt.Sprintf("herding short=%.0f%%", 100*frac),
+			Run: func(o Options) noc.Result {
+				return RunUR(core.MustDesign(core.Arch3DM), 0.20, frac, o)
+			},
+		})
+	}
+	res := RunAll(o, points)
 	d := corePowerOf(core.Arch3DM)
-	r0 := RunUR(d, 0.20, 0, o)
-	r50 := RunUR(d, 0.20, 0.5, o)
+	r0, r50 := res[0], res[1]
 	cases := []struct {
 		name string
 		res  noc.Result
@@ -290,27 +404,20 @@ func ExtPatterns(o Options) (Table, error) {
 		{"complement", traffic.Complement},
 		{"tornado", traffic.Tornado},
 	}
-	for _, p := range patterns {
-		row := []string{p.name}
-		for _, a := range archs {
-			d := core.MustDesign(a)
+	type patternOut struct {
+		res noc.Result
+		err error
+	}
+	// mkGen builds each row's generator for one design; the hotspot row
+	// biases traffic toward the four centre nodes.
+	mkGen := func(rowName string, dst traffic.DstFunc, d *core.Design) (noc.Generator, error) {
+		if dst != nil {
 			gen := &traffic.Permutation{
 				Topo: d.Topo, InjectionRate: rate, PacketSize: core.DataPacketFlits,
-				Dst: p.dst, Name: p.name,
+				Dst: dst, Name: rowName,
 			}
-			if err := gen.Validate(); err != nil {
-				return t, err
-			}
-			s := noc.NewSim(noc.NewNetwork(d.NoCConfig(noc.AnyFree, o.Seed)), gen)
-			s.Params = o.simParams()
-			row = append(row, latCell(s.Run()))
+			return gen, gen.Validate()
 		}
-		t.Rows = append(t.Rows, row)
-	}
-	// Hotspot: all traffic biased toward the four centre nodes.
-	row := []string{"hotspot(4c,30%)"}
-	for _, a := range archs {
-		d := core.MustDesign(a)
 		var hot []topology.NodeID
 		for _, n := range d.Topo.Nodes() {
 			c := n.Coord
@@ -318,15 +425,51 @@ func ExtPatterns(o Options) (Table, error) {
 				hot = append(hot, n.ID)
 			}
 		}
-		gen := &traffic.Hotspot{
+		return &traffic.Hotspot{
 			Topo: d.Topo, InjectionRate: rate, PacketSize: core.DataPacketFlits,
 			Hot: hot, Frac: 0.3,
-		}
-		s := noc.NewSim(noc.NewNetwork(d.NoCConfig(noc.AnyFree, o.Seed)), gen)
-		s.Params = o.simParams()
-		row = append(row, latCell(s.Run()))
+		}, nil
 	}
-	t.Rows = append(t.Rows, row)
+	rows := make([]struct {
+		name string
+		dst  traffic.DstFunc
+	}, 0, len(patterns)+1)
+	rows = append(rows, patterns...)
+	rows = append(rows, struct {
+		name string
+		dst  traffic.DstFunc
+	}{"hotspot(4c,30%)", nil})
+	points := make([]Point[patternOut], 0, len(rows)*len(archs))
+	for _, r := range rows {
+		for _, a := range archs {
+			r, a := r, a
+			points = append(points, Point[patternOut]{
+				Label: fmt.Sprintf("pattern=%s arch=%s", r.name, a),
+				Run: func(o Options) patternOut {
+					d := core.MustDesign(a)
+					gen, err := mkGen(r.name, r.dst, d)
+					if err != nil {
+						return patternOut{err: err}
+					}
+					s := noc.NewSim(noc.NewNetwork(d.NoCConfig(noc.AnyFree, o.Seed)), gen)
+					s.Params = o.simParams()
+					return patternOut{res: s.Run()}
+				},
+			})
+		}
+	}
+	res := RunAll(o, points)
+	for i, r := range rows {
+		row := []string{r.name}
+		for j := range archs {
+			p := res[i*len(archs)+j]
+			if p.err != nil {
+				return t, p.err
+			}
+			row = append(row, latCell(p.res))
+		}
+		t.Rows = append(t.Rows, row)
+	}
 	t.Notes = append(t.Notes,
 		"extension beyond the paper (MIRA evaluates uniform random only)",
 		"the hotspot region is the chip centre: 4 nodes on the 6x6 floorplans but a single top-layer node on 3DB's 3x3, which therefore saturates")

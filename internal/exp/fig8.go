@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"fmt"
+
 	"mira/internal/core"
 	"mira/internal/noc"
 	"mira/internal/traffic"
@@ -29,18 +31,32 @@ func Fig8(o Options) Table {
 		{"(d) RC|VA|SA|ST+LT (3DM)", false, false, 1},
 		{"(c)+(d) VA+SA|ST+LT", true, true, 1},
 	}
+	rates := []float64{0.05, 0.15, 0.30}
+	points := make([]Point[noc.Result], 0, len(variants)*len(rates))
 	for _, v := range variants {
-		d := core.MustDesign(core.Arch2DB)
-		cfg := d.NoCConfig(noc.AnyFree, o.Seed)
-		cfg.LookaheadRC = v.look
-		cfg.SpecSA = v.spec
-		cfg.STLTCycles = v.stlt
+		for _, rate := range rates {
+			v, rate := v, rate
+			points = append(points, Point[noc.Result]{
+				Label: fmt.Sprintf("pipe=%s rate=%.2f", v.name, rate),
+				Run: func(o Options) noc.Result {
+					d := core.MustDesign(core.Arch2DB)
+					cfg := d.NoCConfig(noc.AnyFree, o.Seed)
+					cfg.LookaheadRC = v.look
+					cfg.SpecSA = v.spec
+					cfg.STLTCycles = v.stlt
+					gen := &traffic.Uniform{Topo: d.Topo, InjectionRate: rate, PacketSize: core.DataPacketFlits}
+					s := noc.NewSim(noc.NewNetwork(cfg), gen)
+					s.Params = o.simParams()
+					return s.Run()
+				},
+			})
+		}
+	}
+	res := RunAll(o, points)
+	for i, v := range variants {
 		row := []string{v.name, f2(float64(v.stlt))}
-		for _, rate := range []float64{0.05, 0.15, 0.30} {
-			gen := &traffic.Uniform{Topo: d.Topo, InjectionRate: rate, PacketSize: core.DataPacketFlits}
-			s := noc.NewSim(noc.NewNetwork(cfg), gen)
-			s.Params = o.simParams()
-			row = append(row, latCell(s.Run()))
+		for j := range rates {
+			row = append(row, latCell(res[i*len(rates)+j]))
 		}
 		t.Rows = append(t.Rows, row)
 	}

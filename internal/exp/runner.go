@@ -1,0 +1,124 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// The parallel experiment engine. Every figure of the MIRA evaluation is
+// a grid of fully independent simulation points — architectures ×
+// injection rates × workloads — so the drivers in this package describe
+// their sweeps as []Point and RunAll fans the points out across a worker
+// pool.
+//
+// Determinism: each point receives an Options copy whose Seed is derived
+// only from (Options.Seed, point index) via SeedFor, and results land in
+// a slice slot owned by that index. No state is shared between points
+// (each point elaborates its own Design/Network/Sim), so the output is
+// bit-identical for every worker count, including 1. The per-point seed
+// split also means distinct sweep points draw statistically independent
+// random streams instead of replaying one shared stream.
+
+// Point is one independent simulation of a sweep: a label for progress
+// reporting and the closure that runs it. The closure must derive all
+// of its randomness from the Options it is handed and must not touch
+// state shared with other points.
+type Point[T any] struct {
+	Label string
+	Run   func(o Options) T
+}
+
+// Progress describes one completed sweep point.
+type Progress struct {
+	Done    int // points completed so far, including this one
+	Total   int
+	Index   int // the point's position in the input slice
+	Label   string
+	Elapsed time.Duration
+}
+
+// SeedFor derives the RNG seed for one sweep point from the experiment
+// seed and the point's index (splitmix64 finalizer, so neighbouring
+// indices yield uncorrelated streams).
+func SeedFor(base int64, index int) int64 {
+	z := uint64(base) + 0x9E3779B97F4A7C15*uint64(index+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// workerCount resolves Options.Workers, defaulting to GOMAXPROCS.
+func (o Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunAll executes the points on a pool of o.Workers goroutines
+// (GOMAXPROCS when zero) and returns their results in input order.
+// Each point runs with o.Seed replaced by SeedFor(o.Seed, index), so
+// the result slice is identical no matter how many workers run it or
+// in which order points are scheduled.
+func RunAll[T any](o Options, points []Point[T]) []T {
+	out := make([]T, len(points))
+	if len(points) == 0 {
+		return out
+	}
+	workers := o.workerCount()
+	if workers > len(points) {
+		workers = len(points)
+	}
+	progress := o.Progress
+	total := len(points)
+
+	// Points never see the pool controls: nested sweeps inside a point
+	// run inline, and progress is reported only at point granularity.
+	po := o
+	po.Workers = 1
+	po.Progress = nil
+
+	if workers <= 1 {
+		for i, p := range points {
+			start := time.Now()
+			opts := po
+			opts.Seed = SeedFor(o.Seed, i)
+			out[i] = p.Run(opts)
+			if progress != nil {
+				progress(Progress{Done: i + 1, Total: total, Index: i, Label: p.Label, Elapsed: time.Since(start)})
+			}
+		}
+		return out
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // serializes progress callbacks
+	done := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				start := time.Now()
+				opts := po
+				opts.Seed = SeedFor(o.Seed, i)
+				out[i] = points[i].Run(opts)
+				if progress != nil {
+					elapsed := time.Since(start)
+					mu.Lock()
+					done++
+					progress(Progress{Done: done, Total: total, Index: i, Label: points[i].Label, Elapsed: elapsed})
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range points {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,121 @@
+package exp
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"mira/internal/core"
+	"mira/internal/noc"
+)
+
+// TestSeedForDistinct checks that neighbouring point indices get
+// well-separated seeds for any base seed.
+func TestSeedForDistinct(t *testing.T) {
+	for _, base := range []int64{0, 1, 42, -7, 1 << 40} {
+		seen := map[int64]int{}
+		for i := 0; i < 1000; i++ {
+			s := SeedFor(base, i)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("SeedFor(%d, %d) == SeedFor(%d, %d) == %d", base, i, base, prev, s)
+			}
+			seen[s] = i
+		}
+	}
+	if SeedFor(1, 0) == SeedFor(2, 0) {
+		t.Error("different base seeds map index 0 to the same point seed")
+	}
+}
+
+// TestRunAllOrdering checks results land at their point's index no
+// matter how many workers race.
+func TestRunAllOrdering(t *testing.T) {
+	points := make([]Point[int], 64)
+	for i := range points {
+		i := i
+		points[i] = Point[int]{Label: "p", Run: func(Options) int { return i * i }}
+	}
+	for _, workers := range []int{1, 3, 8, 100} {
+		got := RunAll(Options{Workers: workers}, points)
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: point %d returned %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestRunAllSeeds checks every point sees its derived seed and a
+// worker-count-independent Options copy (Workers pinned to 1, no
+// progress callback).
+func TestRunAllSeeds(t *testing.T) {
+	o := Options{Seed: 42, Workers: 4, Progress: func(Progress) {}}
+	points := make([]Point[int64], 16)
+	for i := range points {
+		points[i] = Point[int64]{Label: "seed", Run: func(po Options) int64 {
+			if po.Workers != 1 || po.Progress != nil {
+				t.Error("pool controls leaked into a point's Options")
+			}
+			return po.Seed
+		}}
+	}
+	got := RunAll(o, points)
+	for i, s := range got {
+		if want := SeedFor(42, i); s != want {
+			t.Errorf("point %d ran with seed %d, want SeedFor(42, %d) = %d", i, s, i, want)
+		}
+	}
+}
+
+// TestRunAllProgress checks the callback fires once per point with a
+// monotonically increasing Done count.
+func TestRunAllProgress(t *testing.T) {
+	var calls int
+	lastDone := 0
+	o := Options{Workers: 8}
+	o.Progress = func(p Progress) {
+		calls++
+		if p.Done != lastDone+1 {
+			t.Errorf("Done jumped from %d to %d", lastDone, p.Done)
+		}
+		lastDone = p.Done
+		if p.Total != 20 {
+			t.Errorf("Total = %d, want 20", p.Total)
+		}
+		if p.Label != "prog" {
+			t.Errorf("Label = %q", p.Label)
+		}
+	}
+	points := make([]Point[struct{}], 20)
+	for i := range points {
+		points[i] = Point[struct{}]{Label: "prog", Run: func(Options) struct{} { return struct{}{} }}
+	}
+	RunAll(o, points)
+	if calls != 20 {
+		t.Errorf("progress fired %d times, want 20", calls)
+	}
+}
+
+// TestRunAllDeterminism is the headline guarantee: a real simulation
+// sweep produces byte-identical tables with 1 worker and with 8.
+func TestRunAllDeterminism(t *testing.T) {
+	o := tiny()
+	sweep := func(workers int) []SweepResult {
+		so := o
+		so.Workers = workers
+		var launched int32
+		so.Progress = func(Progress) { atomic.AddInt32(&launched, 1) }
+		res := runSweep(so, []float64{0.05, 0.30}, func(d *core.Design, rate float64, po Options) noc.Result {
+			return RunUR(d, rate, 0, po)
+		})
+		if int(launched) != 2*len(core.Archs) {
+			t.Fatalf("workers=%d: %d progress callbacks, want %d", workers, launched, 2*len(core.Archs))
+		}
+		return res
+	}
+	seq := sweep(1)
+	par := sweep(8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("sweep results differ between workers=1 and workers=8")
+	}
+}

@@ -20,6 +20,10 @@ import (
 //     a VC holding buffered flits is never Idle.
 //  4. Output VC reservations are consistent: an Active input VC's
 //     (outDir, outVC) target is actually reserved.
+//  5. The incrementally maintained backlog counters (queued flits,
+//     queued packets, in-flight flits) agree with a full rescan of the
+//     NI queues, router buffers and event ring — the debug cross-check
+//     for the O(1) backlog the simulator's drain loop relies on.
 func (n *Network) CheckInvariants() error {
 	type chanKey struct {
 		router topology.NodeID
@@ -29,11 +33,14 @@ func (n *Network) CheckInvariants() error {
 	// Flits and credits currently in flight, per downstream channel.
 	inFlight := make(map[chanKey]int)
 	credRet := make(map[chanKey]int)
+	ejecting := 0
 	for _, slot := range n.ring {
 		for _, ev := range slot {
 			switch ev.kind {
 			case evFlit:
 				inFlight[chanKey{ev.router, ev.dir, ev.vc}]++
+			case evEject:
+				ejecting++
 			case evCredit:
 				// ev.router is the upstream router; translate to the
 				// downstream channel it describes.
@@ -102,6 +109,36 @@ func (n *Network) CheckInvariants() error {
 				}
 			}
 		}
+	}
+
+	// Backlog counter conservation (property 5): recompute the scanned
+	// truth the counters replaced and require exact agreement.
+	var scanQueuedFlits, scanQueuedPkts int64
+	for i := range n.nis {
+		s := &n.nis[i]
+		for _, j := range s.queue {
+			scanQueuedFlits += int64(j.pkt.Size)
+		}
+		scanQueuedPkts += int64(len(s.queue))
+		if s.injecting {
+			scanQueuedFlits += int64(s.cur.pkt.Size - s.curSeq)
+			scanQueuedPkts++
+		}
+	}
+	if scanQueuedFlits != n.queuedFlits || scanQueuedPkts != n.queuedPackets {
+		return fmt.Errorf("noc: queued counters drifted: flits %d (scan %d), packets %d (scan %d)",
+			n.queuedFlits, scanQueuedFlits, n.queuedPackets, scanQueuedPkts)
+	}
+	var scanInFlight int64
+	for _, r := range n.routers {
+		scanInFlight += int64(r.occupancy())
+	}
+	for _, c := range inFlight {
+		scanInFlight += int64(c)
+	}
+	scanInFlight += int64(ejecting)
+	if scanInFlight != n.inFlightFlits {
+		return fmt.Errorf("noc: in-flight counter drifted: %d, scan %d", n.inFlightFlits, scanInFlight)
 	}
 	return nil
 }

@@ -27,7 +27,7 @@ func TestInvariantsUnderLoad(t *testing.T) {
 			gen := bernoulli(c.cfg.Topo, c.rate, 4, Data)
 			rng := rand.New(rand.NewSource(5))
 			for cycle := int64(0); cycle < 1500; cycle++ {
-				for _, spec := range gen.Generate(cycle, rng) {
+				for _, spec := range gen.Generate(cycle, rng, nil) {
 					if _, err := net.Enqueue(spec); err != nil {
 						t.Fatal(err)
 					}
@@ -275,8 +275,7 @@ func TestLinkLoads(t *testing.T) {
 func TestPerClassResults(t *testing.T) {
 	cfg := cfg2D(2)
 	cfg.Policy = ByClass
-	gen := GeneratorFunc(func(cycle int64, rng *rand.Rand) []Spec {
-		var specs []Spec
+	gen := GeneratorFunc(func(cycle int64, rng *rand.Rand, specs []Spec) []Spec {
 		if rng.Float64() < 0.3 {
 			a := topology.NodeID(rng.Intn(36))
 			b := topology.NodeID(rng.Intn(36))

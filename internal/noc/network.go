@@ -32,10 +32,11 @@ const ringSize = 8
 // the wormhole injection state of the packet currently entering the
 // router.
 type ni struct {
-	queue  []*injJob
-	cur    *injJob
-	curVC  int
-	curSeq int
+	queue     []injJob
+	cur       injJob
+	injecting bool
+	curVC     int
+	curSeq    int
 }
 
 // injJob pairs a packet with its per-flit layer profile.
@@ -53,9 +54,14 @@ type Network struct {
 	ring    [ringSize][]event
 	cycle   int64
 
-	// InFlight counts flits currently inside the network (buffered or
-	// on a link); it is used by the simulator to detect drain.
+	// inFlightFlits counts flits currently inside the network (buffered
+	// or on a link); queuedFlits counts flits of enqueued packets that
+	// have not yet entered a router. Both are maintained incrementally
+	// at enqueue/inject/eject so the simulator's per-cycle backlog and
+	// drain checks are O(1) instead of rescanning every NI queue
+	// (CheckInvariants cross-checks them against a full scan).
 	inFlightFlits int64
+	queuedFlits   int64
 	queuedPackets int64
 	nextPacketID  int64
 
@@ -116,8 +122,9 @@ func (n *Network) Enqueue(spec Spec) (*Packet, error) {
 		Class:     spec.Class,
 		CreatedAt: n.cycle,
 	}
-	n.nis[spec.Src].queue = append(n.nis[spec.Src].queue, &injJob{pkt: pkt, layers: spec.LayersPerFlit})
+	n.nis[spec.Src].queue = append(n.nis[spec.Src].queue, injJob{pkt: pkt, layers: spec.LayersPerFlit})
 	n.queuedPackets++
+	n.queuedFlits += int64(pkt.Size)
 	return pkt, nil
 }
 
@@ -127,6 +134,16 @@ func (n *Network) QueuedPackets() int64 { return n.queuedPackets }
 
 // InFlightFlits returns flits buffered in routers or on links.
 func (n *Network) InFlightFlits() int64 { return n.inFlightFlits }
+
+// QueuedFlits returns flits of enqueued packets that have not yet been
+// injected into a router.
+func (n *Network) QueuedFlits() int64 { return n.queuedFlits }
+
+// BacklogFlits returns the total network backlog: flits waiting in NI
+// queues plus flits buffered in routers or on links. It is maintained
+// incrementally and therefore O(1); the simulator samples it every
+// drain cycle for saturation and deadlock detection.
+func (n *Network) BacklogFlits() int64 { return n.queuedFlits + n.inFlightFlits }
 
 // Idle reports whether no traffic remains anywhere in the network.
 func (n *Network) Idle() bool { return n.queuedPackets == 0 && n.inFlightFlits == 0 }
@@ -186,7 +203,7 @@ func (n *Network) inject(id topology.NodeID) {
 	r := n.routers[id]
 	lp := &r.inPorts[r.inIndex[topology.Local]]
 
-	if s.cur == nil {
+	if !s.injecting {
 		if len(s.queue) == 0 {
 			return
 		}
@@ -197,6 +214,7 @@ func (n *Network) inject(id topology.NodeID) {
 		}
 		s.queue = s.queue[1:]
 		s.cur = job
+		s.injecting = true
 		s.curVC = vc
 		s.curSeq = 0
 	}
@@ -225,9 +243,11 @@ func (n *Network) inject(id topology.NodeID) {
 	}
 	r.acceptFlit(n.cycle, int(r.inIndex[topology.Local]), s.curVC, f)
 	n.inFlightFlits++
+	n.queuedFlits--
 	s.curSeq++
 	if s.curSeq == job.pkt.Size {
-		s.cur = nil
+		s.cur = injJob{}
+		s.injecting = false
 		n.queuedPackets--
 	}
 }

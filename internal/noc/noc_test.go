@@ -147,8 +147,7 @@ func TestHopsMatchRouting(t *testing.T) {
 func bernoulli(topo *topology.Topology, flitsPerNodeCycle float64, size int, class Class) Generator {
 	n := topo.NumNodes()
 	pPkt := flitsPerNodeCycle / float64(size)
-	return GeneratorFunc(func(cycle int64, rng *rand.Rand) []Spec {
-		var specs []Spec
+	return GeneratorFunc(func(cycle int64, rng *rand.Rand, specs []Spec) []Spec {
 		for src := 0; src < n; src++ {
 			if rng.Float64() >= pPkt {
 				continue
@@ -230,11 +229,11 @@ func TestWeightedCountersFullLayersEqualRaw(t *testing.T) {
 func TestWeightedCountersShortFlits(t *testing.T) {
 	cfg := cfg2D(2)
 	net := NewNetwork(cfg)
-	gen := GeneratorFunc(func(cycle int64, rng *rand.Rand) []Spec {
+	gen := GeneratorFunc(func(cycle int64, rng *rand.Rand, specs []Spec) []Spec {
 		if cycle != 0 {
-			return nil
+			return specs
 		}
-		return []Spec{{Src: 0, Dst: 5, Size: 2, Class: Data, LayersPerFlit: []uint8{1, 1}}}
+		return append(specs, Spec{Src: 0, Dst: 5, Size: 2, Class: Data, LayersPerFlit: []uint8{1, 1}})
 	})
 	s := NewSim(net, gen)
 	s.Params = SimParams{Warmup: 0, Measure: 100, DrainMax: 400}
@@ -301,8 +300,7 @@ func TestByClassPolicyRequestResponse(t *testing.T) {
 	cfg := cfg2D(2)
 	cfg.Policy = ByClass
 	// Bimodal request/response traffic at moderate load must drain.
-	gen := GeneratorFunc(func(cycle int64, rng *rand.Rand) []Spec {
-		var specs []Spec
+	gen := GeneratorFunc(func(cycle int64, rng *rand.Rand, specs []Spec) []Spec {
 		for src := 0; src < 36; src++ {
 			if rng.Float64() < 0.02 {
 				dst := rng.Intn(35)

@@ -9,8 +9,7 @@ import (
 
 // bimodalGen issues request/response pairs at the given aggregate rate.
 func bimodalGen(rate float64) Generator {
-	return GeneratorFunc(func(cycle int64, rng *rand.Rand) []Spec {
-		var specs []Spec
+	return GeneratorFunc(func(cycle int64, rng *rand.Rand, specs []Spec) []Spec {
 		for i := 0; i < 36; i++ {
 			if rng.Float64() >= rate/5.0 { // 5 flits per pair
 				continue

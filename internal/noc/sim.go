@@ -10,16 +10,23 @@ import (
 // Generator produces packets for injection. Implementations live in
 // internal/traffic and internal/cmp.
 type Generator interface {
-	// Generate returns the packets to enqueue at the given cycle. The
-	// rng is owned by the simulation and seeded from Config.Seed.
-	Generate(cycle int64, rng *rand.Rand) []Spec
+	// Generate appends the packets to enqueue at the given cycle to
+	// specs and returns the extended slice. The simulator passes the
+	// same backing slice (truncated to length zero) every cycle, so
+	// steady-state generation is allocation-free; implementations must
+	// not retain the slice across calls. The rng is owned by the
+	// simulation and seeded from Config.Seed. Cycles are queried in
+	// strictly increasing order.
+	Generate(cycle int64, rng *rand.Rand, specs []Spec) []Spec
 }
 
 // GeneratorFunc adapts a function to the Generator interface.
-type GeneratorFunc func(cycle int64, rng *rand.Rand) []Spec
+type GeneratorFunc func(cycle int64, rng *rand.Rand, specs []Spec) []Spec
 
 // Generate implements Generator.
-func (f GeneratorFunc) Generate(cycle int64, rng *rand.Rand) []Spec { return f(cycle, rng) }
+func (f GeneratorFunc) Generate(cycle int64, rng *rand.Rand, specs []Spec) []Spec {
+	return f(cycle, rng, specs)
+}
 
 // SimParams controls a simulation run.
 type SimParams struct {
@@ -89,12 +96,23 @@ type ClassResult struct {
 }
 
 // Sim couples a network with a traffic generator and measurement logic.
+//
+// A Sim is single-shot: Run consumes the generator and the network's
+// RNG state, so calling it twice would silently continue a spent random
+// stream and replay a drained network. Run panics on reuse; build a new
+// Sim (and Network) per run. This guarantee is what lets the parallel
+// experiment runner treat every sweep point as an isolated unit.
 type Sim struct {
 	Net    *Network
 	Gen    Generator
 	Params SimParams
 
 	rng *rand.Rand
+	ran bool
+
+	// specs is the reusable per-cycle generation buffer handed to
+	// Gen.Generate, so steady-state injection allocates nothing.
+	specs []Spec
 }
 
 // NewSim builds a simulation with the default parameters.
@@ -103,8 +121,12 @@ func NewSim(net *Network, gen Generator) *Sim {
 }
 
 // Run executes warm-up, measurement and drain, returning the collected
-// metrics.
+// metrics. Run may be called at most once per Sim; see the type comment.
 func (s *Sim) Run() Result {
+	if s.ran {
+		panic("noc: Sim.Run called twice; a Sim is single-shot, build a new one per run")
+	}
+	s.ran = true
 	if s.rng == nil {
 		s.rng = rand.New(rand.NewSource(s.Net.cfg.Seed))
 	}
@@ -133,15 +155,9 @@ func (s *Sim) Run() Result {
 		classHops[pkt.Class] += float64(pkt.Hops)
 	})
 
-	backlog := func() int64 {
-		var queuedFlits int64
-		for i := range s.Net.nis {
-			for _, j := range s.Net.nis[i].queue {
-				queuedFlits += int64(j.pkt.Size)
-			}
-		}
-		return queuedFlits + s.Net.InFlightFlits()
-	}
+	// The backlog (queued + in-flight flits) is maintained incrementally
+	// by the network, so sampling it every drain cycle is O(1) instead
+	// of rescanning every NI queue.
 	var backlogStart int64
 
 	// Deadlock watchdog: during drain, a backlog that never shrinks
@@ -154,7 +170,7 @@ func (s *Sim) Run() Result {
 	for cycle := int64(0); cycle < end; cycle++ {
 		if cycle == measureStart {
 			s.Net.ResetCounters()
-			backlogStart = backlog()
+			backlogStart = s.Net.BacklogFlits()
 		}
 		if cycle == measureEnd {
 			// Snapshot activity for the power model before draining.
@@ -162,11 +178,12 @@ func (s *Sim) Run() Result {
 			res.PerRouter = s.Net.RouterCounters()
 			// Saturation: the backlog grew by more than 0.5 % of the
 			// node-cycle product over the window.
-			growth := backlog() - backlogStart
+			growth := s.Net.BacklogFlits() - backlogStart
 			res.Saturated = float64(growth) > 0.005*float64(p.Measure)*float64(s.Net.cfg.Topo.NumNodes())
 		}
 		if cycle < measureEnd {
-			for _, spec := range s.Gen.Generate(cycle, s.rng) {
+			s.specs = s.Gen.Generate(cycle, s.rng, s.specs[:0])
+			for _, spec := range s.specs {
 				pkt, err := s.Net.Enqueue(spec)
 				if err != nil {
 					panic(err) // generator bug
@@ -180,7 +197,7 @@ func (s *Sim) Run() Result {
 			break
 		}
 		if cycle >= measureEnd {
-			if b := backlog(); minBacklog < 0 || b < minBacklog {
+			if b := s.Net.BacklogFlits(); minBacklog < 0 || b < minBacklog {
 				minBacklog = b
 				lastProgress = cycle
 			} else if cycle-lastProgress > stallWindow {

@@ -52,9 +52,8 @@ type Permutation struct {
 var _ noc.Generator = (*Permutation)(nil)
 
 // Generate implements noc.Generator.
-func (p *Permutation) Generate(cycle int64, rng *rand.Rand) []noc.Spec {
+func (p *Permutation) Generate(cycle int64, rng *rand.Rand, specs []noc.Spec) []noc.Spec {
 	pPkt := p.InjectionRate / float64(p.PacketSize)
-	var specs []noc.Spec
 	for src := 0; src < p.Topo.NumNodes(); src++ {
 		if rng.Float64() >= pPkt {
 			continue
@@ -98,10 +97,9 @@ type Hotspot struct {
 var _ noc.Generator = (*Hotspot)(nil)
 
 // Generate implements noc.Generator.
-func (h *Hotspot) Generate(cycle int64, rng *rand.Rand) []noc.Spec {
+func (h *Hotspot) Generate(cycle int64, rng *rand.Rand, specs []noc.Spec) []noc.Spec {
 	n := h.Topo.NumNodes()
 	pPkt := h.InjectionRate / float64(h.PacketSize)
-	var specs []noc.Spec
 	for src := 0; src < n; src++ {
 		if rng.Float64() >= pPkt {
 			continue

@@ -84,7 +84,7 @@ func TestPermutationGenerate(t *testing.T) {
 	var flits int64
 	const cycles = 20000
 	for c := int64(0); c < cycles; c++ {
-		for _, s := range p.Generate(c, rng) {
+		for _, s := range p.Generate(c, rng, nil) {
 			if s.Dst != Complement(m, s.Src) {
 				t.Fatalf("wrong destination for %d", s.Src)
 			}
@@ -105,7 +105,7 @@ func TestHotspotConcentration(t *testing.T) {
 	counts := map[topology.NodeID]int{}
 	total := 0
 	for c := int64(0); c < 30000; c++ {
-		for _, s := range h.Generate(c, rng) {
+		for _, s := range h.Generate(c, rng, nil) {
 			counts[s.Dst]++
 			total++
 		}

@@ -114,13 +114,12 @@ var _ noc.Generator = (*Replayer)(nil)
 // Generate implements noc.Generator. Cycles must be queried in
 // non-decreasing order; the rng is unused because traces are
 // deterministic.
-func (r *Replayer) Generate(cycle int64, _ *rand.Rand) []noc.Spec {
+func (r *Replayer) Generate(cycle int64, _ *rand.Rand, specs []noc.Spec) []noc.Spec {
 	evs := r.Trace.Events
 	if len(evs) == 0 {
-		return nil
+		return specs
 	}
 	span := r.Trace.Span()
-	var specs []noc.Spec
 	for {
 		if r.idx >= len(evs) {
 			if !r.Loop {

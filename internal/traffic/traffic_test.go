@@ -123,7 +123,7 @@ func TestUniformRate(t *testing.T) {
 	var flits int64
 	const cycles = 20000
 	for c := int64(0); c < cycles; c++ {
-		for _, s := range u.Generate(c, rng) {
+		for _, s := range u.Generate(c, rng, nil) {
 			if s.Src == s.Dst {
 				t.Fatal("self-addressed packet")
 			}
@@ -142,7 +142,7 @@ func TestUniformDestinationSpread(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	counts := make(map[topology.NodeID]int)
 	for c := int64(0); c < 30000; c++ {
-		for _, s := range u.Generate(c, rng) {
+		for _, s := range u.Generate(c, rng, nil) {
 			counts[s.Dst]++
 		}
 	}
@@ -164,7 +164,7 @@ func TestNUCARequestsComeFromCPUs(t *testing.T) {
 	}
 	var reqs, resps int
 	for c := int64(0); c < 20000; c++ {
-		for _, s := range g.Generate(c, rng) {
+		for _, s := range g.Generate(c, rng, nil) {
 			switch s.Class {
 			case noc.Control:
 				reqs++
@@ -207,7 +207,7 @@ func TestNUCAOfferedLoad(t *testing.T) {
 	var flits int64
 	const cycles = 30000
 	for c := int64(0); c < cycles; c++ {
-		for _, s := range g.Generate(c, rng) {
+		for _, s := range g.Generate(c, rng, nil) {
 			flits += int64(s.Size)
 		}
 	}
@@ -312,7 +312,7 @@ func TestReplayerOnce(t *testing.T) {
 	r := &Replayer{Trace: tr}
 	var got int
 	for c := int64(0); c < 20; c++ {
-		got += len(r.Generate(c, nil))
+		got += len(r.Generate(c, nil, nil))
 	}
 	if got != 4 {
 		t.Errorf("replayed %d events, want 4", got)
@@ -324,7 +324,7 @@ func TestReplayerLoop(t *testing.T) {
 	r := &Replayer{Trace: tr, Loop: true}
 	var got int
 	for c := int64(0); c < 16; c++ { // two full spans
-		got += len(r.Generate(c, nil))
+		got += len(r.Generate(c, nil, nil))
 	}
 	if got != 8 {
 		t.Errorf("replayed %d events over two spans, want 8", got)
@@ -334,7 +334,7 @@ func TestReplayerLoop(t *testing.T) {
 func TestReplayerBatchesSameCycle(t *testing.T) {
 	tr := makeTrace()
 	r := &Replayer{Trace: tr}
-	if n := len(r.Generate(3, nil)); n != 3 { // cycle-0 event was never asked for... it arrives now too
+	if n := len(r.Generate(3, nil, nil)); n != 3 { // cycle-0 event was never asked for... it arrives now too
 		// Events at cycles 0 and 3 are all due by cycle 3.
 		t.Errorf("events due by cycle 3 = %d, want 3", n)
 	}
@@ -342,7 +342,7 @@ func TestReplayerBatchesSameCycle(t *testing.T) {
 
 func TestReplayerEmptyTrace(t *testing.T) {
 	r := &Replayer{Trace: &Trace{}}
-	if specs := r.Generate(0, nil); specs != nil {
+	if specs := r.Generate(0, nil, nil); specs != nil {
 		t.Errorf("empty trace should generate nothing")
 	}
 }

@@ -28,10 +28,9 @@ type Uniform struct {
 var _ noc.Generator = (*Uniform)(nil)
 
 // Generate implements noc.Generator.
-func (u *Uniform) Generate(cycle int64, rng *rand.Rand) []noc.Spec {
+func (u *Uniform) Generate(cycle int64, rng *rand.Rand, specs []noc.Spec) []noc.Spec {
 	n := u.Topo.NumNodes()
 	pPkt := u.InjectionRate / float64(u.PacketSize)
-	var specs []noc.Spec
 	for src := 0; src < n; src++ {
 		if rng.Float64() >= pPkt {
 			continue
@@ -75,20 +74,30 @@ type NUCA struct {
 	// ShortFlits applies to response payloads.
 	ShortFlits ShortFlitProfile
 
-	pending map[int64][]noc.Spec // responses scheduled by cycle
+	// pending is a timing wheel of responses keyed by delivery cycle
+	// modulo the wheel size. Responses are always scheduled a fixed
+	// BankDelay ahead and cycles are queried in increasing order, so
+	// buckets can be recycled in place with no per-cycle map churn.
+	pending [][]noc.Spec
 }
 
 var _ noc.Generator = (*NUCA)(nil)
 
 // Generate implements noc.Generator.
-func (g *NUCA) Generate(cycle int64, rng *rand.Rand) []noc.Spec {
+func (g *NUCA) Generate(cycle int64, rng *rand.Rand, specs []noc.Spec) []noc.Spec {
 	if g.pending == nil {
-		g.pending = make(map[int64][]noc.Spec)
+		// One bucket per cycle of bank delay, plus slack for the
+		// at-least-one-cycle clamp below.
+		size := int(g.BankDelay) + 2
+		if size < 2 {
+			size = 2
+		}
+		g.pending = make([][]noc.Spec, size)
 	}
 	cpus := g.Topo.CPUs()
 	caches := g.Topo.Caches()
 	if len(cpus) == 0 || len(caches) == 0 {
-		return nil
+		return specs
 	}
 	// Each request/response pair carries RequestSize+ResponseSize
 	// flits; solve the per-CPU request probability from the target
@@ -97,8 +106,10 @@ func (g *NUCA) Generate(cycle int64, rng *rand.Rand) []noc.Spec {
 	totalPktPerCycle := g.InjectionRate * float64(g.Topo.NumNodes()) / pairFlits
 	pReq := totalPktPerCycle / float64(len(cpus))
 
-	specs := g.pending[cycle]
-	delete(g.pending, cycle)
+	// Release this cycle's matured responses and recycle the bucket.
+	slot := cycle % int64(len(g.pending))
+	specs = append(specs, g.pending[slot]...)
+	g.pending[slot] = g.pending[slot][:0]
 
 	for _, cpu := range cpus {
 		if rng.Float64() >= pReq {
@@ -115,7 +126,8 @@ func (g *NUCA) Generate(cycle int64, rng *rand.Rand) []noc.Spec {
 		if at <= cycle {
 			at = cycle + 1
 		}
-		g.pending[at] = append(g.pending[at], noc.Spec{
+		rs := at % int64(len(g.pending))
+		g.pending[rs] = append(g.pending[rs], noc.Spec{
 			Src:           bank,
 			Dst:           cpu,
 			Size:          g.ResponseSize,
