@@ -368,15 +368,18 @@ func BenchmarkRouterCycle(b *testing.B) {
 	b.ReportMetric(float64(36), "routers")
 }
 
-// BenchmarkStepUR measures the allocation profile of the generate/
-// enqueue/step hot path on a loaded 6x6 mesh. The steady state should
-// be allocation-light: the spec buffer is reused across cycles and the
-// injection queues hold values, so per-cycle garbage comes only from
-// packet births.
-func BenchmarkStepUR(b *testing.B) {
+// benchStep measures the steady-state cost of the generate/enqueue/step
+// hot path on a 6x6 mesh at the given injection rate and step mode. The
+// steady state should be allocation-light: the spec buffer is reused
+// across cycles and the injection queues hold values, so per-cycle
+// garbage comes only from packet births.
+func benchStep(b *testing.B, rate float64, mode noc.StepMode) {
+	b.Helper()
 	d := core.MustDesign(core.Arch2DB)
-	gen := &traffic.Uniform{Topo: d.Topo, InjectionRate: 0.2, PacketSize: core.DataPacketFlits}
-	net := noc.NewNetwork(d.NoCConfig(noc.AnyFree, 1))
+	gen := &traffic.Uniform{Topo: d.Topo, InjectionRate: rate, PacketSize: core.DataPacketFlits}
+	cfg := d.NoCConfig(noc.AnyFree, 1)
+	cfg.Mode = mode
+	net := noc.NewNetwork(cfg)
 	rng := rand.New(rand.NewSource(1))
 	var specs []noc.Spec
 	cycle := int64(0)
@@ -397,6 +400,51 @@ func BenchmarkStepUR(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		step()
+	}
+}
+
+// BenchmarkStepUR is the loaded-mesh baseline (0.2 flits/node/cycle,
+// default activity-driven stepping).
+func BenchmarkStepUR(b *testing.B) { benchStep(b, 0.2, noc.StepActivity) }
+
+// BenchmarkStepURFullScan is BenchmarkStepUR on the reference full-scan
+// path, for before/after comparison under load.
+func BenchmarkStepURFullScan(b *testing.B) { benchStep(b, 0.2, noc.StepFullScan) }
+
+// BenchmarkStepLowRate measures the regime activity tracking targets:
+// at 0.05 flits/node/cycle most routers are idle most cycles, so the
+// activity path should beat BenchmarkStepLowRateFullScan by >= 3x.
+func BenchmarkStepLowRate(b *testing.B) { benchStep(b, 0.05, noc.StepActivity) }
+
+// BenchmarkStepLowRateFullScan is the full-scan reference for
+// BenchmarkStepLowRate: it pays the whole-fabric rescan every cycle
+// regardless of how little traffic exists.
+func BenchmarkStepLowRateFullScan(b *testing.B) { benchStep(b, 0.05, noc.StepFullScan) }
+
+// BenchmarkStepIdle steps a completely empty network: the activity path
+// reduces to four empty-set scans, so cost is O(1) per cycle and zero
+// allocations regardless of fabric size.
+func BenchmarkStepIdle(b *testing.B) {
+	d := core.MustDesign(core.Arch2DB)
+	net := noc.NewNetwork(d.NoCConfig(noc.AnyFree, 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Step()
+	}
+}
+
+// BenchmarkStepIdleFullScan is the empty-network full scan: the cost
+// floor the activity path removes.
+func BenchmarkStepIdleFullScan(b *testing.B) {
+	d := core.MustDesign(core.Arch2DB)
+	cfg := d.NoCConfig(noc.AnyFree, 1)
+	cfg.Mode = noc.StepFullScan
+	net := noc.NewNetwork(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Step()
 	}
 }
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mirabench [-quick] [-csv] [-svg DIR] [-seed N] [-workers N] [-progress] [-timing FILE] <experiment>...
+//	mirabench [-quick] [-csv] [-svg DIR] [-seed N] [-workers N] [-stepmode MODE] [-progress] [-timing FILE] [-cpuprofile FILE] [-memprofile FILE] <experiment>...
 //	mirabench all
 //	mirabench list
 //
@@ -12,6 +12,11 @@
 // tables are bit-identical for any worker count. -progress logs a
 // per-point timing line to stderr; -timing records per-experiment
 // wall-clock times as JSON.
+//
+// -stepmode selects the simulator's cycle-loop strategy (activity,
+// fullscan or checked); all modes produce identical tables, so a stdout
+// diff between modes is a determinism regression check. -cpuprofile and
+// -memprofile write pprof profiles for performance work.
 //
 // Experiments: table1 table2 table3, fig1 fig2 fig3 fig8 fig9 fig10,
 // fig11a-d, fig12a-d, fig13a-c, plus the ablation-* and ext-* studies
@@ -25,9 +30,11 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"mira/internal/exp"
+	"mira/internal/noc"
 )
 
 type experiment struct {
@@ -85,6 +92,9 @@ func main() {
 	workers := flag.Int("workers", 0, "sweep-point worker goroutines (0 = all CPUs); results are identical for any value")
 	progress := flag.Bool("progress", false, "log a per-point progress/timing line to stderr")
 	timingFile := flag.String("timing", "", "write per-experiment wall-clock times to this JSON file")
+	stepMode := flag.String("stepmode", "activity", "cycle-loop strategy: activity, fullscan or checked; tables are identical for every mode")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -100,6 +110,40 @@ func main() {
 	}
 	opts.Seed = *seed
 	opts.Workers = *workers
+	mode, err := noc.ParseStepMode(*stepMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mirabench: %v\n", err)
+		os.Exit(2)
+	}
+	opts.StepMode = mode
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mirabench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mirabench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mirabench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "mirabench: memprofile: %v\n", err)
+			}
+		}()
+	}
 	if *progress {
 		opts.Progress = func(p exp.Progress) {
 			fmt.Fprintf(os.Stderr, "  [%*d/%d] %-40s %8v\n",
@@ -223,7 +267,7 @@ func writeSVG(dir string, tb exp.Table) error {
 func usage() {
 	fmt.Fprintf(os.Stderr, `mirabench regenerates the MIRA paper's tables and figures.
 
-usage: mirabench [-quick] [-seed N] [-workers N] [-progress] [-timing FILE] <experiment>... | all | list
+usage: mirabench [-quick] [-seed N] [-workers N] [-stepmode MODE] [-progress] [-timing FILE] [-cpuprofile FILE] [-memprofile FILE] <experiment>... | all | list
 `)
 	flag.PrintDefaults()
 }

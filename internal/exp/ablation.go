@@ -26,7 +26,7 @@ func runCustomUR(d *core.Design, vcs, depth int, rate float64, o Options) noc.Re
 		InjectionRate: rate,
 		PacketSize:    core.DataPacketFlits,
 	}
-	net := noc.NewNetwork(d.CustomNoCConfig(noc.AnyFree, o.Seed, vcs, depth))
+	net := noc.NewNetwork(o.applyMode(d.CustomNoCConfig(noc.AnyFree, o.Seed, vcs, depth)))
 	s := noc.NewSim(net, gen)
 	s.Params = o.simParams()
 	return s.Run()
@@ -126,7 +126,7 @@ func AblationExpressInterval(o Options) (Table, error) {
 						STLTCycles: 1, Layers: core.Layers, Policy: noc.AnyFree, Seed: o.Seed,
 					}
 					gen := &traffic.Uniform{Topo: topo, InjectionRate: rate, PacketSize: core.DataPacketFlits}
-					s := noc.NewSim(noc.NewNetwork(cfg), gen)
+					s := noc.NewSim(noc.NewNetwork(o.applyMode(cfg)), gen)
 					s.Params = o.simParams()
 					return s.Run()
 				},

@@ -32,6 +32,11 @@ type Options struct {
 	// Progress, when non-nil, is invoked (serialized) after each
 	// completed sweep point, for per-point progress/timing reporting.
 	Progress func(Progress)
+	// StepMode selects the simulator's per-cycle scheduling strategy
+	// (activity-driven by default). Results are bit-identical across
+	// modes; fullscan/checked exist for determinism diffs and
+	// debugging (mirabench -stepmode).
+	StepMode noc.StepMode
 }
 
 // Default returns the full-size experiment windows.
@@ -46,6 +51,20 @@ func Quick() Options {
 
 func (o Options) simParams() noc.SimParams {
 	return noc.SimParams{Warmup: o.Warmup, Measure: o.Measure, DrainMax: o.Drain}
+}
+
+// nocConfig builds a design's simulator configuration with the
+// options' seed and step mode applied. All experiment drivers build
+// their networks through here (or apply applyMode to a customized
+// config) so mirabench -stepmode reaches every simulation.
+func (o Options) nocConfig(d *core.Design, policy noc.VCPolicy) noc.Config {
+	return o.applyMode(d.NoCConfig(policy, o.Seed))
+}
+
+// applyMode stamps the options' step mode onto an existing config.
+func (o Options) applyMode(cfg noc.Config) noc.Config {
+	cfg.Mode = o.StepMode
+	return cfg
 }
 
 // Table is a printable experiment result.
@@ -135,7 +154,7 @@ func RunUR(d *core.Design, rate, shortFrac float64, o Options) noc.Result {
 		PacketSize:    core.DataPacketFlits,
 		ShortFlits:    traffic.ShortFlitProfile{Frac: shortFrac, Layers: core.Layers},
 	}
-	net := noc.NewNetwork(d.NoCConfig(noc.AnyFree, o.Seed))
+	net := noc.NewNetwork(o.nocConfig(d, noc.AnyFree))
 	s := noc.NewSim(net, gen)
 	s.Params = o.simParams()
 	return s.Run()
@@ -152,7 +171,7 @@ func RunNUCAUR(d *core.Design, rate, shortFrac float64, o Options) noc.Result {
 		BankDelay:     24, // request traversal + L2 bank access
 		ShortFlits:    traffic.ShortFlitProfile{Frac: shortFrac, Layers: core.Layers},
 	}
-	net := noc.NewNetwork(d.NoCConfig(noc.ByClass, o.Seed))
+	net := noc.NewNetwork(o.nocConfig(d, noc.ByClass))
 	s := noc.NewSim(net, gen)
 	s.Params = o.simParams()
 	return s.Run()
@@ -165,7 +184,7 @@ func RunTrace(d *core.Design, w cmp.Workload, o Options) (noc.Result, cmp.Stats,
 	if err != nil {
 		return noc.Result{}, stats, err
 	}
-	net := noc.NewNetwork(d.NoCConfig(noc.ByClass, o.Seed))
+	net := noc.NewNetwork(o.nocConfig(d, noc.ByClass))
 	s := noc.NewSim(net, &traffic.Replayer{Trace: tr, Loop: true})
 	s.Params = o.simParams()
 	return s.Run(), stats, nil

@@ -106,7 +106,7 @@ func ExtCosim(o Options) (Table, error) {
 				Run: func(o Options) cosimOut {
 					d := core.MustDesign(a)
 					p := cmp.DefaultParams(w, d.Topo, o.Seed)
-					cs, err := cmp.NewClosedSystem(p, d.NoCConfig(noc.ByClass, o.Seed))
+					cs, err := cmp.NewClosedSystem(p, o.nocConfig(d, noc.ByClass))
 					if err != nil {
 						return cosimOut{err: err}
 					}
@@ -161,7 +161,7 @@ func ExtQoS(o Options) Table {
 				Label: fmt.Sprintf("qos rate=%.2f on=%v", rate, qos),
 				Run: func(o Options) noc.Result {
 					d := core.MustDesign(core.Arch3DM)
-					cfg := d.NoCConfig(noc.ByClass, o.Seed)
+					cfg := o.nocConfig(d, noc.ByClass)
 					cfg.QoSPriority = qos
 					gen := &traffic.NUCA{
 						Topo:          d.Topo,
@@ -242,7 +242,7 @@ func ExtFault(o Options) (Table, error) {
 				if err != nil {
 					return faultOut{err: err}
 				}
-				cfg := d.NoCConfig(noc.AnyFree, o.Seed)
+				cfg := o.nocConfig(d, noc.AnyFree)
 				cfg.Alg = alg
 				gen := &traffic.Uniform{Topo: d.Topo, InjectionRate: 0.15, PacketSize: core.DataPacketFlits}
 				s := noc.NewSim(noc.NewNetwork(cfg), gen)
@@ -304,7 +304,7 @@ func ExtProtocol(o Options) (Table, error) {
 						return protoOut{err: err}
 					}
 					tr, st := sys.Run(o.TraceCycles)
-					net := noc.NewNetwork(d.NoCConfig(noc.ByClass, o.Seed))
+					net := noc.NewNetwork(o.nocConfig(d, noc.ByClass))
 					s := noc.NewSim(net, &traffic.Replayer{Trace: tr, Loop: true})
 					s.Params = o.simParams()
 					return protoOut{
@@ -451,7 +451,7 @@ func ExtPatterns(o Options) (Table, error) {
 					if err != nil {
 						return patternOut{err: err}
 					}
-					s := noc.NewSim(noc.NewNetwork(d.NoCConfig(noc.AnyFree, o.Seed)), gen)
+					s := noc.NewSim(noc.NewNetwork(o.nocConfig(d, noc.AnyFree)), gen)
 					s.Params = o.simParams()
 					return patternOut{res: s.Run()}
 				},

@@ -40,7 +40,7 @@ func Fig8(o Options) Table {
 				Label: fmt.Sprintf("pipe=%s rate=%.2f", v.name, rate),
 				Run: func(o Options) noc.Result {
 					d := core.MustDesign(core.Arch2DB)
-					cfg := d.NoCConfig(noc.AnyFree, o.Seed)
+					cfg := o.nocConfig(d, noc.AnyFree)
 					cfg.LookaheadRC = v.look
 					cfg.SpecSA = v.spec
 					cfg.STLTCycles = v.stlt

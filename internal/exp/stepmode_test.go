@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"mira/internal/noc"
+)
+
+// stepModeOpts is deliberately small: the point is comparing modes
+// cell-for-cell, not exercising long windows.
+func stepModeOpts(mode noc.StepMode) Options {
+	return Options{
+		Warmup: 200, Measure: 800, Drain: 3000, TraceCycles: 2000,
+		Seed: 42, Workers: 2, StepMode: mode,
+	}
+}
+
+// TestStepModeTablesIdentical is the experiment-level half of the
+// determinism regression: whole rendered tables — every formatted
+// latency, throughput and note — must match between the activity-driven
+// cycle loop and the reference full scan. Fig8 covers the pipeline
+// option matrix (lookahead, speculation, ST+LT) on top of the sweep
+// runner; Fig11a covers all six architectures including the 3D fabrics.
+func TestStepModeTablesIdentical(t *testing.T) {
+	drivers := []struct {
+		name string
+		run  func(Options) Table
+	}{
+		{"fig8", Fig8},
+		{"fig11a", Fig11a},
+	}
+	for _, d := range drivers {
+		t.Run(d.name, func(t *testing.T) {
+			full := d.run(stepModeOpts(noc.StepFullScan))
+			act := d.run(stepModeOpts(noc.StepActivity))
+			if !reflect.DeepEqual(full, act) {
+				t.Fatalf("tables diverge between step modes:\nfullscan:\n%s\nactivity:\n%s",
+					full.String(), act.String())
+			}
+			if len(act.Rows) == 0 {
+				t.Fatal("empty table; comparison is vacuous")
+			}
+		})
+	}
+}
+
+// TestStepModeCheckedTable runs one sweep under the per-cycle
+// invariant-checking mode; any activity-tracking drift panics inside
+// Step, so completing the table at all is the assertion.
+func TestStepModeCheckedTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("checked mode is slow")
+	}
+	o := stepModeOpts(noc.StepChecked)
+	o.Warmup, o.Measure, o.Drain = 50, 200, 1500
+	tb := Fig8(o)
+	if len(tb.Rows) == 0 {
+		t.Fatal("checked-mode sweep produced no rows")
+	}
+}

@@ -1,0 +1,262 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+
+	"mira/internal/topology"
+)
+
+func TestRouterSet(t *testing.T) {
+	s := newRouterSet(130)
+	if got := s.appendMembers(nil); len(got) != 0 {
+		t.Fatalf("empty set yields %v", got)
+	}
+	for _, i := range []int{129, 0, 63, 64, 7, 63} { // 63 twice: add is idempotent
+		s.add(i)
+	}
+	if s.n != 5 {
+		t.Fatalf("population %d, want 5", s.n)
+	}
+	want := []int32{0, 7, 63, 64, 129}
+	got := s.appendMembers(nil)
+	if len(got) != len(want) {
+		t.Fatalf("members %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("members %v not ascending as %v", got, want)
+		}
+	}
+	for _, i := range []int{63, 63} { // remove is idempotent
+		s.remove(i)
+	}
+	if s.n != 4 || s.has(63) || !s.has(64) {
+		t.Fatalf("after remove: n=%d has(63)=%v has(64)=%v", s.n, s.has(63), s.has(64))
+	}
+}
+
+// ejection is one packet leaving the network, in callback order. The
+// determinism contract requires the full stream — order included — to
+// be identical across step modes.
+type ejection struct {
+	id       int64
+	ejected  int64
+	injected int64
+	hops     int
+}
+
+// runModal drives cfg under gen for the given cycles, recording the
+// ejection stream, and returns it with the final counters.
+func runModal(t *testing.T, cfg Config, mode StepMode, rate float64, cycles int64) ([]ejection, Counters, *Network) {
+	t.Helper()
+	cfg.Mode = mode
+	net := NewNetwork(cfg)
+	var stream []ejection
+	net.SetEjectHandler(func(p *Packet) {
+		stream = append(stream, ejection{id: p.ID, ejected: p.EjectedAt, injected: p.InjectedAt, hops: p.Hops})
+	})
+	gen := bernoulli(cfg.Topo, rate, 4, Data)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for cycle := int64(0); cycle < cycles; cycle++ {
+		for _, spec := range gen.Generate(cycle, rng, nil) {
+			if _, err := net.Enqueue(spec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		net.Step()
+	}
+	for i := int64(0); i < 20000 && !net.Idle(); i++ {
+		net.Step()
+	}
+	return stream, net.TotalCounters(), net
+}
+
+// TestActivityMatchesFullScan is the determinism regression: the
+// activity-driven stepping path must reproduce the reference full scan
+// exactly — same ejection stream in the same order, same switching
+// counters, same final flow-control state — across fabrics, pipeline
+// options, arbiters and loads (including past saturation).
+func TestActivityMatchesFullScan(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		rate float64
+	}{
+		{"mesh-stlt2", cfg2D(2), 0.2},
+		{"mesh-stlt1-lookahead", func() Config { c := cfg2D(1); c.LookaheadRC = true; return c }(), 0.2},
+		{"mesh-spec-sa", func() Config { c := cfg2D(2); c.SpecSA = true; return c }(), 0.2},
+		{"mesh-matrix-arb", func() Config { c := cfg2D(2); c.Arb = ArbMatrix; return c }(), 0.2},
+		{"mesh-qos", func() Config { c := cfg2D(2); c.QoSPriority = true; return c }(), 0.2},
+		{"mesh3d", cfg3D(2), 0.2},
+		{"express-low", cfgExpress(1), 0.05},
+		{"express-saturated", cfgExpress(1), 0.9},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			c.cfg.Seed = 11
+			full, fullCnt, fullNet := runModal(t, c.cfg, StepFullScan, c.rate, 1200)
+			act, actCnt, actNet := runModal(t, c.cfg, StepActivity, c.rate, 1200)
+			if len(full) == 0 {
+				t.Fatal("no traffic delivered; test is vacuous")
+			}
+			if len(full) != len(act) {
+				t.Fatalf("ejection streams diverge: %d vs %d packets", len(full), len(act))
+			}
+			for i := range full {
+				if full[i] != act[i] {
+					t.Fatalf("ejection %d diverges: fullscan %+v, activity %+v", i, full[i], act[i])
+				}
+			}
+			if fullCnt != actCnt {
+				t.Fatalf("counters diverge:\nfullscan %+v\nactivity %+v", fullCnt, actCnt)
+			}
+			if err := actNet.CheckInvariants(); err != nil {
+				t.Fatalf("activity invariants: %v", err)
+			}
+			if err := fullNet.CheckInvariants(); err != nil {
+				t.Fatalf("fullscan invariants: %v", err)
+			}
+		})
+	}
+}
+
+// TestActivityMatchesFullScanSim compares complete Sim runs (warmup,
+// measurement, drain) on a real sweep point: every derived metric of
+// the Result — float means included — must be bit-identical, as must
+// the per-router counter tables.
+func TestActivityMatchesFullScanSim(t *testing.T) {
+	run := func(mode StepMode) Result {
+		cfg := cfg2D(2)
+		cfg.Seed = 42
+		cfg.Mode = mode
+		net := NewNetwork(cfg)
+		s := NewSim(net, bernoulli(cfg.Topo, 0.15, 4, Data))
+		s.Params = SimParams{Warmup: 300, Measure: 2000, DrainMax: 8000}
+		return s.Run()
+	}
+	full := run(StepFullScan)
+	act := run(StepActivity)
+	if full.Generated == 0 || full.Ejected != act.Ejected || full.Generated != act.Generated {
+		t.Fatalf("packet counts diverge: fullscan %d/%d, activity %d/%d",
+			full.Ejected, full.Generated, act.Ejected, act.Generated)
+	}
+	if full.AvgLatency != act.AvgLatency || full.P99Latency != act.P99Latency ||
+		full.AvgHops != act.AvgHops || full.AvgQueueDelay != act.AvgQueueDelay ||
+		full.ThroughputFPC != act.ThroughputFPC || full.Saturated != act.Saturated {
+		t.Fatalf("metrics diverge:\nfullscan %v\nactivity %v", full.String(), act.String())
+	}
+	if full.Counters != act.Counters {
+		t.Fatalf("window counters diverge:\nfullscan %+v\nactivity %+v", full.Counters, act.Counters)
+	}
+	for i := range full.PerRouter {
+		if full.PerRouter[i] != act.PerRouter[i] {
+			t.Fatalf("router %d counters diverge", i)
+		}
+	}
+	if full.PerClass != act.PerClass {
+		t.Fatalf("per-class results diverge: %+v vs %+v", full.PerClass, act.PerClass)
+	}
+}
+
+// TestCheckedStepMode runs the per-cycle cross-checking mode end to end:
+// every cycle of a loaded run revalidates all invariants.
+func TestCheckedStepMode(t *testing.T) {
+	cfg := cfgExpress(1)
+	cfg.Mode = StepChecked
+	cfg.SpecSA = true
+	cfg.LookaheadRC = true
+	net := NewNetwork(cfg)
+	s := NewSim(net, bernoulli(cfg.Topo, 0.25, 4, Data))
+	s.Params = SimParams{Warmup: 0, Measure: 400, DrainMax: 4000}
+	res := s.Run()
+	if res.Ejected == 0 || res.Ejected != res.Generated {
+		t.Fatalf("checked run did not deliver: %v", res.String())
+	}
+}
+
+// TestCheckedStepAPI exercises the non-panicking debug entry point.
+func TestCheckedStepAPI(t *testing.T) {
+	cfg := cfg2D(2)
+	net := NewNetwork(cfg)
+	if _, err := net.Enqueue(Spec{Src: 0, Dst: 7, Size: 4, Class: Data}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50 && !net.Idle(); i++ {
+		if err := net.CheckedStep(); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+	}
+	if !net.Idle() {
+		t.Fatal("single packet did not drain in 50 checked cycles")
+	}
+}
+
+// TestIdleNetworkStaysCheap documents the activity contract directly:
+// a drained network has empty activity sets, so stepping it visits no
+// routers at all.
+func TestIdleNetworkStaysCheap(t *testing.T) {
+	cfg := cfg2D(2)
+	net := NewNetwork(cfg)
+	if _, err := net.Enqueue(Spec{Src: 0, Dst: 35, Size: 4, Class: Data}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500 && !net.Idle(); i++ {
+		net.Step()
+	}
+	if !net.Idle() {
+		t.Fatal("packet did not drain")
+	}
+	for _, s := range []*routerSet{&net.actRC, &net.actVA, &net.actSA, &net.actNI} {
+		if s.n != 0 {
+			t.Fatalf("idle network has %d active entries", s.n)
+		}
+	}
+	before := net.Cycle()
+	for i := 0; i < 10; i++ {
+		net.Step()
+	}
+	if err := net.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if net.Cycle() != before+10 {
+		t.Fatalf("cycle advanced %d, want 10", net.Cycle()-before)
+	}
+}
+
+// TestStepModeMixedClasses covers ByClass VC allocation plus QoS under
+// bimodal control/data traffic in both modes.
+func TestStepModeMixedClasses(t *testing.T) {
+	mk := func(mode StepMode) (Result, Counters) {
+		cfg := cfg2D(2)
+		cfg.Policy = ByClass
+		cfg.QoSPriority = true
+		cfg.Seed = 3
+		cfg.Mode = mode
+		net := NewNetwork(cfg)
+		gen := GeneratorFunc(func(cycle int64, rng *rand.Rand, specs []Spec) []Spec {
+			if rng.Float64() < 0.4 {
+				a := topology.NodeID(rng.Intn(36))
+				b := topology.NodeID(rng.Intn(36))
+				if a != b {
+					specs = append(specs,
+						Spec{Src: a, Dst: b, Size: 1, Class: Control},
+						Spec{Src: b, Dst: a, Size: 4, Class: Data})
+				}
+			}
+			return specs
+		})
+		s := NewSim(net, gen)
+		s.Params = SimParams{Warmup: 200, Measure: 1500, DrainMax: 8000}
+		return s.Run(), net.TotalCounters()
+	}
+	fullRes, fullCnt := mk(StepFullScan)
+	actRes, actCnt := mk(StepActivity)
+	if fullRes.AvgLatency != actRes.AvgLatency || fullRes.PerClass != actRes.PerClass {
+		t.Fatalf("bimodal results diverge:\nfullscan %v %+v\nactivity %v %+v",
+			fullRes.String(), fullRes.PerClass, actRes.String(), actRes.PerClass)
+	}
+	if fullCnt != actCnt {
+		t.Fatalf("bimodal counters diverge:\nfullscan %+v\nactivity %+v", fullCnt, actCnt)
+	}
+}

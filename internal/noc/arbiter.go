@@ -13,6 +13,12 @@ type Arbiter interface {
 	// bits of reqs (true = requesting), or -1 when nobody requests.
 	// n is the total number of requester slots.
 	Grant(reqs []bool) int
+	// GrantSingle records a grant to requester i, which the caller
+	// knows to be the only requester. The arbiter state update is
+	// identical to Grant with only bit i set (the sole requester always
+	// wins), so callers may use it as an allocation-free fast path
+	// without perturbing later arbitration decisions.
+	GrantSingle(i int)
 }
 
 // RoundRobin is a rotating-priority arbiter: the slot after the last
@@ -24,21 +30,31 @@ type RoundRobin struct {
 // NewRoundRobin returns a round-robin arbiter for n requesters.
 func NewRoundRobin(n int) *RoundRobin { return &RoundRobin{} }
 
-// Grant implements Arbiter.
+// Grant implements Arbiter. The rotating scan is written as two linear
+// passes (next..n, then 0..next) rather than a modulo walk; same grant
+// order, no division in the simulator's hottest loop.
 func (r *RoundRobin) Grant(reqs []bool) int {
-	n := len(reqs)
-	if n == 0 {
-		return -1
-	}
-	for k := 0; k < n; k++ {
-		i := (r.next + k) % n
+	for i := r.next; i < len(reqs); i++ {
 		if reqs[i] {
-			r.next = (i + 1) % n
+			r.next = i + 1
+			if r.next == len(reqs) {
+				r.next = 0
+			}
+			return i
+		}
+	}
+	for i := 0; i < r.next && i < len(reqs); i++ {
+		if reqs[i] {
+			r.next = i + 1
 			return i
 		}
 	}
 	return -1
 }
+
+// GrantSingle implements Arbiter. next may momentarily equal the
+// requester width; Grant's two-pass scan treats that the same as 0.
+func (r *RoundRobin) GrantSingle(i int) { r.next = i + 1 }
 
 // Matrix is a least-recently-served arbiter: a triangular priority
 // matrix where w[i][j] records that i beats j; the winner's row is
@@ -92,4 +108,15 @@ func (m *Matrix) Grant(reqs []bool) int {
 		}
 	}
 	return winner
+}
+
+// GrantSingle implements Arbiter: a lone requester wins unopposed, and
+// the priority update matches Grant exactly.
+func (m *Matrix) GrantSingle(i int) {
+	for j := range m.w {
+		if j != i {
+			m.w[i][j] = false
+			m.w[j][i] = true
+		}
+	}
 }

@@ -142,3 +142,42 @@ func TestArbiterLongRunFairness(t *testing.T) {
 		}
 	}
 }
+
+// Property: GrantSingle(i) leaves an arbiter in a state
+// indistinguishable from Grant with only bit i set — the contract the
+// switch/VC allocators' sole-candidate fast path relies on for
+// bit-identical results across step modes.
+func TestGrantSingleEquivalence(t *testing.T) {
+	const n = 6
+	for _, mk := range []func() Arbiter{
+		func() Arbiter { return NewRoundRobin(n) },
+		func() Arbiter { return NewMatrix(n) },
+	} {
+		ref, fast := mk(), mk()
+		rng := uint64(12345)
+		next := func() uint64 { rng = rng*6364136223846793005 + 1442695040888963407; return rng >> 33 }
+		reqs := make([]bool, n)
+		for step := 0; step < 2000; step++ {
+			mask := next() % (1 << n)
+			count, single := 0, -1
+			for i := 0; i < n; i++ {
+				reqs[i] = mask&(1<<uint(i)) != 0
+				if reqs[i] {
+					count++
+					single = i
+				}
+			}
+			want := ref.Grant(reqs)
+			var got int
+			if count == 1 {
+				fast.GrantSingle(single)
+				got = single
+			} else {
+				got = fast.Grant(reqs)
+			}
+			if got != want {
+				t.Fatalf("%T step %d (mask %06b): fast path grants %d, reference %d", ref, step, mask, got, want)
+			}
+		}
+	}
+}

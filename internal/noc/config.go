@@ -30,6 +30,52 @@ func (p VCPolicy) String() string {
 	return "any-free"
 }
 
+// StepMode selects the per-cycle scheduling strategy of Network.Step.
+// All modes are bit-identical in simulated behaviour; they differ only
+// in host cost. See activity.go for the determinism argument.
+type StepMode uint8
+
+// Step modes.
+const (
+	// StepActivity (the default) visits only routers, ports and VCs
+	// with pending work, tracked incrementally at every state
+	// transition. Simulation cost scales with traffic, not network
+	// size.
+	StepActivity StepMode = iota
+	// StepFullScan rescans every router, port and VC each cycle — the
+	// reference implementation the activity path is checked against.
+	StepFullScan
+	// StepChecked runs the activity path and cross-checks the full set
+	// of flow-control and activity invariants after every cycle,
+	// panicking on the first violation. Orders of magnitude slower;
+	// for tests and CI only.
+	StepChecked
+)
+
+func (m StepMode) String() string {
+	switch m {
+	case StepFullScan:
+		return "fullscan"
+	case StepChecked:
+		return "checked"
+	default:
+		return "activity"
+	}
+}
+
+// ParseStepMode converts a -stepmode flag value.
+func ParseStepMode(s string) (StepMode, error) {
+	switch s {
+	case "activity", "":
+		return StepActivity, nil
+	case "fullscan":
+		return StepFullScan, nil
+	case "checked":
+		return StepChecked, nil
+	}
+	return StepActivity, fmt.Errorf("noc: unknown step mode %q (want activity, fullscan or checked)", s)
+}
+
 // Config fully describes a simulated network.
 type Config struct {
 	// Topo is the router graph; Alg routes over it.
@@ -77,6 +123,10 @@ type Config struct {
 
 	Policy VCPolicy
 	Seed   int64
+
+	// Mode selects the stepping strategy (activity-driven by default);
+	// results are identical across modes, only host cost differs.
+	Mode StepMode
 }
 
 // ArbPolicy selects the arbiter used in the VA and SA allocators.
@@ -128,6 +178,9 @@ func (c *Config) Validate() error {
 	}
 	if int(NumClasses) > c.VCs && c.Policy == ByClass {
 		return fmt.Errorf("noc: ByClass policy needs >= %d VCs, have %d", NumClasses, c.VCs)
+	}
+	if c.Mode > StepChecked {
+		return fmt.Errorf("noc: unknown step mode %d", c.Mode)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"mira/internal/topology"
 )
@@ -24,6 +25,10 @@ import (
 //     queued packets, in-flight flits) agree with a full rescan of the
 //     NI queues, router buffers and event ring — the debug cross-check
 //     for the O(1) backlog the simulator's drain loop relies on.
+//  6. The activity-tracking state the cycle loop skips idle work by
+//     (per-router pending lists, list position index, per-output waiter
+//     counts, and the network-level active-router and active-NI sets)
+//     agrees with a fresh full scan of the VC states and NI queues.
 func (n *Network) CheckInvariants() error {
 	type chanKey struct {
 		router topology.NodeID
@@ -60,9 +65,9 @@ func (n *Network) CheckInvariants() error {
 			ip := &r.inPorts[pi]
 			for vi := range ip.vcs {
 				vc := &ip.vcs[vi]
-				if len(vc.buf) > n.cfg.BufDepth {
+				if vc.occ() > n.cfg.BufDepth {
 					return fmt.Errorf("noc: router %d %v vc %d holds %d flits (depth %d)",
-						r.id, ip.dir, vi, len(vc.buf), n.cfg.BufDepth)
+						r.id, ip.dir, vi, vc.occ(), n.cfg.BufDepth)
 				}
 				switch vc.state {
 				case vcRouting, vcWaitVC:
@@ -71,9 +76,9 @@ func (n *Network) CheckInvariants() error {
 							r.id, ip.dir, vi, vc.state)
 					}
 				case vcIdle:
-					if len(vc.buf) != 0 {
+					if vc.occ() != 0 {
 						return fmt.Errorf("noc: router %d %v vc %d idle with %d buffered flits",
-							r.id, ip.dir, vi, len(vc.buf))
+							r.id, ip.dir, vi, vc.occ())
 					}
 				case vcActive:
 					oi := r.outIndex[vc.outDir]
@@ -101,7 +106,7 @@ func (n *Network) CheckInvariants() error {
 			}
 			for vi := 0; vi < n.cfg.VCs; vi++ {
 				key := chanKey{op.link.Dst, op.dir.Opposite(), vi}
-				occupied := len(down.inPorts[dpi].vcs[vi].buf)
+				occupied := down.inPorts[dpi].vcs[vi].occ()
 				total := op.credits[vi] + occupied + inFlight[key] + credRet[key]
 				if total != n.cfg.BufDepth {
 					return fmt.Errorf("noc: channel %d-%v->%d vc %d: credits %d + occupied %d + inflight %d + credret %d != depth %d",
@@ -139,6 +144,107 @@ func (n *Network) CheckInvariants() error {
 	scanInFlight += int64(ejecting)
 	if scanInFlight != n.inFlightFlits {
 		return fmt.Errorf("noc: in-flight counter drifted: %d, scan %d", n.inFlightFlits, scanInFlight)
+	}
+
+	return n.checkActivity()
+}
+
+// checkActivity validates property 6: every piece of incrementally
+// maintained activity state matches a fresh full scan.
+func (n *Network) checkActivity() error {
+	listFor := func(r *Router, s vcState) []int32 {
+		switch s {
+		case vcRouting:
+			return r.listRC
+		case vcWaitVC:
+			return r.listVA
+		default:
+			return r.listSA
+		}
+	}
+	for _, r := range n.routers {
+		// Recount VCs per state and waiters per output port.
+		var want [4]int
+		waiters := make([]int32, len(r.outPorts))
+		for pi := range r.inPorts {
+			for vi := range r.inPorts[pi].vcs {
+				vc := &r.inPorts[pi].vcs[vi]
+				f := int32(r.flatVC(pi, vi))
+				want[vc.state]++
+				if vc.state == vcWaitVC {
+					waiters[r.outIndex[vc.outDir]]++
+				}
+				if vc.state == vcIdle {
+					if r.listPos[f] != -1 {
+						return fmt.Errorf("noc: router %d %v vc %d idle but listPos %d",
+							r.id, r.inPorts[pi].dir, vi, r.listPos[f])
+					}
+					continue
+				}
+				list := listFor(r, vc.state)
+				p := r.listPos[f]
+				if p < 0 || int(p) >= len(list) || list[p] != f {
+					return fmt.Errorf("noc: router %d %v vc %d in %v but not at list position %d",
+						r.id, r.inPorts[pi].dir, vi, vc.state, p)
+				}
+			}
+		}
+		for _, s := range []vcState{vcRouting, vcWaitVC, vcActive} {
+			if list := listFor(r, s); len(list) != want[s] {
+				return fmt.Errorf("noc: router %d %v list holds %d VCs, scan finds %d",
+					r.id, s, len(list), want[s])
+			}
+		}
+		for oi, w := range waiters {
+			if r.waitersByOut[oi] != w {
+				return fmt.Errorf("noc: router %d output %v waiter count %d, scan finds %d",
+					r.id, r.outPorts[oi].dir, r.waitersByOut[oi], w)
+			}
+		}
+		// Network-level stage sets must mirror list emptiness.
+		id := int(r.id)
+		for _, c := range []struct {
+			name string
+			set  *routerSet
+			list []int32
+		}{
+			{"RC", &n.actRC, r.listRC},
+			{"VA", &n.actVA, r.listVA},
+			{"SA", &n.actSA, r.listSA},
+		} {
+			if c.set.has(id) != (len(c.list) > 0) {
+				return fmt.Errorf("noc: router %d %s activity bit %v but %d pending VCs",
+					r.id, c.name, c.set.has(id), len(c.list))
+			}
+		}
+	}
+	// Active-NI set: exactly the NIs with queued or in-flight packets.
+	nActive := 0
+	for i := range n.nis {
+		s := &n.nis[i]
+		work := len(s.queue) > 0 || s.injecting
+		if work {
+			nActive++
+		}
+		if n.actNI.has(i) != work {
+			return fmt.Errorf("noc: NI %d activity bit %v with %d queued, injecting %v",
+				i, n.actNI.has(i), len(s.queue), s.injecting)
+		}
+	}
+	for _, c := range []struct {
+		name string
+		set  *routerSet
+	}{{"RC", &n.actRC}, {"VA", &n.actVA}, {"SA", &n.actSA}, {"NI", &n.actNI}} {
+		count := 0
+		for _, w := range c.set.words {
+			count += bits.OnesCount64(w)
+		}
+		if count != c.set.n {
+			return fmt.Errorf("noc: %s set population %d, bits say %d", c.name, c.set.n, count)
+		}
+	}
+	if n.actNI.n != nActive {
+		return fmt.Errorf("noc: NI set population %d, scan finds %d", n.actNI.n, nActive)
 	}
 	return nil
 }

@@ -65,6 +65,17 @@ type Network struct {
 	queuedPackets int64
 	nextPacketID  int64
 
+	// actRC/actVA/actSA hold the routers with at least one VC pending
+	// in the corresponding pipeline stage; actNI holds the NIs with a
+	// queued or partially injected packet. Maintained incrementally
+	// (Router.setVCState, Enqueue, inject) so Step only visits work
+	// that exists; actScratch is the reusable per-stage snapshot.
+	// Iteration is in ascending ID order, which keeps event-ring append
+	// order — and therefore every result — bit-identical to the full
+	// scan (see activity.go).
+	actRC, actVA, actSA, actNI routerSet
+	actScratch                 []int32
+
 	// onEject is invoked when a packet's tail flit leaves the network.
 	onEject func(*Packet)
 }
@@ -79,6 +90,11 @@ func NewNetwork(cfg Config) *Network {
 	num := cfg.Topo.NumNodes()
 	n.routers = make([]*Router, num)
 	n.nis = make([]ni, num)
+	n.actRC = newRouterSet(num)
+	n.actVA = newRouterSet(num)
+	n.actSA = newRouterSet(num)
+	n.actNI = newRouterSet(num)
+	n.actScratch = make([]int32, 0, num)
 	for i := range n.routers {
 		n.routers[i] = newRouter(n, topology.NodeID(i))
 	}
@@ -125,6 +141,7 @@ func (n *Network) Enqueue(spec Spec) (*Packet, error) {
 	n.nis[spec.Src].queue = append(n.nis[spec.Src].queue, injJob{pkt: pkt, layers: spec.LayersPerFlit})
 	n.queuedPackets++
 	n.queuedFlits += int64(pkt.Size)
+	n.actNI.add(int(spec.Src))
 	return pkt, nil
 }
 
@@ -179,22 +196,61 @@ func (n *Network) Step() {
 		}
 	}
 
-	// 2. Inject from NIs (one flit per node per cycle).
-	for i := range n.nis {
-		n.inject(topology.NodeID(i))
+	// 2. Inject from NIs (one flit per node per cycle), then the router
+	// pipelines in reverse stage order so a flit advances at most one
+	// stage per cycle.
+	//
+	// The activity path snapshots each stage's active set immediately
+	// before stepping it (members in ascending ID order, matching the
+	// full scan's iteration order), so routers activated by an earlier
+	// stage of the same cycle are visited exactly as the full scan
+	// would visit them — where they find only non-ready VCs and do
+	// nothing.
+	if n.cfg.Mode == StepFullScan {
+		for i := range n.nis {
+			n.inject(topology.NodeID(i))
+		}
+		for _, r := range n.routers {
+			r.stepSAFull(n.cycle)
+		}
+		for _, r := range n.routers {
+			r.stepVAFull(n.cycle)
+		}
+		for _, r := range n.routers {
+			r.stepRCFull(n.cycle)
+		}
+		return
 	}
+	n.actScratch = n.actNI.appendMembers(n.actScratch[:0])
+	for _, id := range n.actScratch {
+		n.inject(topology.NodeID(id))
+	}
+	n.actScratch = n.actSA.appendMembers(n.actScratch[:0])
+	for _, id := range n.actScratch {
+		n.routers[id].stepSA(n.cycle)
+	}
+	n.actScratch = n.actVA.appendMembers(n.actScratch[:0])
+	for _, id := range n.actScratch {
+		n.routers[id].stepVA(n.cycle)
+	}
+	n.actScratch = n.actRC.appendMembers(n.actScratch[:0])
+	for _, id := range n.actScratch {
+		n.routers[id].stepRC(n.cycle)
+	}
+	if n.cfg.Mode == StepChecked {
+		if err := n.CheckInvariants(); err != nil {
+			panic(fmt.Sprintf("noc: checked step failed at cycle %d: %v", n.cycle, err))
+		}
+	}
+}
 
-	// 3. Router pipelines, in reverse stage order so a flit advances at
-	// most one stage per cycle.
-	for _, r := range n.routers {
-		r.stepSA(n.cycle)
-	}
-	for _, r := range n.routers {
-		r.stepVA(n.cycle)
-	}
-	for _, r := range n.routers {
-		r.stepRC(n.cycle)
-	}
+// CheckedStep advances one cycle (honouring Config.Mode) and then
+// validates every flow-control and activity invariant, returning the
+// first violation instead of panicking. It is the debugging entry point
+// for bisecting activity-tracking bugs regardless of Config.Mode.
+func (n *Network) CheckedStep() error {
+	n.Step()
+	return n.CheckInvariants()
 }
 
 // inject advances the NI at node id by at most one flit.
@@ -205,6 +261,11 @@ func (n *Network) inject(id topology.NodeID) {
 
 	if !s.injecting {
 		if len(s.queue) == 0 {
+			// Drained NI: drop out of the active set until the next
+			// Enqueue (only reached in full-scan mode; the activity
+			// path removes the NI eagerly when its last packet
+			// completes).
+			n.actNI.remove(int(id))
 			return
 		}
 		job := s.queue[0]
@@ -220,7 +281,7 @@ func (n *Network) inject(id topology.NodeID) {
 	}
 
 	vc := &lp.vcs[s.curVC]
-	if len(vc.buf) >= n.cfg.BufDepth {
+	if vc.occ() >= n.cfg.BufDepth {
 		return // wait for space
 	}
 	job := s.cur
@@ -249,6 +310,9 @@ func (n *Network) inject(id topology.NodeID) {
 		s.cur = injJob{}
 		s.injecting = false
 		n.queuedPackets--
+		if len(s.queue) == 0 {
+			n.actNI.remove(int(id))
+		}
 	}
 }
 
@@ -256,13 +320,13 @@ func (n *Network) inject(id topology.NodeID) {
 func (n *Network) pickInjectionVC(lp *inputPort, c Class) int {
 	if n.cfg.Policy == ByClass {
 		v := int(c)
-		if lp.vcs[v].state == vcIdle && len(lp.vcs[v].buf) == 0 {
+		if lp.vcs[v].state == vcIdle && lp.vcs[v].occ() == 0 {
 			return v
 		}
 		return -1
 	}
 	for v := range lp.vcs {
-		if lp.vcs[v].state == vcIdle && len(lp.vcs[v].buf) == 0 {
+		if lp.vcs[v].state == vcIdle && lp.vcs[v].occ() == 0 {
 			return v
 		}
 	}

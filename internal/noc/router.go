@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"mira/internal/topology"
 )
@@ -41,18 +42,46 @@ type bufFlit struct {
 }
 
 type inputVC struct {
+	// buf[head:] holds the queued flits, oldest first. Popping advances
+	// head instead of shifting the slice; push compacts once the backing
+	// array (sized 2x the buffer depth) fills, so dequeues are O(1)
+	// amortized instead of a memmove per forwarded flit.
 	buf     []bufFlit
+	head    int
 	state   vcState
 	outDir  topology.Dir
+	outPort int8 // routeHead's cached outIndex[outDir]
 	outVC   int
 	readyAt int64 // earliest cycle for the pending stage (RC/VA/SA)
 }
 
+// occ is the buffer occupancy in flits (what credits account against).
+func (v *inputVC) occ() int { return len(v.buf) - v.head }
+
 func (v *inputVC) front() *bufFlit {
-	if len(v.buf) == 0 {
+	if v.head == len(v.buf) {
 		return nil
 	}
-	return &v.buf[0]
+	return &v.buf[v.head]
+}
+
+func (v *inputVC) push(bf bufFlit) {
+	if len(v.buf) == cap(v.buf) && v.head > 0 {
+		n := copy(v.buf, v.buf[v.head:])
+		v.buf = v.buf[:n]
+		v.head = 0
+	}
+	v.buf = append(v.buf, bf)
+}
+
+func (v *inputVC) pop() bufFlit {
+	bf := v.buf[v.head]
+	v.head++
+	if v.head == len(v.buf) {
+		v.buf = v.buf[:0]
+		v.head = 0
+	}
+	return bf
 }
 
 type inputPort struct {
@@ -98,10 +127,37 @@ type Router struct {
 	busyCycle int64
 	// reqScratch, eligibleOut and saRank are reusable per-cycle scratch
 	// vectors over flattened input-VC indices (pi*VCs + vi), avoiding
-	// allocation in the hot switch-allocation loop.
+	// allocation in the hot switch-allocation loop. The activity-driven
+	// stage functions keep reqScratch all-false between uses and only
+	// touch the indices on their pending lists.
 	reqScratch  []bool
 	eligibleOut []int8
 	saRank      []int8
+	// eligScratch holds the flat indices found switch-eligible this
+	// cycle, so the SA grant loop walks only those instead of the whole
+	// pending list per output port. saCount/saLast (indexed by output
+	// port, reset lazily per cycle) let the grant loop take a direct
+	// GrantSingle path when a port has exactly one candidate — the
+	// common case off saturation.
+	eligScratch []int32
+	saCount     []int8
+	saLast      []int32
+
+	// flatVCs maps the flattened index to the VC for O(1) access from
+	// the pending lists (inPorts never grows after construction);
+	// portOf/vcOf invert flatVC without the divisions.
+	flatVCs []*inputVC
+	portOf  []int8
+	vcOf    []int8
+	// listRC, listVA and listSA hold the flat indices of VCs currently
+	// in vcRouting, vcWaitVC and vcActive; listPos[f] is f's position in
+	// its state's list (-1 when idle). Maintained by setVCState; see
+	// activity.go for the determinism argument.
+	listRC, listVA, listSA []int32
+	listPos                []int32
+	// waitersByOut[oi] counts VCs in vcWaitVC routed to output port oi,
+	// letting stepVA skip output ports nobody bids for.
+	waitersByOut []int32
 }
 
 func newRouter(net *Network, id topology.NodeID) *Router {
@@ -136,7 +192,7 @@ func newRouter(net *Network, id topology.NodeID) *Router {
 		// has a matching input).
 		ip := inputPort{dir: d, vcs: make([]inputVC, cfg.VCs), upstream: -1}
 		for v := range ip.vcs {
-			ip.vcs[v].buf = make([]bufFlit, 0, cfg.BufDepth)
+			ip.vcs[v].buf = make([]bufFlit, 0, 2*cfg.BufDepth)
 		}
 		if d != topology.Local {
 			l, ok := cfg.Topo.OutLink(id, d)
@@ -155,6 +211,28 @@ func newRouter(net *Network, id topology.NodeID) *Router {
 	r.reqScratch = make([]bool, nInVCs)
 	r.eligibleOut = make([]int8, nInVCs)
 	r.saRank = make([]int8, nInVCs)
+	r.eligScratch = make([]int32, 0, nInVCs)
+	r.saCount = make([]int8, len(r.outPorts))
+	r.saLast = make([]int32, len(r.outPorts))
+	r.flatVCs = make([]*inputVC, nInVCs)
+	r.portOf = make([]int8, nInVCs)
+	r.vcOf = make([]int8, nInVCs)
+	for pi := range r.inPorts {
+		for vi := range r.inPorts[pi].vcs {
+			f := r.flatVC(pi, vi)
+			r.flatVCs[f] = &r.inPorts[pi].vcs[vi]
+			r.portOf[f] = int8(pi)
+			r.vcOf[f] = int8(vi)
+		}
+	}
+	r.listRC = make([]int32, 0, nInVCs)
+	r.listVA = make([]int32, 0, nInVCs)
+	r.listSA = make([]int32, 0, nInVCs)
+	r.listPos = make([]int32, nInVCs)
+	for i := range r.listPos {
+		r.listPos[i] = -1
+	}
+	r.waitersByOut = make([]int32, len(r.outPorts))
 	for oi := range r.outPorts {
 		op := &r.outPorts[oi]
 		op.saArb = cfg.Arb.newArbiter(nInVCs)
@@ -184,16 +262,17 @@ func (r *Router) switchMasks(cycle int64) (in, out []bool) {
 	return r.inBusy, r.outBusy
 }
 
-// startHead prepares a VC whose front just became a head flit: with
-// look-ahead routing the output port is already known when the flit
-// arrives (it was computed at the upstream router), so the RC stage
-// disappears from the critical path.
-func (r *Router) startHead(vc *inputVC, cycle int64) {
+// startHead prepares the VC at flat index f whose front just became a
+// head flit: with look-ahead routing the output port is already known
+// when the flit arrives (it was computed at the upstream router), so
+// the RC stage disappears from the critical path.
+func (r *Router) startHead(f int32, cycle int64) {
+	vc := r.flatVCs[f]
 	if r.net.cfg.LookaheadRC {
 		r.routeHead(vc)
-		vc.state = vcWaitVC
+		r.setVCState(f, vcWaitVC)
 	} else {
-		vc.state = vcRouting
+		r.setVCState(f, vcRouting)
 	}
 	vc.readyAt = cycle + 1
 }
@@ -207,7 +286,8 @@ func (r *Router) routeHead(vc *inputVC) {
 	} else {
 		vc.outDir = r.net.cfg.Alg.NextPort(r.net.cfg.Topo, r.id, pkt.Dst)
 	}
-	if r.outIndex[vc.outDir] < 0 {
+	vc.outPort = r.outIndex[vc.outDir]
+	if vc.outPort < 0 {
 		panic(fmt.Sprintf("noc: router %d routed to missing port %v", r.id, vc.outDir))
 	}
 	r.Counters.RCOps++
@@ -228,23 +308,45 @@ func (r *Router) layerFrac(f Flit) float64 {
 func (r *Router) acceptFlit(cycle int64, portIdx, vc int, f Flit) {
 	ip := &r.inPorts[portIdx]
 	ivc := &ip.vcs[vc]
-	if len(ivc.buf) >= r.net.cfg.BufDepth {
+	if ivc.occ() >= r.net.cfg.BufDepth {
 		panic(fmt.Sprintf("noc: router %d port %v vc %d buffer overflow (credit bug)", r.id, ip.dir, vc))
 	}
-	ivc.buf = append(ivc.buf, bufFlit{flit: f, arrivedAt: cycle})
+	ivc.push(bufFlit{flit: f, arrivedAt: cycle})
 	r.Counters.BufWrites++
 	r.Counters.WBufWrites += r.layerFrac(f)
-	if f.Type.IsHead() && len(ivc.buf) == 1 {
+	if f.Type.IsHead() && ivc.occ() == 1 {
 		if ivc.state != vcIdle {
 			panic(fmt.Sprintf("noc: router %d port %v vc %d head arrives in state %v", r.id, ip.dir, vc, ivc.state))
 		}
-		r.startHead(ivc, cycle)
+		r.startHead(int32(r.flatVC(portIdx, vc)), cycle)
 	}
 }
 
 // stepRC performs route computation for head flits that reached the
-// front of their VC.
+// front of their VC. Only VCs on the routing pending list are visited;
+// routed VCs swap-remove themselves mid-iteration (the element swapped
+// into the vacated slot is examined next, so no entry is skipped).
 func (r *Router) stepRC(cycle int64) {
+	for i := 0; i < len(r.listRC); {
+		f := r.listRC[i]
+		vc := r.flatVCs[f]
+		if cycle < vc.readyAt {
+			i++
+			continue
+		}
+		front := vc.front()
+		if front == nil || !front.flit.Type.IsHead() {
+			panic(fmt.Sprintf("noc: router %d RC on non-head", r.id))
+		}
+		r.routeHead(vc)
+		r.setVCState(f, vcWaitVC) // swap-removes listRC[i]
+		vc.readyAt = cycle + 1
+	}
+}
+
+// stepRCFull is the reference full scan over every port and VC
+// (StepFullScan mode); it must stay behaviourally identical to stepRC.
+func (r *Router) stepRCFull(cycle int64) {
 	for pi := range r.inPorts {
 		for vi := range r.inPorts[pi].vcs {
 			vc := &r.inPorts[pi].vcs[vi]
@@ -256,7 +358,7 @@ func (r *Router) stepRC(cycle int64) {
 				panic(fmt.Sprintf("noc: router %d RC on non-head", r.id))
 			}
 			r.routeHead(vc)
-			vc.state = vcWaitVC
+			r.setVCState(int32(r.flatVC(pi, vi)), vcWaitVC)
 			vc.readyAt = cycle + 1
 		}
 	}
@@ -275,7 +377,85 @@ func (r *Router) vaCandidate(ov int, c Class) bool {
 // VC owns a PV:1 arbiter (the VA2 stage of §3.2.5); the first-stage VA1
 // output-VC selection collapses into the candidate filter because a
 // requester bids for every class-compatible free VC of its output port.
+//
+// Only VCs on the wait pending list build request vectors, and output
+// ports with no waiters (waitersByOut) are skipped outright; both prune
+// exactly the (oi, ov) pairs the full scan would have found requester-
+// less, so the arbiters receive the identical Grant sequence.
 func (r *Router) stepVA(cycle int64) {
+	nReady := 0
+	for _, f := range r.listVA {
+		if cycle >= r.flatVCs[f].readyAt {
+			nReady++
+		}
+	}
+	r.Counters.VAReqs += int64(nReady)
+	if nReady == 0 {
+		return
+	}
+	for oi := range r.outPorts {
+		if r.waitersByOut[oi] == 0 {
+			continue
+		}
+		op := &r.outPorts[oi]
+		for ov := 0; ov < r.net.cfg.VCs; ov++ {
+			if op.reserved[ov] {
+				continue
+			}
+			// First pass only counts; the request vector is built (and
+			// the arbiter's full Grant paid) only under contention.
+			count, last := 0, int32(-1)
+			for _, f := range r.listVA {
+				vc := r.flatVCs[f]
+				if cycle >= vc.readyAt && vc.outPort == int8(oi) &&
+					r.vaCandidate(ov, vc.front().flit.Pkt.Class) {
+					count++
+					last = f
+				}
+			}
+			if count == 0 {
+				continue
+			}
+			var g int
+			if count == 1 {
+				op.vaArbs[ov].GrantSingle(int(last))
+				g = int(last)
+			} else {
+				reqs := r.reqScratch // all-false between uses
+				for _, f := range r.listVA {
+					vc := r.flatVCs[f]
+					if cycle >= vc.readyAt && vc.outPort == int8(oi) &&
+						r.vaCandidate(ov, vc.front().flit.Pkt.Class) {
+						reqs[f] = true
+					}
+				}
+				g = op.vaArbs[ov].Grant(reqs)
+				// Restore the all-false invariant before any transition
+				// can remove a set index from the list.
+				for _, f := range r.listVA {
+					reqs[f] = false
+				}
+				if g < 0 {
+					continue
+				}
+			}
+			pi, vi := int(r.portOf[g]), int(r.vcOf[g])
+			vc := &r.inPorts[pi].vcs[vi]
+			op.reserved[ov] = true
+			vc.outVC = ov
+			r.setVCState(int32(g), vcActive)
+			vc.readyAt = cycle + 1
+			r.Counters.VAGrants++
+			if r.net.cfg.SpecSA {
+				r.trySpeculativeForward(cycle, pi, vi, oi)
+			}
+		}
+	}
+}
+
+// stepVAFull is the reference full scan (StepFullScan mode); it must
+// stay behaviourally identical to stepVA.
+func (r *Router) stepVAFull(cycle int64) {
 	any := false
 	for pi := range r.inPorts {
 		for vi := range r.inPorts[pi].vcs {
@@ -314,11 +494,11 @@ func (r *Router) stepVA(cycle int64) {
 			if g < 0 {
 				continue
 			}
-			pi, vi := g/r.net.cfg.VCs, g%r.net.cfg.VCs
+			pi, vi := int(r.portOf[g]), int(r.vcOf[g])
 			vc := &r.inPorts[pi].vcs[vi]
 			op.reserved[ov] = true
 			vc.outVC = ov
-			vc.state = vcActive
+			r.setVCState(int32(g), vcActive)
 			vc.readyAt = cycle + 1
 			r.Counters.VAGrants++
 			if r.net.cfg.SpecSA {
@@ -328,15 +508,145 @@ func (r *Router) stepVA(cycle int64) {
 	}
 }
 
+// saEligibility computes the QoS rank of an eligible front flit:
+// 0 = in-flight body/tail (always highest, so packets cannot be starved
+// mid-stream), 1 = control head, 2 = data head. Without QoSPriority all
+// flits rank 0.
+func (r *Router) saRankOf(cycle int64, front *bufFlit) int8 {
+	if !r.net.cfg.QoSPriority || front.flit.Pkt.Class == Control {
+		return 0
+	}
+	// Data flits rank below control: in-flight body/tail at tier 1, new
+	// heads at tier 2. Ageing promotes a waiting flit one tier per 16
+	// cycles so continuous control storms cannot starve data
+	// indefinitely.
+	rank := int8(1)
+	if front.flit.Type.IsHead() {
+		rank = 2
+	}
+	rank -= int8((cycle - front.arrivedAt) / 16)
+	if rank < 0 {
+		rank = 0
+	}
+	return rank
+}
+
 // stepSA arbitrates the crossbar: at most one flit per output port and
 // one per input port each cycle. Winning flits traverse the switch (and
 // the link, when ST+LT are combined) and are scheduled into the next
 // router.
+//
+// Eligibility (eligibleOut/saRank) is cached only for the VCs on the
+// active pending list; entries not on the list are never read, so their
+// stale values from earlier cycles are harmless. A tail forwarded
+// mid-loop leaves the list, which matches the full scan's exclusion of
+// the same VC through the inBusy mask.
 func (r *Router) stepSA(cycle int64) {
-	// saEligible caches per-input-VC eligibility for this cycle;
-	// saRank holds the QoS tier: 0 = in-flight body/tail (always
-	// highest, so packets cannot be starved mid-stream), 1 = control
-	// head, 2 = data head. Without QoSPriority all flits rank 0.
+	nOut := len(r.outPorts)
+	eligibleOut, saRank := r.eligibleOut, r.saRank
+	elig := r.eligScratch[:0]
+	var outMask uint32 // output ports with at least one eligible VC
+	for _, f := range r.listSA {
+		vc := r.flatVCs[f]
+		if cycle < vc.readyAt {
+			continue
+		}
+		front := vc.front()
+		if front == nil || front.arrivedAt >= cycle {
+			continue
+		}
+		oi := int(vc.outPort)
+		op := &r.outPorts[oi]
+		if op.hasLink && op.credits[vc.outVC] <= 0 {
+			continue // no downstream buffer space
+		}
+		bit := uint32(1) << uint(oi)
+		if outMask&bit == 0 {
+			r.saCount[oi] = 0
+			outMask |= bit
+		}
+		r.saCount[oi]++
+		r.saLast[oi] = f
+		eligibleOut[f] = int8(oi)
+		saRank[f] = r.saRankOf(cycle, front)
+		r.Counters.SAReqs++
+		elig = append(elig, f)
+	}
+	r.eligScratch = elig
+	if outMask == 0 {
+		return
+	}
+	inBusy, outBusy := r.switchMasks(cycle)
+	// Visit eligible output ports in rotated priority order (start,
+	// start+1, ..., wrap-around), extracting set mask bits instead of
+	// testing every port.
+	start := int(cycle) % nOut
+	for m := outMask >> uint(start); m != 0; m &= m - 1 {
+		r.saGrantPort(cycle, start+bits.TrailingZeros32(m), elig, inBusy, outBusy)
+	}
+	for m := outMask & (1<<uint(start) - 1); m != 0; m &= m - 1 {
+		r.saGrantPort(cycle, bits.TrailingZeros32(m), elig, inBusy, outBusy)
+	}
+}
+
+// saGrantPort arbitrates one output port among the cycle's eligible VCs
+// and forwards the winner. The elig snapshot is walked rather than the
+// live pending list: a VC forwarded earlier this cycle (tail release
+// drops it from listSA) stays in the snapshot, but its input port is
+// marked busy, so it can never be granted twice — the same exclusion
+// the full scan gets from its inBusy mask.
+func (r *Router) saGrantPort(cycle int64, oi int, elig []int32, inBusy, outBusy []bool) {
+	if outBusy[oi] {
+		return
+	}
+	op := &r.outPorts[oi]
+	var g int
+	if r.saCount[oi] == 1 {
+		// Sole candidate: skip the request-vector build. GrantSingle
+		// advances the arbiter exactly like Grant with one bit set.
+		f := r.saLast[oi]
+		if inBusy[r.portOf[f]] {
+			return
+		}
+		op.saArb.GrantSingle(int(f))
+		g = int(f)
+	} else {
+		eligibleOut, saRank := r.eligibleOut, r.saRank
+		// Restrict candidates to the best QoS tier present.
+		best := int8(127)
+		for _, f := range elig {
+			if eligibleOut[f] == int8(oi) && !inBusy[r.portOf[f]] && saRank[f] < best {
+				best = saRank[f]
+			}
+		}
+		if best == 127 {
+			return
+		}
+		reqs := r.reqScratch // all-false between uses
+		for _, f := range elig {
+			if eligibleOut[f] == int8(oi) && !inBusy[r.portOf[f]] && saRank[f] == best {
+				reqs[f] = true
+			}
+		}
+		g = op.saArb.Grant(reqs)
+		// Restore the all-false invariant before the next stage runs.
+		for _, f := range elig {
+			reqs[f] = false
+		}
+		if g < 0 {
+			return
+		}
+	}
+	pi, vi := int(r.portOf[g]), int(r.vcOf[g])
+	r.forward(cycle, pi, vi, oi)
+	inBusy[pi] = true
+	outBusy[oi] = true
+	r.Counters.SAGrants++
+}
+
+// stepSAFull is the reference full scan (StepFullScan mode); it must
+// stay behaviourally identical to stepSA.
+func (r *Router) stepSAFull(cycle int64) {
 	nOut := len(r.outPorts)
 	eligibleOut, saRank := r.eligibleOut, r.saRank
 	any := false
@@ -358,22 +668,7 @@ func (r *Router) stepSA(cycle int64) {
 				continue // no downstream buffer space
 			}
 			eligibleOut[f] = oi
-			saRank[f] = 0
-			if r.net.cfg.QoSPriority && front.flit.Pkt.Class != Control {
-				// Data flits rank below control: in-flight body/tail
-				// at tier 1, new heads at tier 2. Ageing promotes a
-				// waiting flit one tier per 16 cycles so continuous
-				// control storms cannot starve data indefinitely.
-				rank := int8(1)
-				if front.flit.Type.IsHead() {
-					rank = 2
-				}
-				rank -= int8((cycle - front.arrivedAt) / 16)
-				if rank < 0 {
-					rank = 0
-				}
-				saRank[f] = rank
-			}
+			saRank[f] = r.saRankOf(cycle, front)
 			r.Counters.SAReqs++
 			any = true
 		}
@@ -448,9 +743,7 @@ func (r *Router) forward(cycle int64, pi, vi, oi int) {
 	ip := &r.inPorts[pi]
 	vc := &ip.vcs[vi]
 	op := &r.outPorts[oi]
-	bf := vc.buf[0]
-	copy(vc.buf, vc.buf[1:])
-	vc.buf = vc.buf[:len(vc.buf)-1]
+	bf := vc.pop()
 	f := bf.flit
 	frac := r.layerFrac(f)
 
@@ -495,13 +788,14 @@ func (r *Router) forward(cycle int64, pi, vi, oi int) {
 
 	if f.Type.IsTail() {
 		op.reserved[vc.outVC] = false
+		fi := int32(r.flatVC(pi, vi))
 		if next := vc.front(); next != nil {
 			if !next.flit.Type.IsHead() {
 				panic(fmt.Sprintf("noc: router %d flit after tail is not a head", r.id))
 			}
-			r.startHead(vc, cycle)
+			r.startHead(fi, cycle)
 		} else {
-			vc.state = vcIdle
+			r.setVCState(fi, vcIdle)
 		}
 	}
 }
@@ -525,7 +819,7 @@ func (r *Router) occupancy() int {
 	n := 0
 	for pi := range r.inPorts {
 		for vi := range r.inPorts[pi].vcs {
-			n += len(r.inPorts[pi].vcs[vi].buf)
+			n += r.inPorts[pi].vcs[vi].occ()
 		}
 	}
 	return n
