@@ -9,6 +9,7 @@
 package mira_test
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"strconv"
@@ -24,6 +25,9 @@ import (
 	"mira/internal/timing"
 	"mira/internal/traffic"
 )
+
+// bg is the context all benchmarks run under (never canceled).
+func bg() context.Context { return context.Background() }
 
 // benchOpts trims the windows so each iteration is sub-second.
 func benchOpts() exp.Options {
@@ -88,7 +92,7 @@ func BenchmarkFig1DataPatterns(b *testing.B) {
 	o := benchOpts()
 	var rows int
 	for i := 0; i < b.N; i++ {
-		t, err := exp.Fig1(o)
+		t, err := exp.Fig1(bg(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -102,7 +106,7 @@ func BenchmarkFig2PacketTypes(b *testing.B) {
 	o := benchOpts()
 	var ctrl float64
 	for i := 0; i < b.N; i++ {
-		t, err := exp.Fig2(o)
+		t, err := exp.Fig2(bg(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -126,12 +130,10 @@ func BenchmarkFig11aLatencyUR(b *testing.B) {
 	o := benchOpts()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		d2 := core.MustDesign(core.Arch2DB)
-		de := core.MustDesign(core.Arch3DME)
 		var r2, re float64
 		for _, rate := range []float64{0.05, 0.15, 0.30} {
-			r2 = exp.RunUR(d2, rate, 0, o).AvgLatency
-			re = exp.RunUR(de, rate, 0, o).AvgLatency
+			r2 = exp.RunUR(bg(), core.Arch2DB, rate, 0, o).AvgLatency
+			re = exp.RunUR(bg(), core.Arch3DME, rate, 0, o).AvgLatency
 		}
 		ratio = re / r2 // at the highest rate
 	}
@@ -143,10 +145,8 @@ func BenchmarkFig11bLatencyNUCA(b *testing.B) {
 	o := benchOpts()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		d2 := core.MustDesign(core.Arch2DB)
-		de := core.MustDesign(core.Arch3DME)
-		r2 := exp.RunNUCAUR(d2, 0.10, 0, o).AvgLatency
-		re := exp.RunNUCAUR(de, 0.10, 0, o).AvgLatency
+		r2 := exp.RunNUCAUR(bg(), core.Arch2DB, 0.10, 0, o).AvgLatency
+		re := exp.RunNUCAUR(bg(), core.Arch3DME, 0.10, 0, o).AvgLatency
 		ratio = re / r2
 	}
 	b.ReportMetric(ratio, "lat_3DME_vs_2DB")
@@ -159,13 +159,11 @@ func BenchmarkFig11cLatencyTraces(b *testing.B) {
 	w, _ := cmp.ByName("tpcw")
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		d2 := core.MustDesign(core.Arch2DB)
-		de := core.MustDesign(core.Arch3DME)
-		r2, _, err := exp.RunTrace(d2, w, o)
+		r2, _, err := exp.RunTrace(bg(), core.Arch2DB, w, o)
 		if err != nil {
 			b.Fatal(err)
 		}
-		re, _, err := exp.RunTrace(de, w, o)
+		re, _, err := exp.RunTrace(bg(), core.Arch3DME, w, o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -195,8 +193,8 @@ func BenchmarkFig12aPowerUR(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		d2 := core.MustDesign(core.Arch2DB)
 		de := core.MustDesign(core.Arch3DME)
-		p2 := exp.NetworkPowerW(d2, exp.RunUR(d2, 0.15, 0, o), false)
-		pe := exp.NetworkPowerW(de, exp.RunUR(de, 0.15, 0, o), false)
+		p2 := exp.NetworkPowerW(d2, exp.RunUR(bg(), core.Arch2DB, 0.15, 0, o), false)
+		pe := exp.NetworkPowerW(de, exp.RunUR(bg(), core.Arch3DME, 0.15, 0, o), false)
 		saving = 1 - pe/p2
 	}
 	b.ReportMetric(saving, "power_saving_3DME")
@@ -209,8 +207,8 @@ func BenchmarkFig12bPowerNUCA(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		d2 := core.MustDesign(core.Arch2DB)
 		dm := core.MustDesign(core.Arch3DM)
-		p2 := exp.NetworkPowerW(d2, exp.RunNUCAUR(d2, 0.10, 0, o), false)
-		pm := exp.NetworkPowerW(dm, exp.RunNUCAUR(dm, 0.10, 0, o), false)
+		p2 := exp.NetworkPowerW(d2, exp.RunNUCAUR(bg(), core.Arch2DB, 0.10, 0, o), false)
+		pm := exp.NetworkPowerW(dm, exp.RunNUCAUR(bg(), core.Arch3DM, 0.10, 0, o), false)
 		saving = 1 - pm/p2
 	}
 	b.ReportMetric(saving, "power_saving_3DM")
@@ -225,11 +223,11 @@ func BenchmarkFig12cPowerTraces(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		d2 := core.MustDesign(core.Arch2DB)
 		de := core.MustDesign(core.Arch3DME)
-		r2, _, err := exp.RunTrace(d2, w, o)
+		r2, _, err := exp.RunTrace(bg(), core.Arch2DB, w, o)
 		if err != nil {
 			b.Fatal(err)
 		}
-		re, _, err := exp.RunTrace(de, w, o)
+		re, _, err := exp.RunTrace(bg(), core.Arch3DME, w, o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -245,8 +243,8 @@ func BenchmarkFig12dPDP(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		d2 := core.MustDesign(core.Arch2DB)
 		de := core.MustDesign(core.Arch3DME)
-		r2 := exp.RunUR(d2, 0.15, 0, o)
-		re := exp.RunUR(de, 0.15, 0, o)
+		r2 := exp.RunUR(bg(), core.Arch2DB, 0.15, 0, o)
+		re := exp.RunUR(bg(), core.Arch3DME, 0.15, 0, o)
 		base := exp.NetworkPowerW(d2, r2, false) * r2.AvgLatency
 		pdp = exp.NetworkPowerW(de, re, false) * re.AvgLatency / base
 	}
@@ -259,7 +257,7 @@ func BenchmarkFig13aShortFlits(b *testing.B) {
 	o := benchOpts()
 	var avg float64
 	for i := 0; i < b.N; i++ {
-		t, err := exp.Fig13a(o)
+		t, err := exp.Fig13a(bg(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -274,8 +272,8 @@ func BenchmarkFig13bShutdown(b *testing.B) {
 	var saving float64
 	for i := 0; i < b.N; i++ {
 		d := core.MustDesign(core.Arch3DM)
-		base := exp.NetworkPowerW(d, exp.RunUR(d, 0.15, 0, o), true)
-		s50 := exp.NetworkPowerW(d, exp.RunUR(d, 0.15, 0.5, o), true)
+		base := exp.NetworkPowerW(d, exp.RunUR(bg(), core.Arch3DM, 0.15, 0, o), true)
+		s50 := exp.NetworkPowerW(d, exp.RunUR(bg(), core.Arch3DM, 0.15, 0.5, o), true)
 		saving = 100 * (1 - s50/base)
 	}
 	b.ReportMetric(saving, "pct_saving_50short")
@@ -287,7 +285,7 @@ func BenchmarkFig13cThermal(b *testing.B) {
 	o := benchOpts()
 	var dT float64
 	for i := 0; i < b.N; i++ {
-		t := exp.Fig13cAt(o, 0.2)
+		t := exp.Fig13cAt(bg(), o, 0.2)
 		dT = t
 	}
 	b.ReportMetric(dT, "avg_dT_K")
@@ -299,7 +297,7 @@ func BenchmarkFig8Pipelines(b *testing.B) {
 	o := benchOpts()
 	var rows int
 	for i := 0; i < b.N; i++ {
-		rows = len(exp.Fig8(o).Rows)
+		rows = len(exp.Fig8(bg(), o).Rows)
 	}
 	b.ReportMetric(float64(rows), "variants")
 }
@@ -309,7 +307,7 @@ func BenchmarkAblationBufferDepth(b *testing.B) {
 	o := benchOpts()
 	var rows int
 	for i := 0; i < b.N; i++ {
-		rows = len(exp.AblationBufferDepth(o).Rows)
+		rows = len(exp.AblationBufferDepth(bg(), o).Rows)
 	}
 	b.ReportMetric(float64(rows), "depths")
 }
@@ -319,7 +317,7 @@ func BenchmarkAblationExpress(b *testing.B) {
 	o := benchOpts()
 	var rows int
 	for i := 0; i < b.N; i++ {
-		t, err := exp.AblationExpressInterval(o)
+		t, err := exp.AblationExpressInterval(bg(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -333,7 +331,7 @@ func BenchmarkExtLeakage(b *testing.B) {
 	o := benchOpts()
 	var rows int
 	for i := 0; i < b.N; i++ {
-		rows = len(exp.ExtLeakage(o).Rows)
+		rows = len(exp.ExtLeakage(bg(), o).Rows)
 	}
 	b.ReportMetric(float64(rows), "designs")
 }
@@ -362,9 +360,8 @@ func BenchmarkExtCosim(b *testing.B) {
 // a loaded 6x6 mesh (engine micro-benchmark, not a paper artifact).
 func BenchmarkRouterCycle(b *testing.B) {
 	o := exp.Options{Warmup: 0, Measure: int64(b.N), Drain: 0, Seed: 1}
-	d := core.MustDesign(core.Arch2DB)
 	b.ResetTimer()
-	exp.RunUR(d, 0.2, 0, o)
+	exp.RunUR(bg(), core.Arch2DB, 0.2, 0, o)
 	b.ReportMetric(float64(36), "routers")
 }
 
@@ -458,8 +455,8 @@ func sweepPoints() []exp.Point[float64] {
 			rate, a := rate, a
 			points = append(points, exp.Point[float64]{
 				Label: "bench sweep",
-				Run: func(o exp.Options) float64 {
-					return exp.RunUR(core.MustDesign(a), rate, 0, o).AvgLatency
+				Run: func(ctx context.Context, o exp.Options) float64 {
+					return exp.RunUR(ctx, a, rate, 0, o).AvgLatency
 				},
 			})
 		}
@@ -474,7 +471,7 @@ func benchSweep(b *testing.B, workers int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		exp.RunAll(o, points)
+		exp.RunAll(bg(), o, points)
 	}
 }
 

@@ -24,13 +24,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"mira/internal/exp"
@@ -40,15 +43,15 @@ import (
 type experiment struct {
 	id   string
 	desc string
-	run  func(exp.Options) (exp.Table, error)
+	run  func(context.Context, exp.Options) (exp.Table, error)
 }
 
-func wrap(f func() exp.Table) func(exp.Options) (exp.Table, error) {
-	return func(exp.Options) (exp.Table, error) { return f(), nil }
+func wrap(f func() exp.Table) func(context.Context, exp.Options) (exp.Table, error) {
+	return func(context.Context, exp.Options) (exp.Table, error) { return f(), nil }
 }
 
-func wrapOpts(f func(exp.Options) exp.Table) func(exp.Options) (exp.Table, error) {
-	return func(o exp.Options) (exp.Table, error) { return f(o), nil }
+func wrapOpts(f func(context.Context, exp.Options) exp.Table) func(context.Context, exp.Options) (exp.Table, error) {
+	return func(ctx context.Context, o exp.Options) (exp.Table, error) { return f(ctx, o), nil }
 }
 
 var experiments = []experiment{
@@ -97,6 +100,12 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Usage = usage
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancel the context; in-flight simulations stop
+	// within one cancellation stride and the process exits without
+	// printing the interrupted experiment's (partial) table.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -182,8 +191,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s:\n", e.id)
 		}
 		start := time.Now()
-		tb, err := e.run(opts)
+		tb, err := e.run(ctx, opts)
 		elapsed := time.Since(start)
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "mirabench: %s: interrupted\n", e.id)
+			os.Exit(130)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mirabench: %s: %v\n", e.id, err)
 			os.Exit(1)

@@ -1,134 +1,168 @@
 // Command mirasim runs a single NoC simulation of one MIRA architecture
 // under a chosen workload and reports latency, throughput, power and
-// activity.
+// activity. Every run is described by a declarative scenario
+// (internal/scenario); -dump prints the scenario JSON for the current
+// flags instead of running it, and -scenario executes a JSON file of one
+// or more stored scenarios as a batch.
 //
 // Usage:
 //
 //	mirasim -arch 3DM-E -traffic ur -rate 0.2
 //	mirasim -arch 2DB -traffic nuca -rate 0.1 -short 0.5
 //	mirasim -arch 3DM -traffic trace -workload tpcw
+//	mirasim -arch 3DM -traffic ur -rate 0.2 -dump > run.json
+//	mirasim -scenario runs.json -workers 4
+//
+// Ctrl-C cancels the run; a canceled simulation reports the counters it
+// measured before the interrupt and marks the result canceled.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
-	"mira/internal/cmp"
 	"mira/internal/core"
 	"mira/internal/exp"
 	"mira/internal/noc"
 	"mira/internal/power"
-	"mira/internal/traffic"
+	"mira/internal/scenario"
 )
 
 func main() {
 	archName := flag.String("arch", "3DM", "architecture: 2DB, 3DB, 3DM, 3DM(NC), 3DM-E, 3DM-E(NC)")
-	trafficKind := flag.String("traffic", "ur", "traffic: ur, nuca, trace, transpose, complement, tornado")
+	trafficKind := flag.String("traffic", "ur", "traffic kind: "+strings.Join(scenario.TrafficKinds(), ", "))
 	rate := flag.Float64("rate", 0.15, "injection rate in flits/node/cycle (synthetic)")
 	short := flag.Float64("short", 0, "fraction of short flits (ur, nuca)")
 	workload := flag.String("workload", "tpcw", "workload name (trace)")
+	traceFile := flag.String("tracefile", "", "recorded trace to replay (replay)")
+	hotFrac := flag.Float64("hotfrac", 0.3, "probability a packet targets a hot node (hotspot)")
 	warmup := flag.Int64("warmup", 5000, "warm-up cycles")
 	measure := flag.Int64("measure", 20000, "measurement cycles")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	stepMode := flag.String("stepmode", "activity", "cycle-loop strategy: activity, fullscan or checked")
 	shutdown := flag.Bool("shutdown", true, "apply layer-shutdown power accounting")
 	qos := flag.Bool("qos", false, "control-over-data switch priority")
 	spec := flag.Bool("spec", false, "speculative switch allocation (Figure 8 (b))")
 	lookahead := flag.Bool("lookahead", false, "look-ahead routing (Figure 8 (c))")
 	matrixArb := flag.Bool("matrix-arb", false, "matrix (least-recently-served) allocator arbiters")
+	dump := flag.Bool("dump", false, "print the scenario JSON for these flags and exit without running")
+	scenarioFile := flag.String("scenario", "", "run a JSON scenario (or array of scenarios) from this file ('-' for stdin) and print JSON results")
+	workers := flag.Int("workers", 0, "batch worker goroutines for -scenario (0 = all CPUs)")
+	timeout := flag.Duration("timeout", 0, "per-run wall-clock limit for -scenario (0 = none)")
 	flag.Parse()
 
-	var arch core.Arch
-	found := false
-	for _, a := range core.Archs {
-		if a.String() == *archName {
-			arch, found = a, true
-			break
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *scenarioFile != "" {
+		if err := runBatchFile(ctx, *scenarioFile, *workers, *timeout); err != nil {
+			fmt.Fprintf(os.Stderr, "mirasim: %v\n", err)
+			os.Exit(1)
 		}
+		return
 	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "mirasim: unknown architecture %q\n", *archName)
+
+	sc := scenario.Scenario{
+		Arch:        *archName,
+		Warmup:      *warmup,
+		Measure:     *measure,
+		Drain:       2 * *measure,
+		Seed:        *seed,
+		StepMode:    *stepMode,
+		QoSPriority: *qos,
+		SpecSA:      *spec,
+		LookaheadRC: *lookahead,
+		MatrixArb:   *matrixArb,
+		Traffic:     trafficFromFlags(*trafficKind, *rate, *short, *workload, *traceFile, *hotFrac, *measure),
+	}
+	if err := sc.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "mirasim: %v\n", err)
 		os.Exit(2)
 	}
 
-	d := core.MustDesign(arch)
-	opts := exp.Options{Warmup: *warmup, Measure: *measure, Drain: 2 * *measure, TraceCycles: *measure, Seed: *seed}
-
-	tweak := func(cfg noc.Config) noc.Config {
-		cfg.QoSPriority = *qos
-		cfg.SpecSA = *spec
-		cfg.LookaheadRC = *lookahead
-		if *matrixArb {
-			cfg.Arb = noc.ArbMatrix
+	if *dump {
+		data, err := sc.MarshalIndent()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mirasim: %v\n", err)
+			os.Exit(1)
 		}
-		return cfg
-	}
-	runCfg := func(cfg noc.Config, gen noc.Generator) noc.Result {
-		s := noc.NewSim(noc.NewNetwork(tweak(cfg)), gen)
-		s.Params = noc.SimParams{Warmup: opts.Warmup, Measure: opts.Measure, DrainMax: opts.Drain}
-		return s.Run()
+		fmt.Printf("%s\n", data)
+		return
 	}
 
+	e, err := sc.Elaborate()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mirasim: %v\n", err)
+		os.Exit(1)
+	}
+	d := e.Design
 	fmt.Printf("architecture : %s (%d ports, %d layers, %d-cycle ST+LT)\n",
 		d.Arch, d.AreaParams.Ports, d.AreaParams.Layers, d.STLTCycles)
 	fmt.Printf("topology     : %s, link %.2f mm\n", d.Topo.Name, d.LinkLenMM)
 	fmt.Printf("router area  : %.0f um^2 total, %.0f um^2 max/layer\n",
 		d.Area.TotalRouter, d.Area.MaxLayer)
-
-	switch *trafficKind {
-	case "ur":
-		gen := &traffic.Uniform{
-			Topo: d.Topo, InjectionRate: *rate, PacketSize: core.DataPacketFlits,
-			ShortFlits: traffic.ShortFlitProfile{Frac: *short, Layers: core.Layers},
-		}
-		r := runCfg(d.NoCConfig(noc.AnyFree, *seed), gen)
-		report(d, r, exp.NetworkPowerW(d, r, *shutdown))
-	case "nuca":
-		gen := &traffic.NUCA{
-			Topo: d.Topo, InjectionRate: *rate,
-			RequestSize: core.ControlPacketFlits, ResponseSize: core.DataPacketFlits,
-			BankDelay:  24,
-			ShortFlits: traffic.ShortFlitProfile{Frac: *short, Layers: core.Layers},
-		}
-		r := runCfg(d.NoCConfig(noc.ByClass, *seed), gen)
-		report(d, r, exp.NetworkPowerW(d, r, *shutdown))
-	case "transpose", "complement", "tornado":
-		dst := map[string]traffic.DstFunc{
-			"transpose": traffic.Transpose, "complement": traffic.Complement, "tornado": traffic.Tornado,
-		}[*trafficKind]
-		gen := &traffic.Permutation{
-			Topo: d.Topo, InjectionRate: *rate, PacketSize: core.DataPacketFlits,
-			Dst: dst, Name: *trafficKind,
-		}
-		if err := gen.Validate(); err != nil {
-			fmt.Fprintf(os.Stderr, "mirasim: %v\n", err)
-			os.Exit(1)
-		}
-		r := runCfg(d.NoCConfig(noc.AnyFree, *seed), gen)
-		report(d, r, exp.NetworkPowerW(d, r, *shutdown))
-	case "trace":
-		w, ok := cmp.ByName(*workload)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "mirasim: unknown workload %q\n", *workload)
-			os.Exit(2)
-		}
-		tr, st, err := cmp.GenerateTrace(w, d.Topo, opts.TraceCycles, opts.Seed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mirasim: %v\n", err)
-			os.Exit(1)
-		}
+	if sc.Traffic.Kind == "trace" {
 		fmt.Printf("workload     : %s (%.1f%% short flits, %.0f%% control packets)\n",
-			w.Name, st.ShortFlitPct(), 100*st.ControlPacketFrac())
-		r := runCfg(d.NoCConfig(noc.ByClass, *seed), &traffic.Replayer{Trace: tr, Loop: true})
-		report(d, r, exp.NetworkPowerW(d, r, *shutdown))
-	default:
-		fmt.Fprintf(os.Stderr, "mirasim: unknown traffic kind %q\n", *trafficKind)
-		os.Exit(2)
+			sc.Traffic.Workload, e.Stats.ShortFlitPct(), 100*e.Stats.ControlPacketFrac())
 	}
+
+	r := e.Sim.Run(ctx)
+	report(d, r, exp.NetworkPowerW(d, r, *shutdown))
+}
+
+// trafficFromFlags assembles the traffic description for one kind,
+// carrying over only the flags that kind consumes so the dumped scenario
+// JSON stays minimal.
+func trafficFromFlags(kind string, rate, short float64, workload, traceFile string, hotFrac float64, measure int64) scenario.Traffic {
+	t := scenario.Traffic{Kind: kind}
+	switch kind {
+	case "ur", "nuca":
+		t.Rate = rate
+		t.ShortFrac = short
+	case "transpose", "complement", "tornado":
+		t.Rate = rate
+	case "hotspot":
+		t.Rate = rate
+		t.HotFrac = hotFrac
+	case "trace":
+		t.Workload = workload
+		t.TraceCycles = measure
+	case "replay":
+		t.TraceFile = traceFile
+	}
+	return t
+}
+
+// runBatchFile executes a stored scenario file through the batch runner
+// and streams the JSON results to stdout.
+func runBatchFile(ctx context.Context, path string, workers int, timeout time.Duration) error {
+	var in io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	return scenario.RunBatchJSON(ctx, in, os.Stdout, scenario.BatchOptions{
+		Workers: workers,
+		Timeout: timeout,
+	})
 }
 
 func report(d *core.Design, r noc.Result, powerW float64) {
 	fmt.Printf("result       : %s\n", r.String())
+	if r.Canceled {
+		fmt.Printf("  (canceled after %d measured cycles; counters are partial)\n", r.Cycles)
+	}
 	for c := noc.Class(0); c < noc.NumClasses; c++ {
 		if pc := r.PerClass[c]; pc.Ejected > 0 {
 			fmt.Printf("  %-10s : lat=%.2f hops=%.2f (%d pkts)\n", c, pc.AvgLatency, pc.AvgHops, pc.Ejected)

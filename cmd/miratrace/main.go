@@ -1,6 +1,8 @@
 // Command miratrace generates, inspects and replays NUCA coherence
 // traces (the reproduction's stand-in for the paper's Simics-generated
-// MP traces).
+// MP traces). Generation and replay both go through the declarative
+// scenario layer, so a gen/replay pair is reproducible from the same
+// serialized description mirasim and mirabench use.
 //
 // Usage:
 //
@@ -13,14 +15,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"mira/internal/cmp"
-	"mira/internal/core"
 	"mira/internal/exp"
-	"mira/internal/noc"
+	"mira/internal/scenario"
 	"mira/internal/traffic"
 )
 
@@ -29,6 +32,8 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "gen":
@@ -36,7 +41,7 @@ func main() {
 	case "stat":
 		err = cmdStat(os.Args[2:])
 	case "replay":
-		err = cmdReplay(os.Args[2:])
+		err = cmdReplay(ctx, os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -54,15 +59,6 @@ func usage() {
   miratrace replay [-arch 2DB] [-measure N] FILE`)
 }
 
-func archByName(name string) (*core.Design, error) {
-	for _, a := range core.Archs {
-		if a.String() == name {
-			return core.NewDesign(a)
-		}
-	}
-	return nil, fmt.Errorf("unknown architecture %q", name)
-}
-
 func cmdGen(args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	workload := fs.String("workload", "tpcw", "workload name")
@@ -73,15 +69,16 @@ func cmdGen(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	w, ok := cmp.ByName(*workload)
-	if !ok {
-		return fmt.Errorf("unknown workload %q", *workload)
+	// Elaborating a "trace" scenario generates the trace; the windows are
+	// irrelevant here (the NoC sim is never run) but must be valid.
+	sc := scenario.Scenario{
+		Arch:    *archName,
+		Warmup:  0,
+		Measure: *cycles,
+		Seed:    *seed,
+		Traffic: scenario.Traffic{Kind: "trace", Workload: *workload, TraceCycles: *cycles},
 	}
-	d, err := archByName(*archName)
-	if err != nil {
-		return err
-	}
-	tr, st, err := cmp.GenerateTrace(w, d.Topo, *cycles, *seed)
+	e, err := sc.Elaborate()
 	if err != nil {
 		return err
 	}
@@ -94,11 +91,11 @@ func cmdGen(args []string) error {
 		defer f.Close()
 		dst = f
 	}
-	if _, err := tr.WriteTo(dst); err != nil {
+	if _, err := e.Trace.WriteTo(dst); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "generated %d packets (%d flits, %.1f%% short) over %d cycles\n",
-		len(tr.Events), tr.Flits(), st.ShortFlitPct(), tr.Span())
+		len(e.Trace.Events), e.Trace.Flits(), e.Stats.ShortFlitPct(), e.Trace.Span())
 	return nil
 }
 
@@ -135,7 +132,7 @@ func cmdStat(args []string) error {
 	return nil
 }
 
-func cmdReplay(args []string) error {
+func cmdReplay(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	archName := fs.String("arch", "2DB", "architecture to replay on")
 	measure := fs.Int64("measure", 20000, "measurement cycles")
@@ -147,32 +144,20 @@ func cmdReplay(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("replay needs exactly one trace file")
 	}
-	tr, err := loadTrace(fs.Arg(0))
+	sc := scenario.Scenario{
+		Arch:    *archName,
+		Warmup:  *measure / 4,
+		Measure: *measure,
+		Drain:   2 * *measure,
+		Seed:    *seed,
+		Traffic: scenario.Traffic{Kind: "replay", TraceFile: fs.Arg(0)},
+	}
+	e, err := sc.Elaborate()
 	if err != nil {
 		return err
 	}
-	d, err := archByName(*archName)
-	if err != nil {
-		return err
-	}
-	for _, e := range tr.Events {
-		if int(e.Src) >= d.Topo.NumNodes() || int(e.Dst) >= d.Topo.NumNodes() {
-			return fmt.Errorf("trace node %d outside %s's %d nodes (wrong -arch?)",
-				max64(int64(e.Src), int64(e.Dst)), d.Arch, d.Topo.NumNodes())
-		}
-	}
-	net := noc.NewNetwork(d.NoCConfig(noc.ByClass, *seed))
-	sim := noc.NewSim(net, &traffic.Replayer{Trace: tr, Loop: true})
-	sim.Params = noc.SimParams{Warmup: *measure / 4, Measure: *measure, DrainMax: 2 * *measure}
-	res := sim.Run()
-	fmt.Printf("%s replay: %s\n", d.Arch, res.String())
-	fmt.Printf("network power: %.3f W\n", exp.NetworkPowerW(d, res, *shutdown))
+	res := e.Sim.Run(ctx)
+	fmt.Printf("%s replay: %s\n", e.Design.Arch, res.String())
+	fmt.Printf("network power: %.3f W\n", exp.NetworkPowerW(e.Design, res, *shutdown))
 	return nil
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

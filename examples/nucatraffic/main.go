@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"mira/internal/core"
@@ -32,7 +33,7 @@ func main() {
 		check(err)
 		resp, err := routing.AverageHops(d.Topo, d.Alg, d.Topo.Caches(), d.Topo.CPUs())
 		check(err)
-		res := exp.RunNUCAUR(d, rate, 0, opts)
+		res := exp.RunNUCAUR(context.Background(), arch, rate, 0, opts)
 		fmt.Printf("%-10s %12.2f %12.2f %10.2f %10.3f\n",
 			arch, urHops, (req+resp)/2, res.AvgLatency, exp.NetworkPowerW(d, res, false))
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"mira/internal/core"
@@ -22,7 +23,7 @@ func main() {
 	var baseLat, baseP float64
 	for _, arch := range []core.Arch{core.Arch2DB, core.Arch3DB, core.Arch3DM, core.Arch3DME} {
 		d := core.MustDesign(arch)
-		res := exp.RunUR(d, rate, 0, opts)
+		res := exp.RunUR(context.Background(), arch, rate, 0, opts)
 		p := exp.NetworkPowerW(d, res, false)
 		if arch == core.Arch2DB {
 			baseLat, baseP = res.AvgLatency, p
@@ -32,7 +33,7 @@ func main() {
 	}
 
 	d := core.MustDesign(core.Arch3DME)
-	res := exp.RunUR(d, rate, 0, opts)
+	res := exp.RunUR(context.Background(), core.Arch3DME, rate, 0, opts)
 	p := exp.NetworkPowerW(d, res, false)
 	fmt.Printf("\n3DM-E vs 2DB: %.0f%% lower latency, %.0f%% lower power\n",
 		100*(1-res.AvgLatency/baseLat), 100*(1-p/baseP))

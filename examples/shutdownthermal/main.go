@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"mira/internal/core"
@@ -27,8 +28,8 @@ func main() {
 		"inj rate", "P full (W)", "P 50% short", "saving", "avg dT (K)")
 
 	for _, rate := range []float64{0.10, 0.20, 0.30} {
-		full := exp.RunUR(d, rate, 0, opts)
-		short := exp.RunUR(d, rate, 0.5, opts)
+		full := exp.RunUR(context.Background(), core.Arch3DM, rate, 0, opts)
+		short := exp.RunUR(context.Background(), core.Arch3DM, rate, 0.5, opts)
 		pFull := exp.NetworkPowerW(d, full, true)
 		pShort := exp.NetworkPowerW(d, short, true)
 		dT := thermal.Average(chipTemps(d, full)) - thermal.Average(chipTemps(d, short))

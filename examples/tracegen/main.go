@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -66,7 +67,7 @@ func main() {
 		net := noc.NewNetwork(dd.NoCConfig(noc.ByClass, 1))
 		sim := noc.NewSim(net, &traffic.Replayer{Trace: trd, Loop: true})
 		sim.Params = noc.SimParams{Warmup: opts.Warmup, Measure: opts.Measure, DrainMax: opts.Drain}
-		res := sim.Run()
+		res := sim.Run(context.Background())
 		fmt.Printf("%-8s replay: %s  power=%.3f W\n",
 			arch, res.String(), exp.NetworkPowerW(dd, res, true))
 	}

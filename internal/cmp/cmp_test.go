@@ -1,6 +1,7 @@
 package cmp
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -475,7 +476,7 @@ func TestTraceReplaysThroughNoC(t *testing.T) {
 	net := noc.NewNetwork(cfg)
 	sim := noc.NewSim(net, &traffic.Replayer{Trace: tr})
 	sim.Params = noc.SimParams{Warmup: 1000, Measure: 7000, DrainMax: 20000}
-	res := sim.Run()
+	res := sim.Run(context.Background())
 	if res.Generated == 0 {
 		t.Fatal("nothing replayed")
 	}

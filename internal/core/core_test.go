@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -191,7 +192,7 @@ func TestDesignsSimulate(t *testing.T) {
 		})
 		s := noc.NewSim(net, gen)
 		s.Params = noc.SimParams{Warmup: 200, Measure: 1500, DrainMax: 5000}
-		res := s.Run()
+		res := s.Run(context.Background())
 		if res.Generated == 0 || res.Ejected != res.Generated {
 			t.Errorf("%v: delivery failed: %v", a, res.String())
 		}

@@ -193,16 +193,6 @@ func (d *Design) NoCConfig(policy noc.VCPolicy, seed int64) noc.Config {
 	}
 }
 
-// CustomNoCConfig is NoCConfig with overridden buffer geometry, for
-// design-space ablations (e.g. the paper's discussion of the 2-VC choice
-// in §3.2.4 and shared-buffer sizing in related work [23]).
-func (d *Design) CustomNoCConfig(policy noc.VCPolicy, seed int64, vcs, bufDepth int) noc.Config {
-	cfg := d.NoCConfig(policy, seed)
-	cfg.VCs = vcs
-	cfg.BufDepth = bufDepth
-	return cfg
-}
-
 // Multilayer reports whether the datapath is split across layers (the
 // short-flit shutdown then also reduces power density, not just energy).
 func (d *Design) Multilayer() bool { return d.AreaParams.Layers > 1 }

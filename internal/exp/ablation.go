@@ -1,14 +1,15 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"mira/internal/area"
 	"mira/internal/core"
 	"mira/internal/noc"
 	"mira/internal/routing"
+	"mira/internal/scenario"
 	"mira/internal/topology"
-	"mira/internal/traffic"
 )
 
 // Ablation studies for the design choices DESIGN.md calls out. These go
@@ -18,30 +19,26 @@ import (
 // express-channel interval (Dally's express cubes leave it a free
 // parameter; the paper uses the doubled wire budget for one extra hop).
 
-// runCustomUR runs uniform-random traffic on a design with overridden
-// buffer geometry.
-func runCustomUR(d *core.Design, vcs, depth int, rate float64, o Options) noc.Result {
-	gen := &traffic.Uniform{
-		Topo:          d.Topo,
-		InjectionRate: rate,
-		PacketSize:    core.DataPacketFlits,
-	}
-	net := noc.NewNetwork(o.applyMode(d.CustomNoCConfig(noc.AnyFree, o.Seed, vcs, depth)))
-	s := noc.NewSim(net, gen)
-	s.Params = o.simParams()
-	return s.Run()
+// runCustomUR runs uniform-random traffic on the 3DM design with
+// overridden buffer geometry.
+func runCustomUR(ctx context.Context, vcs, depth int, rate float64, o Options) noc.Result {
+	sc := o.Scenario(core.Arch3DM)
+	sc.Traffic = scenario.Traffic{Kind: "ur", Rate: rate}
+	sc.VCs = vcs
+	sc.BufDepth = depth
+	return mustElaborate(sc).Sim.Run(ctx)
 }
 
 // AblationBufferDepth sweeps the per-VC buffer depth of the 3DM router
 // at a moderate and a high load.
-func AblationBufferDepth(o Options) Table {
+func AblationBufferDepth(ctx context.Context, o Options) Table {
 	t := Table{
 		ID:     "ablation-buf",
 		Title:  "3DM buffer-depth ablation (uniform random)",
 		Header: []string{"depth (flits)", "lat @0.15", "lat @0.30", "buffer area um^2/layer"},
 	}
 	depths := []int{2, 4, 8, 16}
-	res := RunAll(o, bufGridPoints(depths, func(depth int) (vcs, d int) { return core.VCsPerPort, depth }))
+	res := RunAll(ctx, o, bufGridPoints(depths, func(depth int) (vcs, d int) { return core.VCsPerPort, depth }))
 	for i, depth := range depths {
 		ap := corePowerOf(core.Arch3DM).AreaParams
 		ap.BufDepth = depth
@@ -56,7 +53,7 @@ func AblationBufferDepth(o Options) Table {
 
 // AblationVCs sweeps the VC count per port at fixed total buffer bits
 // (VCs x depth constant), the tradeoff ViChaR [23] explores.
-func AblationVCs(o Options) Table {
+func AblationVCs(ctx context.Context, o Options) Table {
 	t := Table{
 		ID:     "ablation-vc",
 		Title:  "3DM virtual-channel ablation at constant buffer bits (uniform random)",
@@ -67,7 +64,7 @@ func AblationVCs(o Options) Table {
 	for i := range cfgs {
 		idx[i] = i
 	}
-	res := RunAll(o, bufGridPoints(idx, func(i int) (vcs, depth int) { return cfgs[i].vcs, cfgs[i].depth }))
+	res := RunAll(ctx, o, bufGridPoints(idx, func(i int) (vcs, depth int) { return cfgs[i].vcs, cfgs[i].depth }))
 	for i, c := range cfgs {
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%dx%d", c.vcs, c.depth), latCell(res[2*i]), latCell(res[2*i+1]),
@@ -91,8 +88,8 @@ func bufGridPoints[K any](keys []K, geom func(K) (vcs, depth int)) []Point[noc.R
 			vcs, depth, rate := vcs, depth, rate
 			points = append(points, Point[noc.Result]{
 				Label: fmt.Sprintf("vcs=%d depth=%d rate=%.2f", vcs, depth, rate),
-				Run: func(o Options) noc.Result {
-					return runCustomUR(core.MustDesign(core.Arch3DM), vcs, depth, rate, o)
+				Run: func(ctx context.Context, o Options) noc.Result {
+					return runCustomUR(ctx, vcs, depth, rate, o)
 				},
 			})
 		}
@@ -103,7 +100,7 @@ func bufGridPoints[K any](keys []K, geom func(K) (vcs, depth int)) []Point[noc.R
 // AblationExpressInterval compares express-channel hop spans on the
 // 3DM-E fabric. Interval 2 is the paper's design; interval 3 trades
 // lower maximum radix for fewer skippable hops on a 6-wide mesh.
-func AblationExpressInterval(o Options) (Table, error) {
+func AblationExpressInterval(ctx context.Context, o Options) (Table, error) {
 	t := Table{
 		ID:     "ablation-express",
 		Title:  "Express-channel interval ablation (uniform random)",
@@ -116,24 +113,21 @@ func AblationExpressInterval(o Options) (Table, error) {
 			interval, rate := interval, rate
 			points = append(points, Point[noc.Result]{
 				Label: fmt.Sprintf("interval=%d rate=%.2f", interval, rate),
-				Run: func(o Options) noc.Result {
-					topo, err := expressMesh(interval)
-					if err != nil {
-						panic(err) // NUCA layout always fits a 6x6 mesh
-					}
-					cfg := noc.Config{
-						Topo: topo, Alg: routing.Express{}, VCs: core.VCsPerPort, BufDepth: core.BufDepth,
-						STLTCycles: 1, Layers: core.Layers, Policy: noc.AnyFree, Seed: o.Seed,
-					}
-					gen := &traffic.Uniform{Topo: topo, InjectionRate: rate, PacketSize: core.DataPacketFlits}
-					s := noc.NewSim(noc.NewNetwork(o.applyMode(cfg)), gen)
-					s.Params = o.simParams()
-					return s.Run()
+				Run: func(ctx context.Context, o Options) noc.Result {
+					sc := o.Scenario(core.Arch3DME)
+					sc.Traffic = scenario.Traffic{Kind: "ur", Rate: rate}
+					sc.ExpressInterval = interval
+					// The delay model would charge interval 3's longer
+					// express wires a second ST+LT cycle; hold the
+					// pipeline constant so the comparison isolates the
+					// topology.
+					sc.STLTCycles = 1
+					return mustElaborate(sc).Sim.Run(ctx)
 				},
 			})
 		}
 	}
-	res := RunAll(o, points)
+	res := RunAll(ctx, o, points)
 	for i, interval := range intervals {
 		topo, err := expressMesh(interval)
 		if err != nil {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -9,6 +10,7 @@ import (
 	"mira/internal/noc"
 	"mira/internal/power"
 	"mira/internal/routing"
+	"mira/internal/scenario"
 	"mira/internal/stats"
 	"mira/internal/thermal"
 	"mira/internal/topology"
@@ -25,13 +27,13 @@ var URRates = []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40}
 
 // Fig1 reports the data-pattern breakdown of each workload's payload
 // words (all-0 / all-1 / other frequent patterns / irregular).
-func Fig1(o Options) (Table, error) {
+func Fig1(ctx context.Context, o Options) (Table, error) {
 	t := Table{
 		ID:     "fig1",
 		Title:  "Data pattern breakdown (fraction of data words)",
 		Header: []string{"Workload", "all-0", "all-1", "frequent", "other", "short flits %"},
 	}
-	res := RunAll(o, traceStatPoints(cmp.Workloads))
+	res := RunAll(ctx, o, traceStatPoints(cmp.Workloads))
 	for i, w := range cmp.Workloads {
 		if res[i].err != nil {
 			return t, res[i].err
@@ -55,16 +57,23 @@ type statOut struct {
 }
 
 // traceStatPoints builds one trace-generation point per workload; the
-// trace itself is discarded, only the statistics are kept.
+// trace itself is discarded, only the statistics are kept. The trace is
+// generated on the 2DB floorplan (the 6x6 NUCA mesh); the statistics
+// depend only on the workload model and seed.
 func traceStatPoints(ws []cmp.Workload) []Point[statOut] {
 	points := make([]Point[statOut], 0, len(ws))
 	for _, w := range ws {
 		w := w
 		points = append(points, Point[statOut]{
 			Label: "trace-stats " + w.Name,
-			Run: func(o Options) statOut {
-				_, st, err := cmp.GenerateTrace(w, nucaMesh(), o.TraceCycles, o.Seed)
-				return statOut{st: st, err: err}
+			Run: func(ctx context.Context, o Options) statOut {
+				sc := o.Scenario(core.Arch2DB)
+				sc.Traffic = scenario.Traffic{Kind: "trace", Workload: w.Name, TraceCycles: o.TraceCycles}
+				e, err := sc.Elaborate()
+				if err != nil {
+					return statOut{err: err}
+				}
+				return statOut{st: e.Stats}
 			},
 		})
 	}
@@ -72,14 +81,14 @@ func traceStatPoints(ws []cmp.Workload) []Point[statOut] {
 }
 
 // Fig2 reports the packet-type distribution of the coherence traffic.
-func Fig2(o Options) (Table, error) {
+func Fig2(ctx context.Context, o Options) (Table, error) {
 	t := Table{
 		ID:     "fig2",
 		Title:  "Packet type distribution (fraction of packets)",
 		Header: []string{"Workload", "GetS", "GetX", "Upgrade", "Inv", "Fwd", "Ack", "Data", "WB", "control total"},
 	}
 	ws := presentedWorkloads()
-	res := RunAll(o, traceStatPoints(ws))
+	res := RunAll(ctx, o, traceStatPoints(ws))
 	for i, w := range ws {
 		if res[i].err != nil {
 			return t, res[i].err
@@ -109,14 +118,6 @@ func presentedWorkloads() []cmp.Workload {
 	return ws
 }
 
-func nucaMesh() *topology.Topology {
-	topo := topology.NewMesh2D(6, 6, core.Pitch2DMM)
-	if err := topology.ApplyNUCALayout2D(topo); err != nil {
-		panic(err)
-	}
-	return topo
-}
-
 // SweepResult couples each architecture's result at one injection rate.
 type SweepResult struct {
 	Rate    float64
@@ -127,20 +128,20 @@ type SweepResult struct {
 // rates as a (rate × arch) grid of independent points on the parallel
 // runner. Each point elaborates its own Design so no topology state is
 // shared between workers.
-func runSweep(o Options, rates []float64, run func(d *core.Design, rate float64, o Options) noc.Result) []SweepResult {
+func runSweep(ctx context.Context, o Options, rates []float64, run func(ctx context.Context, a core.Arch, rate float64, o Options) noc.Result) []SweepResult {
 	points := make([]Point[noc.Result], 0, len(rates)*len(core.Archs))
 	for _, rate := range rates {
 		for _, a := range core.Archs {
 			rate, a := rate, a
 			points = append(points, Point[noc.Result]{
 				Label: fmt.Sprintf("rate=%.2f arch=%s", rate, a),
-				Run: func(o Options) noc.Result {
-					return run(core.MustDesign(a), rate, o)
+				Run: func(ctx context.Context, o Options) noc.Result {
+					return run(ctx, a, rate, o)
 				},
 			})
 		}
 	}
-	res := RunAll(o, points)
+	res := RunAll(ctx, o, points)
 	out := make([]SweepResult, 0, len(rates))
 	k := 0
 	for _, rate := range rates {
@@ -173,9 +174,9 @@ func sweepTable(id, title, metric string, sweep []SweepResult, cell func(*core.D
 }
 
 // Fig11a: average latency vs injection rate, uniform random traffic.
-func Fig11a(o Options) Table {
-	sweep := runSweep(o, URRates, func(d *core.Design, rate float64, o Options) noc.Result {
-		return RunUR(d, rate, 0, o)
+func Fig11a(ctx context.Context, o Options) Table {
+	sweep := runSweep(ctx, o, URRates, func(ctx context.Context, a core.Arch, rate float64, o Options) noc.Result {
+		return RunUR(ctx, a, rate, 0, o)
 	})
 	return sweepTable("fig11a", "Average latency, uniform random (cycles)", "avg packet latency",
 		sweep, func(d *core.Design, r noc.Result) string { return latCell(r) })
@@ -183,9 +184,9 @@ func Fig11a(o Options) Table {
 
 // Fig11b: average latency vs injection rate, NUCA-constrained bimodal
 // traffic.
-func Fig11b(o Options) Table {
-	sweep := runSweep(o, URRates, func(d *core.Design, rate float64, o Options) noc.Result {
-		return RunNUCAUR(d, rate, 0, o)
+func Fig11b(ctx context.Context, o Options) Table {
+	sweep := runSweep(ctx, o, URRates, func(ctx context.Context, a core.Arch, rate float64, o Options) noc.Result {
+		return RunNUCAUR(ctx, a, rate, 0, o)
 	})
 	return sweepTable("fig11b", "Average latency, NUCA-UR (cycles)", "avg packet latency",
 		sweep, func(d *core.Design, r noc.Result) string { return latCell(r) })
@@ -201,7 +202,7 @@ type TraceRun struct {
 
 // RunTraces executes all presented workloads over all architectures as
 // a (workload × arch) grid on the parallel runner.
-func RunTraces(o Options) ([]TraceRun, error) {
+func RunTraces(ctx context.Context, o Options) ([]TraceRun, error) {
 	type traceOut struct {
 		res noc.Result
 		st  cmp.Stats
@@ -214,14 +215,14 @@ func RunTraces(o Options) ([]TraceRun, error) {
 			w, a := w, a
 			points = append(points, Point[traceOut]{
 				Label: fmt.Sprintf("trace=%s arch=%s", w.Name, a),
-				Run: func(o Options) traceOut {
-					res, st, err := RunTrace(core.MustDesign(a), w, o)
+				Run: func(ctx context.Context, o Options) traceOut {
+					res, st, err := RunTrace(ctx, a, w, o)
 					return traceOut{res: res, st: st, err: err}
 				},
 			})
 		}
 	}
-	res := RunAll(o, points)
+	res := RunAll(ctx, o, points)
 	var out []TraceRun
 	k := 0
 	for _, name := range cmp.Presented {
@@ -245,8 +246,8 @@ func RunTraces(o Options) ([]TraceRun, error) {
 }
 
 // Fig11c: per-workload latency normalized to 2DB.
-func Fig11c(o Options) (Table, error) {
-	runs, err := RunTraces(o)
+func Fig11c(ctx context.Context, o Options) (Table, error) {
+	runs, err := RunTraces(ctx, o)
 	if err != nil {
 		return Table{}, err
 	}
@@ -277,13 +278,13 @@ func traceTable(id, title string, runs []TraceRun, cell func(*core.Design, noc.R
 // Fig11d: average hop count per architecture for the three traffic
 // types. UR and NUCA-UR hop counts are computed analytically from the
 // routing function; MP-trace hops are measured from the trace runs.
-func Fig11d(o Options) (Table, error) {
+func Fig11d(ctx context.Context, o Options) (Table, error) {
 	t := Table{
 		ID:     "fig11d",
 		Title:  "Average hop count",
 		Header: []string{"design", "UR", "NUCA-UR", "MP-traces"},
 	}
-	runs, err := RunTraces(o)
+	runs, err := RunTraces(ctx, o)
 	if err != nil {
 		return t, err
 	}
@@ -314,18 +315,18 @@ func Fig11d(o Options) (Table, error) {
 
 // Fig12a: average network power vs injection rate, uniform random, 0 %
 // short flits (pure structural comparison, no shutdown).
-func Fig12a(o Options) Table {
-	sweep := runSweep(o, URRates, func(d *core.Design, rate float64, o Options) noc.Result {
-		return RunUR(d, rate, 0, o)
+func Fig12a(ctx context.Context, o Options) Table {
+	sweep := runSweep(ctx, o, URRates, func(ctx context.Context, a core.Arch, rate float64, o Options) noc.Result {
+		return RunUR(ctx, a, rate, 0, o)
 	})
 	return sweepTable("fig12a", "Average power, uniform random, 0% short flits (W)", "avg network power",
 		sweep, func(d *core.Design, r noc.Result) string { return f3(NetworkPowerW(d, r, false)) })
 }
 
 // Fig12b: average power under NUCA-UR traffic.
-func Fig12b(o Options) Table {
-	sweep := runSweep(o, URRates, func(d *core.Design, rate float64, o Options) noc.Result {
-		return RunNUCAUR(d, rate, 0, o)
+func Fig12b(ctx context.Context, o Options) Table {
+	sweep := runSweep(ctx, o, URRates, func(ctx context.Context, a core.Arch, rate float64, o Options) noc.Result {
+		return RunNUCAUR(ctx, a, rate, 0, o)
 	})
 	return sweepTable("fig12b", "Average power, NUCA-UR (W)", "avg network power",
 		sweep, func(d *core.Design, r noc.Result) string { return f3(NetworkPowerW(d, r, false)) })
@@ -334,8 +335,8 @@ func Fig12b(o Options) Table {
 // Fig12c: MP-trace power normalized to a 2DB baseline *without* layer
 // shutdown; the other designs use the shutdown technique, as in the
 // paper ("with no layer shut down in the base cases").
-func Fig12c(o Options) (Table, error) {
-	runs, err := RunTraces(o)
+func Fig12c(ctx context.Context, o Options) (Table, error) {
+	runs, err := RunTraces(ctx, o)
 	if err != nil {
 		return Table{}, err
 	}
@@ -369,9 +370,9 @@ func corePowerOf(a core.Arch) *core.Design {
 }
 
 // Fig12d: power-delay product normalized to 2DB, uniform random.
-func Fig12d(o Options) Table {
-	sweep := runSweep(o, URRates, func(d *core.Design, rate float64, o Options) noc.Result {
-		return RunUR(d, rate, 0, o)
+func Fig12d(ctx context.Context, o Options) Table {
+	sweep := runSweep(ctx, o, URRates, func(ctx context.Context, a core.Arch, rate float64, o Options) noc.Result {
+		return RunUR(ctx, a, rate, 0, o)
 	})
 	t := Table{ID: "fig12d", Title: "Normalized power-delay product, uniform random", Header: []string{"inj rate"}}
 	designs := Designs()
@@ -393,14 +394,14 @@ func Fig12d(o Options) Table {
 }
 
 // Fig13a: short-flit percentage per workload.
-func Fig13a(o Options) (Table, error) {
+func Fig13a(ctx context.Context, o Options) (Table, error) {
 	t := Table{
 		ID:     "fig13a",
 		Title:  "Short flit percentage per workload",
 		Header: []string{"workload", "short flits %"},
 	}
 	ws := presentedWorkloads()
-	res := RunAll(o, traceStatPoints(ws))
+	res := RunAll(ctx, o, traceStatPoints(ws))
 	var avg stats.Mean
 	for i, w := range ws {
 		if res[i].err != nil {
@@ -416,7 +417,7 @@ func Fig13a(o Options) (Table, error) {
 
 // Fig13b: power saving from the layer-shutdown technique at 25 % and
 // 50 % short flits (uniform random at a fixed moderate load).
-func Fig13b(o Options) Table {
+func Fig13b(ctx context.Context, o Options) Table {
 	t := Table{
 		ID:     "fig13b",
 		Title:  "Power saving from layer shutdown (% vs same design, 0% short)",
@@ -431,14 +432,13 @@ func Fig13b(o Options) Table {
 			a, frac := a, frac
 			points = append(points, Point[float64]{
 				Label: fmt.Sprintf("arch=%s short=%.0f%%", a, 100*frac),
-				Run: func(o Options) float64 {
-					d := core.MustDesign(a)
-					return NetworkPowerW(d, RunUR(d, rate, frac, o), true)
+				Run: func(ctx context.Context, o Options) float64 {
+					return NetworkPowerW(corePowerOf(a), RunUR(ctx, a, rate, frac, o), true)
 				},
 			})
 		}
 	}
-	res := RunAll(o, points)
+	res := RunAll(ctx, o, points)
 	for i, a := range archs {
 		base, s25, s50 := res[3*i], res[3*i+1], res[3*i+2]
 		t.Rows = append(t.Rows, []string{
@@ -454,7 +454,7 @@ func Fig13b(o Options) Table {
 // 50 % of flits are short, at three injection rates. Router power comes
 // from the simulation; CPU (8 W) and cache-bank (0.1 W) static power
 // uses the paper's §4.2.3 numbers, spread equally over the four layers.
-func Fig13c(o Options) Table {
+func Fig13c(ctx context.Context, o Options) Table {
 	t := Table{
 		ID:     "fig13c",
 		Title:  "3DM average temperature reduction, 50% vs 0% short flits (K)",
@@ -466,13 +466,13 @@ func Fig13c(o Options) Table {
 		rate := rate
 		points = append(points, Point[[2]float64]{
 			Label: fmt.Sprintf("rate=%.2f", rate),
-			Run: func(o Options) [2]float64 {
-				avgDT, maxDT := fig13cDeltas(core.MustDesign(core.Arch3DM), o, rate)
+			Run: func(ctx context.Context, o Options) [2]float64 {
+				avgDT, maxDT := fig13cDeltas(ctx, o, rate)
 				return [2]float64{avgDT, maxDT}
 			},
 		})
 	}
-	for i, dt := range RunAll(o, points) {
+	for i, dt := range RunAll(ctx, o, points) {
 		t.Rows = append(t.Rows, []string{f2(rates[i]), f2(dt[0]), f2(dt[1])})
 	}
 	t.Notes = append(t.Notes, "CPU 8 W, cache bank 0.1 W static; router power from simulation with shutdown")
@@ -481,14 +481,15 @@ func Fig13c(o Options) Table {
 
 // Fig13cAt returns the average temperature reduction at one injection
 // rate (used by the benchmark harness).
-func Fig13cAt(o Options, rate float64) float64 {
-	avgDT, _ := fig13cDeltas(corePowerOf(core.Arch3DM), o, rate)
+func Fig13cAt(ctx context.Context, o Options, rate float64) float64 {
+	avgDT, _ := fig13cDeltas(ctx, o, rate)
 	return avgDT
 }
 
-func fig13cDeltas(d *core.Design, o Options, rate float64) (avgDT, maxDT float64) {
-	r0 := RunUR(d, rate, 0, o)
-	r50 := RunUR(d, rate, 0.5, o)
+func fig13cDeltas(ctx context.Context, o Options, rate float64) (avgDT, maxDT float64) {
+	d := corePowerOf(core.Arch3DM)
+	r0 := RunUR(ctx, core.Arch3DM, rate, 0, o)
+	r50 := RunUR(ctx, core.Arch3DM, rate, 0.5, o)
 	t0 := solveChipTemps(d, r0)
 	t50 := solveChipTemps(d, r50)
 	return thermal.Average(t0) - thermal.Average(t50), thermal.Max(t0) - thermal.Max(t50)

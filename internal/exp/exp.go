@@ -5,6 +5,8 @@
 package exp
 
 import (
+	"context"
+	"encoding/csv"
 	"fmt"
 	"strings"
 
@@ -12,8 +14,8 @@ import (
 	"mira/internal/core"
 	"mira/internal/noc"
 	"mira/internal/power"
+	"mira/internal/scenario"
 	"mira/internal/stats"
-	"mira/internal/traffic"
 )
 
 // Options sizes the simulations.
@@ -49,22 +51,32 @@ func Quick() Options {
 	return Options{Warmup: 1000, Measure: 4000, Drain: 10000, TraceCycles: 8000, Seed: 42}
 }
 
-func (o Options) simParams() noc.SimParams {
-	return noc.SimParams{Warmup: o.Warmup, Measure: o.Measure, DrainMax: o.Drain}
+// Scenario converts the options into a base run description for one
+// architecture: windows, seed and step mode carried over, traffic and
+// overrides left for the caller to fill in. Every simulation a driver
+// runs goes Options -> Scenario -> scenario.Elaborate, so mirabench
+// -stepmode/-seed reach every simulation and any driver's point can be
+// reproduced standalone from its serialized scenario.
+func (o Options) Scenario(a core.Arch) scenario.Scenario {
+	return scenario.Scenario{
+		Arch:     a.String(),
+		Warmup:   o.Warmup,
+		Measure:  o.Measure,
+		Drain:    o.Drain,
+		Seed:     o.Seed,
+		StepMode: o.StepMode.String(),
+	}
 }
 
-// nocConfig builds a design's simulator configuration with the
-// options' seed and step mode applied. All experiment drivers build
-// their networks through here (or apply applyMode to a customized
-// config) so mirabench -stepmode reaches every simulation.
-func (o Options) nocConfig(d *core.Design, policy noc.VCPolicy) noc.Config {
-	return o.applyMode(d.NoCConfig(policy, o.Seed))
-}
-
-// applyMode stamps the options' step mode onto an existing config.
-func (o Options) applyMode(cfg noc.Config) noc.Config {
-	cfg.Mode = o.StepMode
-	return cfg
+// mustElaborate builds a driver-authored scenario. The drivers'
+// scenarios are statically valid, so failure here is a programming
+// error, not an input error.
+func mustElaborate(sc scenario.Scenario) *scenario.Elaboration {
+	e, err := sc.Elaborate()
+	if err != nil {
+		panic(err)
+	}
+	return e
 }
 
 // Table is a printable experiment result.
@@ -111,26 +123,19 @@ func (t Table) String() string {
 	return sb.String()
 }
 
-// CSV renders the table as RFC-4180-style CSV (header + rows; notes are
-// omitted), for plotting pipelines.
+// CSV renders the table as RFC 4180 CSV (header + rows; notes are
+// omitted), for plotting pipelines. Cells containing commas, quotes or
+// newlines are fully quoted per the RFC.
 func (t Table) CSV() string {
 	var sb strings.Builder
-	writeRow := func(cells []string) {
-		for i, c := range cells {
-			if i > 0 {
-				sb.WriteByte(',')
-			}
-			if strings.ContainsAny(c, ",\"\n") {
-				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
-			}
-			sb.WriteString(c)
-		}
-		sb.WriteByte('\n')
+	w := csv.NewWriter(&sb)
+	if err := w.Write(t.Header); err != nil {
+		panic(err) // strings.Builder never errors
 	}
-	writeRow(t.Header)
-	for _, row := range t.Rows {
-		writeRow(row)
+	if err := w.WriteAll(t.Rows); err != nil {
+		panic(err)
 	}
+	w.Flush()
 	return sb.String()
 }
 
@@ -147,47 +152,30 @@ func Designs() []*core.Design {
 // RunUR simulates one architecture under uniform-random traffic at the
 // given injection rate (flits/node/cycle) with the given short-flit
 // fraction.
-func RunUR(d *core.Design, rate, shortFrac float64, o Options) noc.Result {
-	gen := &traffic.Uniform{
-		Topo:          d.Topo,
-		InjectionRate: rate,
-		PacketSize:    core.DataPacketFlits,
-		ShortFlits:    traffic.ShortFlitProfile{Frac: shortFrac, Layers: core.Layers},
-	}
-	net := noc.NewNetwork(o.nocConfig(d, noc.AnyFree))
-	s := noc.NewSim(net, gen)
-	s.Params = o.simParams()
-	return s.Run()
+func RunUR(ctx context.Context, a core.Arch, rate, shortFrac float64, o Options) noc.Result {
+	sc := o.Scenario(a)
+	sc.Traffic = scenario.Traffic{Kind: "ur", Rate: rate, ShortFrac: shortFrac}
+	return mustElaborate(sc).Sim.Run(ctx)
 }
 
 // RunNUCAUR simulates the layout-constrained bimodal request/response
 // workload (§4.2.1's "NUCA-UR").
-func RunNUCAUR(d *core.Design, rate, shortFrac float64, o Options) noc.Result {
-	gen := &traffic.NUCA{
-		Topo:          d.Topo,
-		InjectionRate: rate,
-		RequestSize:   core.ControlPacketFlits,
-		ResponseSize:  core.DataPacketFlits,
-		BankDelay:     24, // request traversal + L2 bank access
-		ShortFlits:    traffic.ShortFlitProfile{Frac: shortFrac, Layers: core.Layers},
-	}
-	net := noc.NewNetwork(o.nocConfig(d, noc.ByClass))
-	s := noc.NewSim(net, gen)
-	s.Params = o.simParams()
-	return s.Run()
+func RunNUCAUR(ctx context.Context, a core.Arch, rate, shortFrac float64, o Options) noc.Result {
+	sc := o.Scenario(a)
+	sc.Traffic = scenario.Traffic{Kind: "nuca", Rate: rate, ShortFrac: shortFrac}
+	return mustElaborate(sc).Sim.Run(ctx)
 }
 
-// RunTrace generates the workload's CMP coherence trace on the design's
-// own topology and replays it through the NoC.
-func RunTrace(d *core.Design, w cmp.Workload, o Options) (noc.Result, cmp.Stats, error) {
-	tr, stats, err := cmp.GenerateTrace(w, d.Topo, o.TraceCycles, o.Seed)
+// RunTrace generates the workload's CMP coherence trace on the
+// architecture's own topology and replays it through the NoC.
+func RunTrace(ctx context.Context, a core.Arch, w cmp.Workload, o Options) (noc.Result, cmp.Stats, error) {
+	sc := o.Scenario(a)
+	sc.Traffic = scenario.Traffic{Kind: "trace", Workload: w.Name, TraceCycles: o.TraceCycles}
+	e, err := sc.Elaborate()
 	if err != nil {
-		return noc.Result{}, stats, err
+		return noc.Result{}, cmp.Stats{}, err
 	}
-	net := noc.NewNetwork(o.nocConfig(d, noc.ByClass))
-	s := noc.NewSim(net, &traffic.Replayer{Trace: tr, Loop: true})
-	s.Params = o.simParams()
-	return s.Run(), stats, nil
+	return e.Sim.Run(ctx), e.Stats, nil
 }
 
 // NetworkPowerW converts a simulation result into average network power

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -17,6 +18,10 @@ func tiny() Options {
 }
 
 func design(a core.Arch) *core.Design { return core.MustDesign(a) }
+
+// bg is the context every behavioural test runs under; cancellation has
+// its own regression tests in internal/scenario.
+func bg() context.Context { return context.Background() }
 
 func TestTableRendering(t *testing.T) {
 	tb := Table{
@@ -62,7 +67,7 @@ func TestURLatencyOrdering(t *testing.T) {
 	const rate = 0.15
 	lat := map[core.Arch]float64{}
 	for _, a := range core.Archs {
-		r := RunUR(design(a), rate, 0, o)
+		r := RunUR(bg(), a, rate, 0, o)
 		if r.Saturated {
 			t.Fatalf("%v saturated at rate %v", a, rate)
 		}
@@ -90,8 +95,7 @@ func TestURPowerOrdering(t *testing.T) {
 	const rate = 0.15
 	pw := map[core.Arch]float64{}
 	for _, a := range []core.Arch{core.Arch2DB, core.Arch3DB, core.Arch3DM, core.Arch3DME} {
-		d := design(a)
-		pw[a] = NetworkPowerW(d, RunUR(d, rate, 0, o), false)
+		pw[a] = NetworkPowerW(design(a), RunUR(bg(), a, rate, 0, o), false)
 	}
 	if !(pw[core.Arch3DME] < pw[core.Arch3DM] && pw[core.Arch3DM] < pw[core.Arch3DB] && pw[core.Arch3DB] < pw[core.Arch2DB]) {
 		t.Errorf("power ordering violated: %v", pw)
@@ -112,7 +116,7 @@ func TestTraceLatencyHeadlines(t *testing.T) {
 	w, _ := cmp.ByName("tpcw")
 	res := map[core.Arch]float64{}
 	for _, a := range []core.Arch{core.Arch2DB, core.Arch3DB, core.Arch3DM, core.Arch3DME} {
-		r, _, err := RunTrace(design(a), w, o)
+		r, _, err := RunTrace(bg(), a, w, o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -136,13 +140,13 @@ func TestTracePowerHeadlines(t *testing.T) {
 	o := tiny()
 	w, _ := cmp.ByName("tpcw")
 	d2 := design(core.Arch2DB)
-	r2, _, err := RunTrace(d2, w, o)
+	r2, _, err := RunTrace(bg(), core.Arch2DB, w, o)
 	if err != nil {
 		t.Fatal(err)
 	}
 	base := NetworkPowerW(d2, r2, false)
 	de := design(core.Arch3DME)
-	re, _, err := RunTrace(de, w, o)
+	re, _, err := RunTrace(bg(), core.Arch3DME, w, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,9 +162,9 @@ func TestShutdownSavings(t *testing.T) {
 	o := tiny()
 	d := design(core.Arch3DM)
 	const rate = 0.15
-	base := NetworkPowerW(d, RunUR(d, rate, 0, o), true)
-	s25 := 1 - NetworkPowerW(d, RunUR(d, rate, 0.25, o), true)/base
-	s50 := 1 - NetworkPowerW(d, RunUR(d, rate, 0.50, o), true)/base
+	base := NetworkPowerW(d, RunUR(bg(), core.Arch3DM, rate, 0, o), true)
+	s25 := 1 - NetworkPowerW(d, RunUR(bg(), core.Arch3DM, rate, 0.25, o), true)/base
+	s50 := 1 - NetworkPowerW(d, RunUR(bg(), core.Arch3DM, rate, 0.50, o), true)/base
 	if s25 < 0.10 || s25 > 0.25 {
 		t.Errorf("25%% short saving = %.3f, want ~0.17", s25)
 	}
@@ -179,8 +183,8 @@ func TestThermalReduction(t *testing.T) {
 	d := design(core.Arch3DM)
 	var prev float64
 	for _, rate := range []float64{0.1, 0.3} {
-		r0 := RunUR(d, rate, 0, o)
-		r50 := RunUR(d, rate, 0.5, o)
+		r0 := RunUR(bg(), core.Arch3DM, rate, 0, o)
+		r50 := RunUR(bg(), core.Arch3DM, rate, 0.5, o)
 		dT := thermal.Average(solveChipTemps(d, r0)) - thermal.Average(solveChipTemps(d, r50))
 		if dT <= 0 || dT > 4 {
 			t.Errorf("rate %v: dT = %.2f K out of (0, 4]", rate, dT)
@@ -194,7 +198,7 @@ func TestThermalReduction(t *testing.T) {
 
 // Figure 11 (d): hop-count relationships.
 func TestHopCountTable(t *testing.T) {
-	tb, err := Fig11d(tiny())
+	tb, err := Fig11d(bg(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +209,7 @@ func TestHopCountTable(t *testing.T) {
 
 func TestAblations(t *testing.T) {
 	o := tiny()
-	buf := AblationBufferDepth(o)
+	buf := AblationBufferDepth(bg(), o)
 	if len(buf.Rows) != 4 {
 		t.Errorf("buffer ablation rows = %d, want 4", len(buf.Rows))
 	}
@@ -218,12 +222,12 @@ func TestAblations(t *testing.T) {
 		t.Errorf("depth-8 latency %.1f should beat depth-2 %.1f at high load", lat8, lat2)
 	}
 
-	vcs := AblationVCs(o)
+	vcs := AblationVCs(bg(), o)
 	if len(vcs.Rows) != 3 {
 		t.Errorf("VC ablation rows = %d", len(vcs.Rows))
 	}
 
-	ex, err := AblationExpressInterval(o)
+	ex, err := AblationExpressInterval(bg(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +257,7 @@ func parseLat(t *testing.T, s string) float64 {
 // Thermal herding must strictly reduce chip temperature, and stacking
 // it with router shutdown must be the coolest configuration.
 func TestHerdingOrdering(t *testing.T) {
-	tb := ExtHerding(tiny())
+	tb := ExtHerding(bg(), tiny())
 	get := func(i int) float64 { return parseLat(t, tb.Rows[i][1]) }
 	evenFull, evenShort := get(0), get(1)
 	herdFull, herdShort := get(2), get(3)
@@ -275,9 +279,8 @@ func TestSeedStability(t *testing.T) {
 	m := Replicate(5, 100, func(seed int64) float64 {
 		oo := o
 		oo.Seed = seed
-		d2 := design(core.Arch2DB)
-		de := design(core.Arch3DME)
-		return RunUR(de, 0.15, 0, oo).AvgLatency / RunUR(d2, 0.15, 0, oo).AvgLatency
+		return RunUR(bg(), core.Arch3DME, 0.15, 0, oo).AvgLatency /
+			RunUR(bg(), core.Arch2DB, 0.15, 0, oo).AvgLatency
 	})
 	if m.N() != 5 {
 		t.Fatalf("replicates = %d", m.N())
@@ -345,7 +348,7 @@ func TestTableCharts(t *testing.T) {
 
 func TestFig8PipelineFamily(t *testing.T) {
 	o := tiny()
-	tb := Fig8(o)
+	tb := Fig8(bg(), o)
 	if len(tb.Rows) != 5 {
 		t.Fatalf("fig8 rows = %d, want 5", len(tb.Rows))
 	}
@@ -361,7 +364,7 @@ func TestFig8PipelineFamily(t *testing.T) {
 
 func TestExtLeakage(t *testing.T) {
 	o := tiny()
-	tb := ExtLeakage(o)
+	tb := ExtLeakage(bg(), o)
 	if len(tb.Rows) != 4 {
 		t.Fatalf("leakage rows = %d, want 4", len(tb.Rows))
 	}
@@ -390,8 +393,11 @@ func TestExtLeakage(t *testing.T) {
 // the same inventory mirabench exposes.
 func TestAllExperimentsRun(t *testing.T) {
 	o := tiny()
-	wrapErr := func(f func(Options) Table) func(Options) (Table, error) {
-		return func(o Options) (Table, error) { return f(o), nil }
+	wrapErr := func(f func(context.Context, Options) Table) func(Options) (Table, error) {
+		return func(o Options) (Table, error) { return f(bg(), o), nil }
+	}
+	wrapCtx := func(f func(context.Context, Options) (Table, error)) func(Options) (Table, error) {
+		return func(o Options) (Table, error) { return f(bg(), o) }
 	}
 	static := func(f func() Table) func(Options) (Table, error) {
 		return func(Options) (Table, error) { return f(), nil }
@@ -418,9 +424,9 @@ func TestAllExperimentsRun(t *testing.T) {
 		{"ext-leakage", 4, true, wrapErr(ExtLeakage)},
 		{"ext-qos", 4, true, wrapErr(ExtQoS)},
 		{"ext-herding", 4, true, wrapErr(ExtHerding)},
-		{"ext-protocol", 4, true, ExtProtocol},
-		{"ext-fault", 3, false, ExtFault},
-		{"ext-patterns", 4, true, ExtPatterns},
+		{"ext-protocol", 4, true, wrapCtx(ExtProtocol)},
+		{"ext-fault", 3, false, wrapCtx(ExtFault)},
+		{"ext-patterns", 4, true, wrapCtx(ExtPatterns)},
 	}
 	for _, c := range cases {
 		c := c
@@ -453,21 +459,21 @@ func TestAllExperimentsRun(t *testing.T) {
 
 func TestFig1Fig2Fig13a(t *testing.T) {
 	o := tiny()
-	f1t, err := Fig1(o)
+	f1t, err := Fig1(bg(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(f1t.Rows) != len(cmp.Workloads) {
 		t.Errorf("fig1 rows = %d, want %d", len(f1t.Rows), len(cmp.Workloads))
 	}
-	f2t, err := Fig2(o)
+	f2t, err := Fig2(bg(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(f2t.Rows) != len(cmp.Presented) {
 		t.Errorf("fig2 rows = %d", len(f2t.Rows))
 	}
-	f13, err := Fig13a(o)
+	f13, err := Fig13a(bg(), o)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,17 +1,17 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"mira/internal/cmp"
 	"mira/internal/core"
 	"mira/internal/noc"
 	"mira/internal/power"
-	"mira/internal/routing"
+	"mira/internal/scenario"
 	"mira/internal/stats"
 	"mira/internal/thermal"
 	"mira/internal/topology"
-	"mira/internal/traffic"
 )
 
 // ExtLeakage is an extension experiment beyond the paper's figures: the
@@ -20,7 +20,7 @@ import (
 // leakage power"). For each design it converges the per-router leakage
 // against its junction temperature and reports leakage as a share of
 // network power at a moderate uniform-random load.
-func ExtLeakage(o Options) Table {
+func ExtLeakage(ctx context.Context, o Options) Table {
 	t := Table{
 		ID:    "ext-leakage",
 		Title: "Router leakage with thermal feedback (uniform random @ 0.15)",
@@ -46,12 +46,12 @@ func ExtLeakage(o Options) Table {
 		a := a
 		points = append(points, Point[noc.Result]{
 			Label: fmt.Sprintf("leakage arch=%s", a),
-			Run: func(o Options) noc.Result {
-				return RunUR(core.MustDesign(a), rate, 0, o)
+			Run: func(ctx context.Context, o Options) noc.Result {
+				return RunUR(ctx, a, rate, 0, o)
 			},
 		})
 	}
-	results := RunAll(o, points)
+	results := RunAll(ctx, o, points)
 	for i, a := range archs {
 		d := corePowerOf(a)
 		res := results[i]
@@ -81,7 +81,7 @@ func ExtLeakage(o Options) Table {
 // includes real queueing. It reports the end-to-end L2 access time per
 // architecture, the quantity the interconnect improvements ultimately
 // buy.
-func ExtCosim(o Options) (Table, error) {
+func ExtCosim(ctx context.Context, o Options) (Table, error) {
 	t := Table{
 		ID:     "ext-cosim",
 		Title:  "Closed-loop CMP co-simulation: L1-miss (L2 access) latency",
@@ -103,10 +103,18 @@ func ExtCosim(o Options) (Table, error) {
 			w, a := w, a
 			points = append(points, Point[cosimOut]{
 				Label: fmt.Sprintf("cosim %s arch=%s", w.Name, a),
-				Run: func(o Options) cosimOut {
-					d := core.MustDesign(a)
+				Run: func(ctx context.Context, o Options) cosimOut {
+					// The closed loop supplies its own traffic, so it
+					// elaborates the design and config (not a Sim)
+					// through the scenario layer and drives the network
+					// itself.
+					d, cfg, err := o.Scenario(a).NoCConfig()
+					if err != nil {
+						return cosimOut{err: err}
+					}
+					cfg.Policy = noc.ByClass
 					p := cmp.DefaultParams(w, d.Topo, o.Seed)
-					cs, err := cmp.NewClosedSystem(p, o.nocConfig(d, noc.ByClass))
+					cs, err := cmp.NewClosedSystem(p, cfg)
 					if err != nil {
 						return cosimOut{err: err}
 					}
@@ -116,7 +124,7 @@ func ExtCosim(o Options) (Table, error) {
 			})
 		}
 	}
-	res := RunAll(o, points)
+	res := RunAll(ctx, o, points)
 	for i, name := range names {
 		row := []string{name}
 		var base, express float64
@@ -145,7 +153,7 @@ func ExtCosim(o Options) (Table, error) {
 // §3.3: control/request packets get switch priority over data. It
 // reports per-class latency with QoS off and on, near saturation where
 // arbitration matters.
-func ExtQoS(o Options) Table {
+func ExtQoS(ctx context.Context, o Options) Table {
 	t := Table{
 		ID:     "ext-qos",
 		Title:  "QoS priority arbitration, bimodal NUCA traffic (3DM)",
@@ -159,25 +167,16 @@ func ExtQoS(o Options) Table {
 			rate, qos := rate, qos
 			points = append(points, Point[noc.Result]{
 				Label: fmt.Sprintf("qos rate=%.2f on=%v", rate, qos),
-				Run: func(o Options) noc.Result {
-					d := core.MustDesign(core.Arch3DM)
-					cfg := o.nocConfig(d, noc.ByClass)
-					cfg.QoSPriority = qos
-					gen := &traffic.NUCA{
-						Topo:          d.Topo,
-						InjectionRate: rate,
-						RequestSize:   core.ControlPacketFlits,
-						ResponseSize:  core.DataPacketFlits,
-						BankDelay:     24,
-					}
-					s := noc.NewSim(noc.NewNetwork(cfg), gen)
-					s.Params = o.simParams()
-					return s.Run()
+				Run: func(ctx context.Context, o Options) noc.Result {
+					sc := o.Scenario(core.Arch3DM)
+					sc.Traffic = scenario.Traffic{Kind: "nuca", Rate: rate}
+					sc.QoSPriority = qos
+					return mustElaborate(sc).Sim.Run(ctx)
 				},
 			})
 		}
 	}
-	res := RunAll(o, points)
+	res := RunAll(ctx, o, points)
 	k := 0
 	for _, rate := range rates {
 		for _, qos := range qosModes {
@@ -205,7 +204,7 @@ func ExtQoS(o Options) Table {
 // failed east link keeps operating under west-first routing. The table
 // compares the healthy network under X-Y and west-first (the adaptivity
 // tax) against the faulted network (the detour tax).
-func ExtFault(o Options) (Table, error) {
+func ExtFault(ctx context.Context, o Options) (Table, error) {
 	t := Table{
 		ID:     "ext-fault",
 		Title:  "Link-fault tolerance via west-first routing (3DM, uniform random @ 0.15)",
@@ -215,48 +214,42 @@ func ExtFault(o Options) (Table, error) {
 		res noc.Result
 		err error
 	}
-	// Each point elaborates its own design and routing algorithm; the
-	// faulted configuration fails the east link out of the centre node
-	// (2,2), the highest-traffic region of the mesh.
-	mkAlg := []struct {
-		name string
-		alg  func(d *core.Design) (routing.Algorithm, error)
+	// The faulted configuration fails the east link out of the centre
+	// node (2,2), the highest-traffic region of the mesh.
+	mid := int(core.MustDesign(core.Arch3DM).Topo.MustNodeAt(topology.Coord{X: 2, Y: 2}).ID)
+	cases := []struct {
+		name    string
+		routing string
+		faults  []scenario.Fault
 	}{
-		{"healthy, X-Y", func(*core.Design) (routing.Algorithm, error) { return routing.XY{}, nil }},
-		{"healthy, west-first", func(d *core.Design) (routing.Algorithm, error) {
-			return routing.NewWestFirst(d.Topo, nil)
-		}},
-		{"east link (2,2) failed, west-first", func(d *core.Design) (routing.Algorithm, error) {
-			mid := d.Topo.MustNodeAt(topology.Coord{X: 2, Y: 2}).ID
-			return routing.NewWestFirst(d.Topo, []routing.LinkFault{{Src: mid, Dir: topology.East}})
-		}},
+		{"healthy, X-Y", "xy", nil},
+		{"healthy, west-first", "westfirst", nil},
+		{"east link (2,2) failed, west-first", "westfirst", []scenario.Fault{{Src: mid, Dir: "east"}}},
 	}
-	points := make([]Point[faultOut], 0, len(mkAlg))
-	for _, m := range mkAlg {
-		m := m
+	points := make([]Point[faultOut], 0, len(cases))
+	for _, c := range cases {
+		c := c
 		points = append(points, Point[faultOut]{
-			Label: "fault " + m.name,
-			Run: func(o Options) faultOut {
-				d := core.MustDesign(core.Arch3DM)
-				alg, err := m.alg(d)
+			Label: "fault " + c.name,
+			Run: func(ctx context.Context, o Options) faultOut {
+				sc := o.Scenario(core.Arch3DM)
+				sc.Traffic = scenario.Traffic{Kind: "ur", Rate: 0.15}
+				sc.Routing = c.routing
+				sc.Faults = c.faults
+				e, err := sc.Elaborate()
 				if err != nil {
 					return faultOut{err: err}
 				}
-				cfg := o.nocConfig(d, noc.AnyFree)
-				cfg.Alg = alg
-				gen := &traffic.Uniform{Topo: d.Topo, InjectionRate: 0.15, PacketSize: core.DataPacketFlits}
-				s := noc.NewSim(noc.NewNetwork(cfg), gen)
-				s.Params = o.simParams()
-				return faultOut{res: s.Run()}
+				return faultOut{res: e.Sim.Run(ctx)}
 			},
 		})
 	}
-	for i, r := range RunAll(o, points) {
+	for i, r := range RunAll(ctx, o, points) {
 		if r.err != nil {
 			return t, r.err
 		}
 		t.Rows = append(t.Rows, []string{
-			mkAlg[i].name, latCell(r.res), f2(r.res.AvgHops),
+			cases[i].name, latCell(r.res), f2(r.res.AvgHops),
 			fmt.Sprintf("%d/%d", r.res.Ejected, r.res.Generated),
 		})
 	}
@@ -271,7 +264,7 @@ func ExtFault(o Options) (Table, error) {
 // MOESI's Owned state turns each read forward's immediate write-back
 // into a deferred, eviction-time one, cutting data traffic and hence
 // network power on sharing-heavy workloads.
-func ExtProtocol(o Options) (Table, error) {
+func ExtProtocol(ctx context.Context, o Options) (Table, error) {
 	t := Table{
 		ID:     "ext-protocol",
 		Title:  "MESI vs MOESI coherence traffic on the 3DM network",
@@ -293,30 +286,31 @@ func ExtProtocol(o Options) (Table, error) {
 		}
 		for _, proto := range protos {
 			w, proto := w, proto
+			protoName := "mesi"
+			if proto == cmp.MOESI {
+				protoName = "moesi"
+			}
 			points = append(points, Point[protoOut]{
 				Label: fmt.Sprintf("protocol %s/%s", w.Name, proto),
-				Run: func(o Options) protoOut {
-					d := core.MustDesign(core.Arch3DM)
-					p := cmp.DefaultParams(w, d.Topo, o.Seed)
-					p.Protocol = proto
-					sys, err := cmp.NewSystem(p)
+				Run: func(ctx context.Context, o Options) protoOut {
+					sc := o.Scenario(core.Arch3DM)
+					sc.Traffic = scenario.Traffic{
+						Kind: "trace", Workload: w.Name, TraceCycles: o.TraceCycles, Protocol: protoName,
+					}
+					e, err := sc.Elaborate()
 					if err != nil {
 						return protoOut{err: err}
 					}
-					tr, st := sys.Run(o.TraceCycles)
-					net := noc.NewNetwork(o.nocConfig(d, noc.ByClass))
-					s := noc.NewSim(net, &traffic.Replayer{Trace: tr, Loop: true})
-					s.Params = o.simParams()
 					return protoOut{
-						wb:    st.KindCounts[cmp.KindWriteBack],
-						flits: tr.Flits(),
-						res:   s.Run(),
+						wb:    e.Stats.KindCounts[cmp.KindWriteBack],
+						flits: e.Trace.Flits(),
+						res:   e.Sim.Run(ctx),
 					}
 				},
 			})
 		}
 	}
-	res := RunAll(o, points)
+	res := RunAll(ctx, o, points)
 	d := corePowerOf(core.Arch3DM)
 	k := 0
 	for _, name := range names {
@@ -344,7 +338,7 @@ func ExtProtocol(o Options) (Table, error) {
 // MIRA router. Steering core activity toward the heat-sink layer and
 // shutting down router layers for short flits compound into a lower
 // chip temperature than either technique alone.
-func ExtHerding(o Options) Table {
+func ExtHerding(ctx context.Context, o Options) Table {
 	t := Table{
 		ID:     "ext-herding",
 		Title:  "Thermal herding + 3DM router shutdown (uniform random @ 0.20)",
@@ -356,12 +350,12 @@ func ExtHerding(o Options) Table {
 		frac := frac
 		points = append(points, Point[noc.Result]{
 			Label: fmt.Sprintf("herding short=%.0f%%", 100*frac),
-			Run: func(o Options) noc.Result {
-				return RunUR(core.MustDesign(core.Arch3DM), 0.20, frac, o)
+			Run: func(ctx context.Context, o Options) noc.Result {
+				return RunUR(ctx, core.Arch3DM, 0.20, frac, o)
 			},
 		})
 	}
-	res := RunAll(o, points)
+	res := RunAll(ctx, o, points)
 	d := corePowerOf(core.Arch3DM)
 	r0, r50 := res[0], res[1]
 	cases := []struct {
@@ -388,7 +382,7 @@ func ExtHerding(o Options) Table {
 // (transpose, complement, tornado, hotspot) beyond the paper's uniform
 // random workload, probing whether the 3DM-E advantage survives
 // non-uniform loads.
-func ExtPatterns(o Options) (Table, error) {
+func ExtPatterns(ctx context.Context, o Options) (Table, error) {
 	t := Table{
 		ID:     "ext-patterns",
 		Title:  "Adversarial traffic patterns: avg latency (cycles) at 0.15 flits/node/cycle",
@@ -396,69 +390,43 @@ func ExtPatterns(o Options) (Table, error) {
 	}
 	archs := []core.Arch{core.Arch2DB, core.Arch3DB, core.Arch3DM, core.Arch3DME}
 	const rate = 0.15
-	patterns := []struct {
-		name string
-		dst  traffic.DstFunc
-	}{
-		{"transpose", traffic.Transpose},
-		{"complement", traffic.Complement},
-		{"tornado", traffic.Tornado},
-	}
 	type patternOut struct {
 		res noc.Result
 		err error
 	}
-	// mkGen builds each row's generator for one design; the hotspot row
-	// biases traffic toward the four centre nodes.
-	mkGen := func(rowName string, dst traffic.DstFunc, d *core.Design) (noc.Generator, error) {
-		if dst != nil {
-			gen := &traffic.Permutation{
-				Topo: d.Topo, InjectionRate: rate, PacketSize: core.DataPacketFlits,
-				Dst: dst, Name: rowName,
-			}
-			return gen, gen.Validate()
-		}
-		var hot []topology.NodeID
-		for _, n := range d.Topo.Nodes() {
-			c := n.Coord
-			if (c.X == 2 || c.X == 3) && (c.Y == 2 || c.Y == 3) && c.Z == d.Topo.ZDim-1 {
-				hot = append(hot, n.ID)
-			}
-		}
-		return &traffic.Hotspot{
-			Topo: d.Topo, InjectionRate: rate, PacketSize: core.DataPacketFlits,
-			Hot: hot, Frac: 0.3,
-		}, nil
+	// The hotspot row uses the scenario layer's default hot set: the
+	// chip-centre nodes of each floorplan, 30 % of the traffic.
+	rows := []struct {
+		name string
+		kind string
+	}{
+		{"transpose", "transpose"},
+		{"complement", "complement"},
+		{"tornado", "tornado"},
+		{"hotspot(4c,30%)", "hotspot"},
 	}
-	rows := make([]struct {
-		name string
-		dst  traffic.DstFunc
-	}, 0, len(patterns)+1)
-	rows = append(rows, patterns...)
-	rows = append(rows, struct {
-		name string
-		dst  traffic.DstFunc
-	}{"hotspot(4c,30%)", nil})
 	points := make([]Point[patternOut], 0, len(rows)*len(archs))
 	for _, r := range rows {
 		for _, a := range archs {
 			r, a := r, a
 			points = append(points, Point[patternOut]{
 				Label: fmt.Sprintf("pattern=%s arch=%s", r.name, a),
-				Run: func(o Options) patternOut {
-					d := core.MustDesign(a)
-					gen, err := mkGen(r.name, r.dst, d)
+				Run: func(ctx context.Context, o Options) patternOut {
+					sc := o.Scenario(a)
+					sc.Traffic = scenario.Traffic{Kind: r.kind, Rate: rate}
+					if r.kind == "hotspot" {
+						sc.Traffic.HotFrac = 0.3
+					}
+					e, err := sc.Elaborate()
 					if err != nil {
 						return patternOut{err: err}
 					}
-					s := noc.NewSim(noc.NewNetwork(o.nocConfig(d, noc.AnyFree)), gen)
-					s.Params = o.simParams()
-					return patternOut{res: s.Run()}
+					return patternOut{res: e.Sim.Run(ctx)}
 				},
 			})
 		}
 	}
-	res := RunAll(o, points)
+	res := RunAll(ctx, o, points)
 	for i, r := range rows {
 		row := []string{r.name}
 		for j := range archs {

@@ -1,11 +1,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"mira/internal/core"
 	"mira/internal/noc"
-	"mira/internal/traffic"
+	"mira/internal/scenario"
 )
 
 // Fig8 evaluates the router pipeline family of Figure 8: the canonical
@@ -13,7 +14,7 @@ import (
 // routing plus speculation (2-stage), and the 3DM ST+LT combination —
 // alone and stacked on top of the aggressive pipelines. Latencies are
 // measured on the 6x6 mesh under uniform random traffic.
-func Fig8(o Options) Table {
+func Fig8(ctx context.Context, o Options) Table {
 	t := Table{
 		ID:     "fig8",
 		Title:  "Router pipeline family (uniform random, 6x6 mesh)",
@@ -38,21 +39,18 @@ func Fig8(o Options) Table {
 			v, rate := v, rate
 			points = append(points, Point[noc.Result]{
 				Label: fmt.Sprintf("pipe=%s rate=%.2f", v.name, rate),
-				Run: func(o Options) noc.Result {
-					d := core.MustDesign(core.Arch2DB)
-					cfg := o.nocConfig(d, noc.AnyFree)
-					cfg.LookaheadRC = v.look
-					cfg.SpecSA = v.spec
-					cfg.STLTCycles = v.stlt
-					gen := &traffic.Uniform{Topo: d.Topo, InjectionRate: rate, PacketSize: core.DataPacketFlits}
-					s := noc.NewSim(noc.NewNetwork(cfg), gen)
-					s.Params = o.simParams()
-					return s.Run()
+				Run: func(ctx context.Context, o Options) noc.Result {
+					sc := o.Scenario(core.Arch2DB)
+					sc.Traffic = scenario.Traffic{Kind: "ur", Rate: rate}
+					sc.LookaheadRC = v.look
+					sc.SpecSA = v.spec
+					sc.STLTCycles = v.stlt
+					return mustElaborate(sc).Sim.Run(ctx)
 				},
 			})
 		}
 	}
-	res := RunAll(o, points)
+	res := RunAll(ctx, o, points)
 	for i, v := range variants {
 		row := []string{v.name, f2(float64(v.stlt))}
 		for j := range rates {

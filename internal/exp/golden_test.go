@@ -1,6 +1,10 @@
 package exp
 
 import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -82,6 +86,102 @@ func TestGoldenFig3(t *testing.T) {
 	row := findRow(t, tb, "3DM")
 	if row[4] != "0.26" {
 		t.Errorf("fig3 3DM footprint ratio = %s, want 0.26", row[4])
+	}
+}
+
+// updateGolden regenerates the scenario-port equivalence goldens:
+//
+//	go test ./internal/exp -run TestScenarioPortGolden -update
+//
+// The checked-in files were rendered by the pre-scenario drivers (each
+// experiment hand-wiring its own Design/Network/Sim); the test asserts
+// the scenario-based construction path reproduces them byte for byte.
+var updateGolden = flag.Bool("update", false, "rewrite the scenario-port golden files")
+
+// portGoldenOpts are the windows the equivalence goldens were rendered
+// with. Deliberately small: every simulation-backed driver runs, so the
+// full set has to stay test-suite cheap.
+func portGoldenOpts() Options {
+	return Options{Warmup: 200, Measure: 800, Drain: 3000, TraceCycles: 2000, Seed: 42}
+}
+
+// portGoldenDrivers lists every simulation-backed driver (the analytic
+// tables are pinned cell-by-cell above). The adapters run each driver
+// under context.Background(): the goldens pin uncanceled output.
+func portGoldenDrivers() []struct {
+	id  string
+	run func(Options) (Table, error)
+} {
+	tbl := func(f func(context.Context, Options) Table) func(Options) (Table, error) {
+		return func(o Options) (Table, error) { return f(context.Background(), o), nil }
+	}
+	tblE := func(f func(context.Context, Options) (Table, error)) func(Options) (Table, error) {
+		return func(o Options) (Table, error) { return f(context.Background(), o) }
+	}
+	return []struct {
+		id  string
+		run func(Options) (Table, error)
+	}{
+		{"fig1", tblE(Fig1)},
+		{"fig2", tblE(Fig2)},
+		{"fig8", tbl(Fig8)},
+		{"fig11a", tbl(Fig11a)},
+		{"fig11b", tbl(Fig11b)},
+		{"fig11c", tblE(Fig11c)},
+		{"fig11d", tblE(Fig11d)},
+		{"fig12a", tbl(Fig12a)},
+		{"fig12b", tbl(Fig12b)},
+		{"fig12c", tblE(Fig12c)},
+		{"fig12d", tbl(Fig12d)},
+		{"fig13a", tblE(Fig13a)},
+		{"fig13b", tbl(Fig13b)},
+		{"fig13c", tbl(Fig13c)},
+		{"ablation-buf", tbl(AblationBufferDepth)},
+		{"ablation-vc", tbl(AblationVCs)},
+		{"ablation-express", tblE(AblationExpressInterval)},
+		{"ext-leakage", tbl(ExtLeakage)},
+		{"ext-cosim", tblE(ExtCosim)},
+		{"ext-patterns", tblE(ExtPatterns)},
+		{"ext-qos", tbl(ExtQoS)},
+		{"ext-fault", tblE(ExtFault)},
+		{"ext-herding", tbl(ExtHerding)},
+		{"ext-protocol", tblE(ExtProtocol)},
+	}
+}
+
+// TestScenarioPortGolden asserts every simulation-backed driver renders
+// byte-identically to its pre-scenario-layer output (same seed, same
+// windows), i.e. the scenario port changed zero simulated behaviour.
+func TestScenarioPortGolden(t *testing.T) {
+	o := portGoldenOpts()
+	for _, d := range portGoldenDrivers() {
+		d := d
+		t.Run(d.id, func(t *testing.T) {
+			t.Parallel()
+			tb, err := d.run(o)
+			if err != nil {
+				t.Fatalf("%s: %v", d.id, err)
+			}
+			got := tb.String()
+			path := filepath.Join("testdata", "port", d.id+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (regenerate with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s diverged from the pre-scenario-port output:\n--- want ---\n%s\n--- got ---\n%s",
+					d.id, want, got)
+			}
+		})
 	}
 }
 

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"time"
@@ -19,14 +20,21 @@ import (
 // bit-identical for every worker count, including 1. The per-point seed
 // split also means distinct sweep points draw statistically independent
 // random streams instead of replaying one shared stream.
+//
+// Cancellation: RunAll threads its context into every point, so a
+// canceled sweep stops dispatching new points, the in-flight simulations
+// return early (noc.Sim.Run polls the context on a cycle stride), and
+// the workers drain before RunAll returns. Points that never ran are
+// left as zero values in the result slice.
 
 // Point is one independent simulation of a sweep: a label for progress
 // reporting and the closure that runs it. The closure must derive all
 // of its randomness from the Options it is handed and must not touch
-// state shared with other points.
+// state shared with other points; it should pass the context down to
+// the simulation so sweeps cancel promptly.
 type Point[T any] struct {
 	Label string
-	Run   func(o Options) T
+	Run   func(ctx context.Context, o Options) T
 }
 
 // Progress describes one completed sweep point.
@@ -61,10 +69,17 @@ func (o Options) workerCount() int {
 // Each point runs with o.Seed replaced by SeedFor(o.Seed, index), so
 // the result slice is identical no matter how many workers run it or
 // in which order points are scheduled.
-func RunAll[T any](o Options, points []Point[T]) []T {
+//
+// When ctx is canceled, RunAll stops handing out further points, lets
+// the in-flight points return (they observe the same context), waits
+// for all workers to exit, and returns the partially filled slice.
+func RunAll[T any](ctx context.Context, o Options, points []Point[T]) []T {
 	out := make([]T, len(points))
 	if len(points) == 0 {
 		return out
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	workers := o.workerCount()
 	if workers > len(points) {
@@ -81,10 +96,13 @@ func RunAll[T any](o Options, points []Point[T]) []T {
 
 	if workers <= 1 {
 		for i, p := range points {
+			if ctx.Err() != nil {
+				break
+			}
 			start := time.Now()
 			opts := po
 			opts.Seed = SeedFor(o.Seed, i)
-			out[i] = p.Run(opts)
+			out[i] = p.Run(ctx, opts)
 			if progress != nil {
 				progress(Progress{Done: i + 1, Total: total, Index: i, Label: p.Label, Elapsed: time.Since(start)})
 			}
@@ -104,7 +122,7 @@ func RunAll[T any](o Options, points []Point[T]) []T {
 				start := time.Now()
 				opts := po
 				opts.Seed = SeedFor(o.Seed, i)
-				out[i] = points[i].Run(opts)
+				out[i] = points[i].Run(ctx, opts)
 				if progress != nil {
 					elapsed := time.Since(start)
 					mu.Lock()
@@ -115,8 +133,13 @@ func RunAll[T any](o Options, points []Point[T]) []T {
 			}
 		}()
 	}
+dispatch:
 	for i := range points {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()

@@ -1,9 +1,11 @@
 package exp
 
 import (
+	"context"
 	"reflect"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"mira/internal/core"
 	"mira/internal/noc"
@@ -33,10 +35,10 @@ func TestRunAllOrdering(t *testing.T) {
 	points := make([]Point[int], 64)
 	for i := range points {
 		i := i
-		points[i] = Point[int]{Label: "p", Run: func(Options) int { return i * i }}
+		points[i] = Point[int]{Label: "p", Run: func(context.Context, Options) int { return i * i }}
 	}
 	for _, workers := range []int{1, 3, 8, 100} {
-		got := RunAll(Options{Workers: workers}, points)
+		got := RunAll(context.Background(), Options{Workers: workers}, points)
 		for i, v := range got {
 			if v != i*i {
 				t.Fatalf("workers=%d: point %d returned %d, want %d", workers, i, v, i*i)
@@ -52,14 +54,14 @@ func TestRunAllSeeds(t *testing.T) {
 	o := Options{Seed: 42, Workers: 4, Progress: func(Progress) {}}
 	points := make([]Point[int64], 16)
 	for i := range points {
-		points[i] = Point[int64]{Label: "seed", Run: func(po Options) int64 {
+		points[i] = Point[int64]{Label: "seed", Run: func(_ context.Context, po Options) int64 {
 			if po.Workers != 1 || po.Progress != nil {
 				t.Error("pool controls leaked into a point's Options")
 			}
 			return po.Seed
 		}}
 	}
-	got := RunAll(o, points)
+	got := RunAll(context.Background(), o, points)
 	for i, s := range got {
 		if want := SeedFor(42, i); s != want {
 			t.Errorf("point %d ran with seed %d, want SeedFor(42, %d) = %d", i, s, i, want)
@@ -88,11 +90,45 @@ func TestRunAllProgress(t *testing.T) {
 	}
 	points := make([]Point[struct{}], 20)
 	for i := range points {
-		points[i] = Point[struct{}]{Label: "prog", Run: func(Options) struct{} { return struct{}{} }}
+		points[i] = Point[struct{}]{Label: "prog", Run: func(context.Context, Options) struct{} { return struct{}{} }}
 	}
-	RunAll(o, points)
+	RunAll(context.Background(), o, points)
 	if calls != 20 {
 		t.Errorf("progress fired %d times, want 20", calls)
+	}
+}
+
+// TestRunAllCancel checks the pool's cancellation contract: a canceled
+// context stops dispatch, in-flight points observe it and return, every
+// worker exits (RunAll returning is the proof), and never-run points are
+// left as zero values.
+func TestRunAllCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	points := make([]Point[int], 32)
+	for i := range points {
+		points[i] = Point[int]{Label: "cancel", Run: func(ctx context.Context, _ Options) int {
+			<-ctx.Done() // a long simulation observing its context
+			return 1
+		}}
+	}
+	time.AfterFunc(20*time.Millisecond, cancel)
+	done := make(chan []int, 1)
+	go func() { done <- RunAll(ctx, Options{Workers: 4}, points) }()
+	var got []int
+	select {
+	case got = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunAll did not return after cancellation: workers stuck")
+	}
+	ran := 0
+	for _, v := range got {
+		ran += v
+	}
+	if ran == len(points) {
+		t.Error("every point ran; cancellation never stopped dispatch")
+	}
+	if ran == 0 {
+		t.Error("no in-flight point completed after cancel")
 	}
 }
 
@@ -105,8 +141,8 @@ func TestRunAllDeterminism(t *testing.T) {
 		so.Workers = workers
 		var launched int32
 		so.Progress = func(Progress) { atomic.AddInt32(&launched, 1) }
-		res := runSweep(so, []float64{0.05, 0.30}, func(d *core.Design, rate float64, po Options) noc.Result {
-			return RunUR(d, rate, 0, po)
+		res := runSweep(context.Background(), so, []float64{0.05, 0.30}, func(ctx context.Context, a core.Arch, rate float64, po Options) noc.Result {
+			return RunUR(ctx, a, rate, 0, po)
 		})
 		if int(launched) != 2*len(core.Archs) {
 			t.Fatalf("workers=%d: %d progress callbacks, want %d", workers, launched, 2*len(core.Archs))

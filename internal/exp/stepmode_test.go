@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -25,15 +26,15 @@ func stepModeOpts(mode noc.StepMode) Options {
 func TestStepModeTablesIdentical(t *testing.T) {
 	drivers := []struct {
 		name string
-		run  func(Options) Table
+		run  func(context.Context, Options) Table
 	}{
 		{"fig8", Fig8},
 		{"fig11a", Fig11a},
 	}
 	for _, d := range drivers {
 		t.Run(d.name, func(t *testing.T) {
-			full := d.run(stepModeOpts(noc.StepFullScan))
-			act := d.run(stepModeOpts(noc.StepActivity))
+			full := d.run(context.Background(), stepModeOpts(noc.StepFullScan))
+			act := d.run(context.Background(), stepModeOpts(noc.StepActivity))
 			if !reflect.DeepEqual(full, act) {
 				t.Fatalf("tables diverge between step modes:\nfullscan:\n%s\nactivity:\n%s",
 					full.String(), act.String())
@@ -54,7 +55,7 @@ func TestStepModeCheckedTable(t *testing.T) {
 	}
 	o := stepModeOpts(noc.StepChecked)
 	o.Warmup, o.Measure, o.Drain = 50, 200, 1500
-	tb := Fig8(o)
+	tb := Fig8(context.Background(), o)
 	if len(tb.Rows) == 0 {
 		t.Fatal("checked-mode sweep produced no rows")
 	}

@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -133,7 +134,7 @@ func TestActivityMatchesFullScanSim(t *testing.T) {
 		net := NewNetwork(cfg)
 		s := NewSim(net, bernoulli(cfg.Topo, 0.15, 4, Data))
 		s.Params = SimParams{Warmup: 300, Measure: 2000, DrainMax: 8000}
-		return s.Run()
+		return s.Run(context.Background())
 	}
 	full := run(StepFullScan)
 	act := run(StepActivity)
@@ -169,7 +170,7 @@ func TestCheckedStepMode(t *testing.T) {
 	net := NewNetwork(cfg)
 	s := NewSim(net, bernoulli(cfg.Topo, 0.25, 4, Data))
 	s.Params = SimParams{Warmup: 0, Measure: 400, DrainMax: 4000}
-	res := s.Run()
+	res := s.Run(context.Background())
 	if res.Ejected == 0 || res.Ejected != res.Generated {
 		t.Fatalf("checked run did not deliver: %v", res.String())
 	}
@@ -248,7 +249,7 @@ func TestStepModeMixedClasses(t *testing.T) {
 		})
 		s := NewSim(net, gen)
 		s.Params = SimParams{Warmup: 200, Measure: 1500, DrainMax: 8000}
-		return s.Run(), net.TotalCounters()
+		return s.Run(context.Background()), net.TotalCounters()
 	}
 	fullRes, fullCnt := mk(StepFullScan)
 	actRes, actCnt := mk(StepActivity)

@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -79,7 +80,7 @@ func TestInvariantsAfterDrain(t *testing.T) {
 	net := NewNetwork(cfg)
 	s := NewSim(net, bernoulli(cfg.Topo, 0.3, 4, Data))
 	s.Params = SimParams{Warmup: 0, Measure: 1000, DrainMax: 10000}
-	res := s.Run()
+	res := s.Run(context.Background())
 	if res.Ejected != res.Generated {
 		t.Fatalf("did not drain: %v", res.String())
 	}
@@ -217,7 +218,7 @@ func TestConfigMatrixDelivery(t *testing.T) {
 		net := NewNetwork(cfg)
 		s := NewSim(net, bernoulli(cfg.Topo, 0.15, 4, Data))
 		s.Params = SimParams{Warmup: 100, Measure: 800, DrainMax: 6000}
-		res := s.Run()
+		res := s.Run(context.Background())
 		if res.Stalled || res.Ejected != res.Generated {
 			t.Fatalf("case %d (%s stlt=%d look=%v spec=%v arb=%v qos=%v): %v",
 				i, c.fabric, c.stlt, c.look, c.spec, c.arb, c.qos, res.String())
@@ -331,7 +332,7 @@ func TestMatrixArbiterEndToEnd(t *testing.T) {
 	net := NewNetwork(cfg)
 	s := NewSim(net, bernoulli(cfg.Topo, 0.2, 4, Data))
 	s.Params = SimParams{Warmup: 200, Measure: 2000, DrainMax: 8000}
-	res := s.Run()
+	res := s.Run(context.Background())
 	if res.Ejected != res.Generated {
 		t.Fatalf("matrix-arbiter network lost packets: %v", res.String())
 	}

@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -168,7 +169,7 @@ func bernoulli(topo *topology.Topology, flitsPerNodeCycle float64, size int, cla
 func shortSim(cfg Config, gen Generator) Result {
 	s := NewSim(NewNetwork(cfg), gen)
 	s.Params = SimParams{Warmup: 1000, Measure: 3000, DrainMax: 8000}
-	return s.Run()
+	return s.Run(context.Background())
 }
 
 func TestConservationUnderLoad(t *testing.T) {
@@ -191,7 +192,7 @@ func TestCounterConsistency(t *testing.T) {
 	gen := bernoulli(cfg.Topo, 0.08, 4, Data)
 	s := NewSim(net, gen)
 	s.Params = SimParams{Warmup: 0, Measure: 2000, DrainMax: 8000}
-	res := s.Run()
+	res := s.Run(context.Background())
 	if res.Saturated {
 		t.Fatal("unexpected saturation")
 	}
@@ -219,7 +220,7 @@ func TestWeightedCountersFullLayersEqualRaw(t *testing.T) {
 	net := NewNetwork(cfg)
 	s := NewSim(net, bernoulli(cfg.Topo, 0.05, 2, Data))
 	s.Params = SimParams{Warmup: 0, Measure: 1000, DrainMax: 4000}
-	s.Run()
+	s.Run(context.Background())
 	c := net.TotalCounters()
 	if c.WBufWrites != float64(c.BufWrites) || c.WXbarFlits != float64(c.XbarFlits) {
 		t.Errorf("full-layer flits should weight 1.0: %+v", c)
@@ -237,7 +238,7 @@ func TestWeightedCountersShortFlits(t *testing.T) {
 	})
 	s := NewSim(net, gen)
 	s.Params = SimParams{Warmup: 0, Measure: 100, DrainMax: 400}
-	s.Run()
+	s.Run(context.Background())
 	c := net.TotalCounters()
 	if c.BufWrites == 0 {
 		t.Fatal("no activity")
@@ -384,7 +385,7 @@ func TestOccupancyBounded(t *testing.T) {
 	net := NewNetwork(cfg)
 	s := NewSim(net, bernoulli(cfg.Topo, 0.6, 4, Data))
 	s.Params = SimParams{Warmup: 0, Measure: 2000, DrainMax: 0}
-	s.Run()
+	s.Run(context.Background())
 	// 6x6 mesh, 5 ports, 2 VCs, 8 flits.
 	max := 36 * 5 * 2 * 8
 	if occ := net.Occupancy(); occ > max {

@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"context"
 	"testing"
 
 	"mira/internal/topology"
@@ -88,7 +89,7 @@ func TestSpeculationInvariantsUnderContention(t *testing.T) {
 	net := NewNetwork(cfg)
 	s := NewSim(net, bernoulli(cfg.Topo, 0.5, 4, Data))
 	s.Params = SimParams{Warmup: 0, Measure: 1500, DrainMax: 8000}
-	res := s.Run()
+	res := s.Run(context.Background())
 	if res.Ejected != res.Generated {
 		t.Fatalf("speculative pipeline lost packets: %v", res.String())
 	}

@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -35,7 +36,7 @@ func runQoS(t *testing.T, qos bool) Result {
 	net := NewNetwork(cfg)
 	s := NewSim(net, bimodalGen(0.50)) // near saturation: SA contention dominates
 	s.Params = SimParams{Warmup: 500, Measure: 4000, DrainMax: 30000}
-	res := s.Run()
+	res := s.Run(context.Background())
 	if res.Ejected != res.Generated {
 		t.Fatalf("qos=%v lost packets: %v", qos, res.String())
 	}

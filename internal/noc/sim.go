@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -44,37 +45,47 @@ func DefaultSimParams() SimParams {
 	return SimParams{Warmup: 10000, Measure: 20000, DrainMax: 30000}
 }
 
-// Result summarizes one simulation run.
+// Result summarizes one simulation run. It is JSON-serializable for the
+// batch/serving layer (internal/scenario); the latency histogram is
+// host-side state and is not serialized.
 type Result struct {
-	Cycles        int64 // measurement window length
-	Generated     int64 // measured packets created
-	Ejected       int64 // measured packets delivered
-	AvgLatency    float64
-	P99Latency    int
-	AvgHops       float64
-	AvgQueueDelay float64 // creation -> injection
+	Cycles        int64   `json:"cycles"`    // measurement window length (simulated so far if Canceled)
+	Generated     int64   `json:"generated"` // measured packets created
+	Ejected       int64   `json:"ejected"`   // measured packets delivered
+	AvgLatency    float64 `json:"avg_latency"`
+	P99Latency    int     `json:"p99_latency"`
+	AvgHops       float64 `json:"avg_hops"`
+	AvgQueueDelay float64 `json:"avg_queue_delay"` // creation -> injection
 	// ThroughputFPC is accepted flits per node per cycle during the
 	// measurement window.
-	ThroughputFPC float64
+	ThroughputFPC float64 `json:"throughput_fpc"`
 	// Saturated is set when the network backlog (queued + in-flight
 	// flits) grew materially across the measurement window, i.e. the
 	// offered load exceeds the network's accepted throughput.
-	Saturated bool
+	Saturated bool `json:"saturated"`
+	// Canceled is set when the run's context was canceled (or timed
+	// out) before the simulation completed. The result then carries the
+	// partial counters accumulated up to the cancellation point: Cycles
+	// is the number of measurement cycles actually simulated, and the
+	// averages cover the packets ejected so far. Canceled is about the
+	// host run, Stalled about the simulated protocol, Saturated about
+	// the offered load.
+	Canceled bool `json:"canceled,omitempty"`
 	// Stalled is set when the drain phase made no ejection progress for
 	// a long window while traffic remained — the signature of a
 	// protocol/routing deadlock rather than mere congestion. The engine
 	// itself is deadlock-free for the shipped configurations; this
 	// flags misuse (e.g. request-response traffic sharing one VC).
-	Stalled bool
+	Stalled bool `json:"stalled,omitempty"`
 	// PerClass carries per-message-class latency and counts (control
 	// request packets vs data responses behave very differently in the
 	// bimodal NUCA traffic).
-	PerClass [NumClasses]ClassResult
+	PerClass [NumClasses]ClassResult `json:"per_class"`
 	// Counters holds the switching activity of the measurement window.
-	Counters Counters
+	Counters Counters `json:"counters"`
 	// PerRouter holds per-router measurement-window counters for the
 	// thermal model.
-	PerRouter []Counters
+	PerRouter []Counters `json:"per_router,omitempty"`
 
 	latHist *stats.Histogram
 }
@@ -84,15 +95,19 @@ type Result struct {
 func (r *Result) LatencyHistogram() *stats.Histogram { return r.latHist }
 
 func (r *Result) String() string {
-	return fmt.Sprintf("lat=%.2f p99=%d hops=%.2f thr=%.4f sat=%v (%d/%d pkts)",
+	s := fmt.Sprintf("lat=%.2f p99=%d hops=%.2f thr=%.4f sat=%v (%d/%d pkts)",
 		r.AvgLatency, r.P99Latency, r.AvgHops, r.ThroughputFPC, r.Saturated, r.Ejected, r.Generated)
+	if r.Canceled {
+		s += " [canceled]"
+	}
+	return s
 }
 
 // ClassResult is the per-message-class slice of a Result.
 type ClassResult struct {
-	Ejected    int64
-	AvgLatency float64
-	AvgHops    float64
+	Ejected    int64   `json:"ejected"`
+	AvgLatency float64 `json:"avg_latency"`
+	AvgHops    float64 `json:"avg_hops"`
 }
 
 // Sim couples a network with a traffic generator and measurement logic.
@@ -120,13 +135,26 @@ func NewSim(net *Network, gen Generator) *Sim {
 	return &Sim{Net: net, Gen: gen, Params: DefaultSimParams()}
 }
 
+// CancelCheckStride is the cycle interval at which Run polls its
+// context. A canceled run stops within one stride (a few microseconds
+// of host time), so cancellation is promptly honoured even deep inside
+// a multi-million-cycle simulation.
+const CancelCheckStride = 1024
+
 // Run executes warm-up, measurement and drain, returning the collected
 // metrics. Run may be called at most once per Sim; see the type comment.
-func (s *Sim) Run() Result {
+//
+// The context is checked every CancelCheckStride cycles; on
+// cancellation Run returns early with Result.Canceled set and whatever
+// partial metrics the measurement window accumulated so far.
+func (s *Sim) Run(ctx context.Context) Result {
 	if s.ran {
 		panic("noc: Sim.Run called twice; a Sim is single-shot, build a new one per run")
 	}
 	s.ran = true
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if s.rng == nil {
 		s.rng = rand.New(rand.NewSource(s.Net.cfg.Seed))
 	}
@@ -167,7 +195,12 @@ func (s *Sim) Run() Result {
 	var lastProgress int64
 
 	end := measureEnd + p.DrainMax
-	for cycle := int64(0); cycle < end; cycle++ {
+	cycle := int64(0)
+	for ; cycle < end; cycle++ {
+		if cycle%CancelCheckStride == 0 && ctx.Err() != nil {
+			res.Canceled = true
+			break
+		}
 		if cycle == measureStart {
 			s.Net.ResetCounters()
 			backlogStart = s.Net.BacklogFlits()
@@ -208,6 +241,22 @@ func (s *Sim) Run() Result {
 		s.Net.Step()
 	}
 
+	if res.Canceled && cycle < measureEnd {
+		// Canceled mid-measurement: the snapshot that normally happens
+		// at measureEnd hasn't run, so take it now. Cycles shrinks to
+		// the measured window actually simulated, keeping the
+		// throughput and power rates meaningful for partial results.
+		// A cancellation still inside warm-up has no measured window
+		// (the counters would include unmeasured warm-up activity).
+		if cycle > measureStart {
+			res.Counters = s.Net.TotalCounters()
+			res.PerRouter = s.Net.RouterCounters()
+			res.Cycles = cycle - measureStart
+		} else {
+			res.Cycles = 0
+		}
+	}
+
 	if res.Ejected > 0 {
 		res.AvgLatency = latSum / float64(res.Ejected)
 		res.AvgHops = hopSum / float64(res.Ejected)
@@ -220,11 +269,12 @@ func (s *Sim) Run() Result {
 			res.PerClass[c].AvgHops = classHops[c] / float64(n)
 		}
 	}
-	if p.Measure > 0 {
-		res.ThroughputFPC = float64(flitsEjected) / float64(p.Measure) / float64(s.Net.cfg.Topo.NumNodes())
+	if res.Cycles > 0 {
+		res.ThroughputFPC = float64(flitsEjected) / float64(res.Cycles) / float64(s.Net.cfg.Topo.NumNodes())
 	}
-	if res.Ejected < res.Generated {
+	if res.Ejected < res.Generated && !res.Canceled {
 		// Measured packets failed to drain: definitely past saturation.
+		// (A canceled run simply didn't get to drain them.)
 		res.Saturated = true
 	}
 	return res

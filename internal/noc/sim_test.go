@@ -1,6 +1,9 @@
 package noc
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // TestSimSingleShot verifies a Sim refuses to run twice: its generator
 // and RNG state are consumed by the first run, so a silent second run
@@ -12,13 +15,13 @@ func TestSimSingleShot(t *testing.T) {
 		return s
 	}
 	s := mkSim()
-	s.Run()
+	s.Run(context.Background())
 	defer func() {
 		if recover() == nil {
 			t.Fatal("second Run did not panic")
 		}
 	}()
-	s.Run()
+	s.Run(context.Background())
 }
 
 // TestBacklogCounters cross-checks the network's incremental backlog
@@ -29,7 +32,7 @@ func TestBacklogCounters(t *testing.T) {
 	net := NewNetwork(cfg)
 	s := NewSim(net, bernoulli(cfg.Topo, 0.1, 2, Data))
 	s.Params = SimParams{Warmup: 100, Measure: 500, DrainMax: 5000}
-	res := s.Run()
+	res := s.Run(context.Background())
 	if res.Generated == 0 {
 		t.Fatal("no packets generated")
 	}

@@ -1,0 +1,123 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"mira/internal/noc"
+)
+
+// BatchOptions controls RunBatch.
+type BatchOptions struct {
+	// Workers caps the worker pool; 0 means GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+	// Timeout bounds each individual run (elaboration + simulation);
+	// a run over budget returns its partial result with
+	// Result.Canceled set. 0 means no per-run bound.
+	Timeout time.Duration `json:"timeout,omitempty"`
+}
+
+// BatchResult pairs one scenario with its outcome. Exactly one of
+// Result (Err == "") and Err is meaningful; a run that was cut off by
+// the per-run timeout or the batch context still reports its partial
+// Result with Canceled set.
+type BatchResult struct {
+	Index    int        `json:"index"`
+	Scenario Scenario   `json:"scenario"`
+	Result   noc.Result `json:"result"`
+	Err      string     `json:"error,omitempty"`
+}
+
+// RunBatch executes a set of scenarios on a worker pool and returns one
+// result per scenario, in input order. Invalid scenarios fail
+// individually (their Err is set) without affecting the rest. When ctx
+// is canceled the batch stops dispatching, in-flight runs return
+// partial results, all workers exit before RunBatch returns, and
+// never-started entries carry an error saying so.
+//
+// This is the serving-layer entry point: JSON scenarios in,
+// JSON-serializable results out (see RunBatchJSON for the stream form).
+func RunBatch(ctx context.Context, scs []Scenario, o BatchOptions) []BatchResult {
+	out := make([]BatchResult, len(scs))
+	for i, sc := range scs {
+		out[i] = BatchResult{Index: i, Scenario: sc, Err: "batch canceled before this scenario started"}
+	}
+	if len(scs) == 0 {
+		return out
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scs) {
+		workers = len(scs)
+	}
+
+	runOne := func(i int) {
+		runCtx := ctx
+		cancel := context.CancelFunc(func() {})
+		if o.Timeout > 0 {
+			runCtx, cancel = context.WithTimeout(ctx, o.Timeout)
+		}
+		defer cancel()
+		res, err := scs[i].Run(runCtx)
+		br := BatchResult{Index: i, Scenario: scs[i], Result: res}
+		if err != nil {
+			br.Err = err.Error()
+		}
+		out[i] = br
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				runOne(i)
+			}
+		}()
+	}
+dispatch:
+	for i := range scs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// RunBatchJSON is RunBatch over serialized scenarios: r holds either a
+// JSON array of scenarios or a single scenario object, and the results
+// are written to w as an indented JSON array.
+func RunBatchJSON(ctx context.Context, r io.Reader, w io.Writer, o BatchOptions) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("scenario: reading batch input: %w", err)
+	}
+	var scs []Scenario
+	if err := json.Unmarshal(data, &scs); err != nil {
+		var one Scenario
+		if err1 := json.Unmarshal(data, &one); err1 != nil {
+			return fmt.Errorf("scenario: batch input is neither a scenario array (%v) nor a scenario object (%v)", err, err1)
+		}
+		scs = []Scenario{one}
+	}
+	results := RunBatch(ctx, scs, o)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

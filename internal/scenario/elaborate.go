@@ -1,0 +1,156 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+
+	"mira/internal/cmp"
+	"mira/internal/core"
+	"mira/internal/noc"
+	"mira/internal/routing"
+	"mira/internal/topology"
+	"mira/internal/traffic"
+)
+
+// Elaboration is the ready-to-run product of a scenario: the elaborated
+// design, the simulator configuration derived from it, and the network,
+// generator and simulation wired together. Everything is freshly built
+// and owned by this elaboration — nothing is shared with other runs, so
+// elaborations are safe to execute concurrently.
+type Elaboration struct {
+	Scenario Scenario
+	Design   *core.Design
+	Config   noc.Config
+	Net      *noc.Network
+	Gen      noc.Generator
+	Sim      *noc.Sim
+	// Trace and Stats are populated by the trace-backed traffic kinds.
+	Trace *traffic.Trace
+	Stats cmp.Stats
+}
+
+// NoCConfig elaborates the design and simulator configuration without
+// building traffic: the architecture with every scenario override
+// applied (buffer geometry, pipeline options, step mode, routing,
+// express interval). The returned config has no VC policy or generator
+// yet — callers that drive the network themselves (e.g. the closed-loop
+// CMP co-simulation) set the policy and go; Elaborate layers the
+// traffic on top.
+func (s Scenario) NoCConfig() (*core.Design, noc.Config, error) {
+	if err := s.validateCore(); err != nil {
+		return nil, noc.Config{}, err
+	}
+	arch, err := ArchByName(s.Arch)
+	if err != nil {
+		return nil, noc.Config{}, err
+	}
+	d, err := core.NewDesign(arch)
+	if err != nil {
+		return nil, noc.Config{}, err
+	}
+	if s.ExpressInterval != 0 {
+		// A non-default express interval rebuilds the fabric: same
+		// 6x6 NUCA floorplan, different express-channel span.
+		topo := topology.NewExpressMesh2D(6, 6, core.Pitch3DMMM, s.ExpressInterval)
+		if err := topology.ApplyNUCALayout2D(topo); err != nil {
+			return nil, noc.Config{}, err
+		}
+		d.Topo = topo
+		d.Alg = routing.Express{}
+	}
+
+	cfg := d.NoCConfig(noc.AnyFree, s.Seed)
+	if s.VCs > 0 {
+		cfg.VCs = s.VCs
+	}
+	if s.BufDepth > 0 {
+		cfg.BufDepth = s.BufDepth
+	}
+	if s.STLTCycles > 0 {
+		cfg.STLTCycles = s.STLTCycles
+	}
+	cfg.LookaheadRC = s.LookaheadRC
+	cfg.SpecSA = s.SpecSA
+	cfg.QoSPriority = s.QoSPriority
+	if s.MatrixArb {
+		cfg.Arb = noc.ArbMatrix
+	}
+	mode, err := noc.ParseStepMode(s.StepMode)
+	if err != nil {
+		return nil, noc.Config{}, err
+	}
+	cfg.Mode = mode
+
+	switch s.Routing {
+	case "xy":
+		cfg.Alg = routing.XY{}
+	case "westfirst":
+		var faults []routing.LinkFault
+		for _, f := range s.Faults {
+			if f.Src >= d.Topo.NumNodes() {
+				return nil, noc.Config{}, fmt.Errorf("scenario: fault source node %d outside %s's %d nodes",
+					f.Src, d.Arch, d.Topo.NumNodes())
+			}
+			dir, err := parseDir(f.Dir)
+			if err != nil {
+				return nil, noc.Config{}, err
+			}
+			faults = append(faults, routing.LinkFault{Src: topology.NodeID(f.Src), Dir: dir})
+		}
+		alg, err := routing.NewWestFirst(d.Topo, faults)
+		if err != nil {
+			return nil, noc.Config{}, err
+		}
+		cfg.Alg = alg
+	}
+	return d, cfg, nil
+}
+
+// Elaborate validates the scenario and builds the full simulation:
+// design, traffic generator, network and Sim. It is the only
+// construction path from a run description to a runnable simulation;
+// the experiment drivers and all commands go through here.
+func (s Scenario) Elaborate() (*Elaboration, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	d, cfg, err := s.NoCConfig()
+	if err != nil {
+		return nil, err
+	}
+	b, ok := lookupTraffic(s.Traffic.Kind)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown traffic kind %q", s.Traffic.Kind)
+	}
+	built, err := b.Build(s, d)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Policy = built.Policy
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	net := noc.NewNetwork(cfg)
+	sim := noc.NewSim(net, built.Gen)
+	sim.Params = noc.SimParams{Warmup: s.Warmup, Measure: s.Measure, DrainMax: s.Drain}
+	return &Elaboration{
+		Scenario: s,
+		Design:   d,
+		Config:   cfg,
+		Net:      net,
+		Gen:      built.Gen,
+		Sim:      sim,
+		Trace:    built.Trace,
+		Stats:    built.Stats,
+	}, nil
+}
+
+// Run elaborates and executes the scenario under the context. The
+// result is partial (Result.Canceled) if the context ends first.
+func (s Scenario) Run(ctx context.Context) (noc.Result, error) {
+	e, err := s.Elaborate()
+	if err != nil {
+		return noc.Result{}, err
+	}
+	return e.Sim.Run(ctx), nil
+}

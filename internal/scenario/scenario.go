@@ -1,0 +1,221 @@
+// Package scenario is the declarative run-description layer: one
+// JSON-serializable Scenario fully specifies a MIRA simulation — the
+// architecture, the traffic, the measurement windows, the seed and every
+// router-level knob — and Elaborate turns it into a ready
+// (Design, Network, Sim) triple. It is the single construction path the
+// experiment drivers (internal/exp) and the commands (mirasim,
+// mirabench, miratrace) build their simulations through, which is what
+// makes runs reproducible from a stored description and lets a batch
+// front end (RunBatch) accept work over the wire.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"mira/internal/core"
+	"mira/internal/noc"
+	"mira/internal/topology"
+)
+
+// Traffic describes the workload half of a scenario. Kind selects a
+// registered traffic builder (see RegisterTraffic); the remaining fields
+// parameterize it and are ignored by kinds that do not use them.
+type Traffic struct {
+	// Kind names the traffic builder: "ur", "nuca", "transpose",
+	// "complement", "tornado", "hotspot", "trace" or "replay" are
+	// built in. Empty is allowed only for config-only elaboration
+	// (NoCConfig), where traffic is supplied externally, e.g. by the
+	// closed-loop CMP co-simulation.
+	Kind string `json:"kind"`
+	// Rate is the offered load in flits/node/cycle (synthetic kinds).
+	Rate float64 `json:"rate,omitempty"`
+	// ShortFrac marks this fraction of flits short (1 active layer) for
+	// the layer-shutdown studies ("ur" and "nuca").
+	ShortFrac float64 `json:"short_frac,omitempty"`
+	// Workload names the CMP workload ("trace" kind).
+	Workload string `json:"workload,omitempty"`
+	// Protocol optionally overrides the coherence protocol for trace
+	// generation: "mesi" (default) or "moesi".
+	Protocol string `json:"protocol,omitempty"`
+	// TraceCycles is the CMP generation window ("trace" kind).
+	TraceCycles int64 `json:"trace_cycles,omitempty"`
+	// TraceFile is a recorded trace to replay ("replay" kind).
+	TraceFile string `json:"trace_file,omitempty"`
+	// BankDelay is the L2 bank access latency of the "nuca" kind;
+	// 0 means the default 24 cycles (bank access + request traversal).
+	BankDelay int64 `json:"bank_delay,omitempty"`
+	// HotFrac is the probability a "hotspot" packet targets a hot node.
+	HotFrac float64 `json:"hot_frac,omitempty"`
+	// Hot lists explicit hotspot node IDs; empty means the chip-centre
+	// default (the four centre nodes of the 6-wide floorplans).
+	Hot []int `json:"hot,omitempty"`
+}
+
+// Fault is a serializable failed link for the fault-tolerant routing
+// study: the link leaving node Src in direction Dir is down.
+type Fault struct {
+	Src int    `json:"src"`
+	Dir string `json:"dir"` // "east", "west", "north", "south", "up", "down"
+}
+
+// Scenario is the complete, serializable description of one simulation
+// run. The zero value of every optional field means "architecture
+// default", so a minimal scenario is just arch + traffic + windows +
+// seed.
+type Scenario struct {
+	// Arch names the router architecture: 2DB, 3DB, 3DM, 3DM(NC),
+	// 3DM-E or 3DM-E(NC).
+	Arch string `json:"arch"`
+	// Traffic selects and parameterizes the workload.
+	Traffic Traffic `json:"traffic"`
+
+	// Warmup/Measure/Drain are the simulation windows in cycles:
+	// warm-up is simulated unmeasured, packets created during the
+	// measure window are tracked, and drain bounds the completion phase.
+	Warmup  int64 `json:"warmup"`
+	Measure int64 `json:"measure"`
+	Drain   int64 `json:"drain"`
+	// Seed feeds every random stream of the run (injection, trace
+	// generation); equal scenarios are bit-identical.
+	Seed int64 `json:"seed"`
+	// StepMode selects the cycle-loop strategy: "activity" (default,
+	// also ""), "fullscan" or "checked". All modes simulate
+	// identically; they differ only in host cost.
+	StepMode string `json:"step_mode,omitempty"`
+
+	// VCs/BufDepth override the input-buffer geometry for design-space
+	// ablations; 0 keeps the architecture's 2 VCs x 8 flits.
+	VCs      int `json:"vcs,omitempty"`
+	BufDepth int `json:"buf_depth,omitempty"`
+	// STLTCycles forces the switch+link traversal depth (1 or 2);
+	// 0 keeps the delay-model-validated value.
+	STLTCycles int `json:"stlt_cycles,omitempty"`
+	// ExpressInterval overrides the express-channel hop span of the
+	// 3DM-E fabrics (0 keeps the paper's interval of 2).
+	ExpressInterval int `json:"express_interval,omitempty"`
+
+	// Pipeline and allocator options (Figure 8 family).
+	LookaheadRC bool `json:"lookahead_rc,omitempty"`
+	SpecSA      bool `json:"spec_sa,omitempty"`
+	QoSPriority bool `json:"qos_priority,omitempty"`
+	MatrixArb   bool `json:"matrix_arb,omitempty"`
+
+	// Routing overrides the routing algorithm: "" or "xy" for the
+	// architecture default, "westfirst" for fault-tolerant west-first
+	// routing (required when Faults is non-empty).
+	Routing string  `json:"routing,omitempty"`
+	Faults  []Fault `json:"faults,omitempty"`
+}
+
+// ArchByName resolves an architecture name.
+func ArchByName(name string) (core.Arch, error) {
+	for _, a := range core.Archs {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("scenario: unknown architecture %q", name)
+}
+
+// parseDir resolves a serialized link direction.
+func parseDir(s string) (topology.Dir, error) {
+	switch strings.ToLower(s) {
+	case "east":
+		return topology.East, nil
+	case "west":
+		return topology.West, nil
+	case "north":
+		return topology.North, nil
+	case "south":
+		return topology.South, nil
+	case "up":
+		return topology.Up, nil
+	case "down":
+		return topology.Down, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown link direction %q", s)
+}
+
+// validateCore checks everything except the traffic description (used
+// by both Validate and the config-only NoCConfig path).
+func (s Scenario) validateCore() error {
+	if _, err := ArchByName(s.Arch); err != nil {
+		return err
+	}
+	if s.Warmup < 0 || s.Measure <= 0 || s.Drain < 0 {
+		return fmt.Errorf("scenario: windows warmup=%d measure=%d drain=%d (need warmup,drain >= 0 and measure > 0)",
+			s.Warmup, s.Measure, s.Drain)
+	}
+	if _, err := noc.ParseStepMode(s.StepMode); err != nil {
+		return err
+	}
+	if s.VCs < 0 || s.BufDepth < 0 {
+		return fmt.Errorf("scenario: negative buffer geometry vcs=%d buf_depth=%d", s.VCs, s.BufDepth)
+	}
+	if s.STLTCycles < 0 || s.STLTCycles > 2 {
+		return fmt.Errorf("scenario: stlt_cycles = %d, want 0 (default), 1 or 2", s.STLTCycles)
+	}
+	if s.ExpressInterval != 0 {
+		if s.ExpressInterval < 2 {
+			return fmt.Errorf("scenario: express_interval = %d, need >= 2", s.ExpressInterval)
+		}
+		if s.Arch != core.Arch3DME.String() && s.Arch != core.Arch3DMENC.String() {
+			return fmt.Errorf("scenario: express_interval applies only to the 3DM-E fabrics, not %s", s.Arch)
+		}
+	}
+	switch s.Routing {
+	case "", "xy", "westfirst":
+	default:
+		return fmt.Errorf("scenario: unknown routing %q (want \"\", \"xy\" or \"westfirst\")", s.Routing)
+	}
+	if len(s.Faults) > 0 && s.Routing != "westfirst" {
+		return fmt.Errorf("scenario: link faults require westfirst routing")
+	}
+	for _, f := range s.Faults {
+		if _, err := parseDir(f.Dir); err != nil {
+			return err
+		}
+		if f.Src < 0 {
+			return fmt.Errorf("scenario: fault source node %d is negative", f.Src)
+		}
+	}
+	return nil
+}
+
+// Validate checks the scenario is fully specified and internally
+// consistent: a known architecture, a registered traffic kind whose
+// parameters pass the kind's own checks, sane windows and overrides.
+// Elaborate validates implicitly; RunBatch rejects invalid scenarios
+// per entry instead of failing the batch.
+func (s Scenario) Validate() error {
+	if err := s.validateCore(); err != nil {
+		return err
+	}
+	b, ok := lookupTraffic(s.Traffic.Kind)
+	if !ok {
+		return fmt.Errorf("scenario: unknown traffic kind %q (registered: %s)",
+			s.Traffic.Kind, strings.Join(TrafficKinds(), ", "))
+	}
+	if b.Validate != nil {
+		if err := b.Validate(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarshalIndent renders the scenario as formatted JSON.
+func (s Scenario) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Decode parses one JSON scenario.
+func Decode(data []byte) (Scenario, error) {
+	var s Scenario
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Scenario{}, fmt.Errorf("scenario: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,228 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mira/internal/noc"
+)
+
+// full returns a scenario exercising every serializable field.
+func full() Scenario {
+	return Scenario{
+		Arch: "3DM",
+		Traffic: Traffic{
+			Kind: "hotspot", Rate: 0.2, ShortFrac: 0.25, HotFrac: 0.5, Hot: []int{3, 7},
+		},
+		Warmup: 100, Measure: 500, Drain: 1000, Seed: 7,
+		StepMode: "fullscan",
+		VCs:      4, BufDepth: 4, STLTCycles: 2,
+		LookaheadRC: true, SpecSA: true, QoSPriority: true, MatrixArb: true,
+		Routing: "westfirst",
+		Faults:  []Fault{{Src: 2, Dir: "east"}},
+	}
+}
+
+// ur returns a minimal valid uniform-random scenario.
+func ur() Scenario {
+	return Scenario{
+		Arch:    "2DB",
+		Traffic: Traffic{Kind: "ur", Rate: 0.1},
+		Warmup:  50, Measure: 200, Drain: 1000, Seed: 42,
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, sc := range []Scenario{full(), ur()} {
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("fixture invalid: %v", err)
+		}
+		data, err := sc.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sc, back) {
+			t.Errorf("round trip changed the scenario:\nbefore %+v\nafter  %+v", sc, back)
+		}
+	}
+}
+
+func TestJSONOmitsDefaults(t *testing.T) {
+	data, err := ur().MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"vcs", "stlt_cycles", "express_interval", "routing", "faults", "step_mode"} {
+		if strings.Contains(string(data), `"`+field+`"`) {
+			t.Errorf("minimal scenario JSON should omit default field %q:\n%s", field, data)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	mod := func(f func(*Scenario)) Scenario {
+		sc := ur()
+		f(&sc)
+		return sc
+	}
+	cases := []struct {
+		name string
+		sc   Scenario
+		want string // substring of the error
+	}{
+		{"unknown arch", mod(func(s *Scenario) { s.Arch = "4DX" }), "unknown architecture"},
+		{"zero measure", mod(func(s *Scenario) { s.Measure = 0 }), "measure"},
+		{"negative warmup", mod(func(s *Scenario) { s.Warmup = -1 }), "warmup"},
+		{"bad step mode", mod(func(s *Scenario) { s.StepMode = "warp" }), "step mode"},
+		{"negative vcs", mod(func(s *Scenario) { s.VCs = -2 }), "buffer geometry"},
+		{"stlt out of range", mod(func(s *Scenario) { s.STLTCycles = 3 }), "stlt_cycles"},
+		{"express on non-express arch", mod(func(s *Scenario) { s.ExpressInterval = 2 }), "3DM-E"},
+		{"express interval too small", mod(func(s *Scenario) { s.Arch = "3DM-E"; s.ExpressInterval = 1 }), "express_interval"},
+		{"unknown routing", mod(func(s *Scenario) { s.Routing = "adaptive" }), "routing"},
+		{"faults without westfirst", mod(func(s *Scenario) { s.Faults = []Fault{{Src: 0, Dir: "east"}} }), "westfirst"},
+		{"bad fault dir", mod(func(s *Scenario) { s.Routing = "westfirst"; s.Faults = []Fault{{Src: 0, Dir: "sideways"}} }), "direction"},
+		{"negative fault src", mod(func(s *Scenario) { s.Routing = "westfirst"; s.Faults = []Fault{{Src: -1, Dir: "east"}} }), "negative"},
+		{"unknown traffic kind", mod(func(s *Scenario) { s.Traffic.Kind = "bursty" }), "unknown traffic kind"},
+		{"empty traffic kind", mod(func(s *Scenario) { s.Traffic.Kind = "" }), "unknown traffic kind"},
+		{"ur zero rate", mod(func(s *Scenario) { s.Traffic.Rate = 0 }), "rate"},
+		{"short frac above one", mod(func(s *Scenario) { s.Traffic.ShortFrac = 1.5 }), "short_frac"},
+		{"nuca negative bank delay", mod(func(s *Scenario) { s.Traffic = Traffic{Kind: "nuca", Rate: 0.1, BankDelay: -1} }), "bank_delay"},
+		{"hotspot zero hot frac", mod(func(s *Scenario) { s.Traffic = Traffic{Kind: "hotspot", Rate: 0.1} }), "hot_frac"},
+		{"hotspot negative hot node", mod(func(s *Scenario) {
+			s.Traffic = Traffic{Kind: "hotspot", Rate: 0.1, HotFrac: 0.5, Hot: []int{-3}}
+		}), "negative"},
+		{"trace unknown workload", mod(func(s *Scenario) {
+			s.Traffic = Traffic{Kind: "trace", Workload: "nosuch", TraceCycles: 100}
+		}), "workload"},
+		{"trace zero cycles", mod(func(s *Scenario) {
+			s.Traffic = Traffic{Kind: "trace", Workload: "tpcw"}
+		}), "trace_cycles"},
+		{"trace bad protocol", mod(func(s *Scenario) {
+			s.Traffic = Traffic{Kind: "trace", Workload: "tpcw", TraceCycles: 100, Protocol: "dragon"}
+		}), "protocol"},
+		{"replay without file", mod(func(s *Scenario) { s.Traffic = Traffic{Kind: "replay"} }), "trace_file"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.sc.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", c.sc)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+			// An invalid scenario must not elaborate either.
+			if _, err := c.sc.Elaborate(); err == nil {
+				t.Errorf("Elaborate accepted a scenario Validate rejects")
+			}
+		})
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	cases := []Scenario{
+		ur(),
+		full(),
+		{Arch: "3DM-E", Traffic: Traffic{Kind: "ur", Rate: 0.1}, Measure: 100, ExpressInterval: 3},
+		{Arch: "2DB", Traffic: Traffic{Kind: "trace", Workload: "tpcw", TraceCycles: 500, Protocol: "moesi"}, Measure: 100},
+		{Arch: "3DB", Traffic: Traffic{Kind: "tornado", Rate: 0.05}, Measure: 100, Routing: "xy"},
+	}
+	for _, sc := range cases {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("Validate rejected %+v: %v", sc, err)
+		}
+	}
+}
+
+// TestElaborateBuildErrors covers parameters only checkable against the
+// elaborated topology.
+func TestElaborateBuildErrors(t *testing.T) {
+	sc := ur()
+	sc.Traffic = Traffic{Kind: "hotspot", Rate: 0.1, HotFrac: 0.5, Hot: []int{999}}
+	if _, err := sc.Elaborate(); err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Errorf("out-of-range hot node not rejected: %v", err)
+	}
+	sc = ur()
+	sc.Traffic = Traffic{Kind: "replay", TraceFile: "testdata/does-not-exist.trace"}
+	if _, err := sc.Elaborate(); err == nil {
+		t.Error("missing trace file not rejected")
+	}
+	sc = ur()
+	sc.Routing = "westfirst"
+	sc.Faults = []Fault{{Src: 999, Dir: "east"}}
+	if _, err := sc.Elaborate(); err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Errorf("out-of-range fault source not rejected: %v", err)
+	}
+}
+
+// TestNoCConfigOverrides checks every router-level knob reaches the
+// simulator configuration.
+func TestNoCConfigOverrides(t *testing.T) {
+	sc := full()
+	d, cfg, err := sc.NoCConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil || cfg.Topo == nil {
+		t.Fatal("missing design or topology")
+	}
+	if cfg.VCs != 4 || cfg.BufDepth != 4 {
+		t.Errorf("buffer geometry not applied: VCs=%d depth=%d", cfg.VCs, cfg.BufDepth)
+	}
+	if cfg.STLTCycles != 2 {
+		t.Errorf("STLTCycles = %d, want 2", cfg.STLTCycles)
+	}
+	if !cfg.LookaheadRC || !cfg.SpecSA || !cfg.QoSPriority {
+		t.Error("pipeline options not applied")
+	}
+	if cfg.Arb != noc.ArbMatrix {
+		t.Error("matrix arbiter not applied")
+	}
+	if cfg.Mode != noc.StepFullScan {
+		t.Errorf("step mode = %v, want fullscan", cfg.Mode)
+	}
+	if cfg.Seed != 7 {
+		t.Errorf("seed = %d, want 7", cfg.Seed)
+	}
+}
+
+// TestElaborateDeterminism: equal scenarios produce bit-identical
+// results, and the seed actually matters.
+func TestElaborateDeterminism(t *testing.T) {
+	run := func(seed int64) noc.Result {
+		sc := ur()
+		sc.Seed = seed
+		res, err := sc.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(42), run(42)
+	// The histogram pointer differs; compare the serialized form.
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Errorf("equal scenarios diverged:\n%s\n%s", aj, bj)
+	}
+	c := run(43)
+	cj, _ := json.Marshal(c)
+	if string(aj) == string(cj) {
+		t.Error("different seeds produced identical results")
+	}
+}
+
+func TestTrafficKindsRegistered(t *testing.T) {
+	kinds := TrafficKinds()
+	want := []string{"complement", "hotspot", "nuca", "replay", "tornado", "trace", "transpose", "ur"}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Errorf("registered kinds = %v, want %v", kinds, want)
+	}
+}

@@ -1,6 +1,7 @@
 package traffic
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -129,7 +130,7 @@ func TestAdversarialPatternsLoadNetwork(t *testing.T) {
 	p := &Permutation{Topo: m, InjectionRate: 0.1, PacketSize: 4, Dst: Transpose, Name: "transpose"}
 	s := noc.NewSim(noc.NewNetwork(cfg), p)
 	s.Params = noc.SimParams{Warmup: 500, Measure: 2000, DrainMax: 8000}
-	res := s.Run()
+	res := s.Run(context.Background())
 	if res.Generated == 0 || res.Ejected != res.Generated {
 		t.Fatalf("transpose lost packets: %v", res.String())
 	}
