@@ -371,12 +371,19 @@ func BenchmarkRouterCycle(b *testing.B) {
 // across cycles and the injection queues hold values, so per-cycle
 // garbage comes only from packet births.
 func benchStep(b *testing.B, rate float64, mode noc.StepMode) {
+	benchStepProbe(b, rate, mode, nil)
+}
+
+// benchStepProbe is benchStep with an explicit probe attachment, for
+// measuring the observability layer's hot-path cost.
+func benchStepProbe(b *testing.B, rate float64, mode noc.StepMode, p noc.Probe) {
 	b.Helper()
 	d := core.MustDesign(core.Arch2DB)
 	gen := &traffic.Uniform{Topo: d.Topo, InjectionRate: rate, PacketSize: core.DataPacketFlits}
 	cfg := d.NoCConfig(noc.AnyFree, 1)
 	cfg.Mode = mode
 	net := noc.NewNetwork(cfg)
+	net.SetProbe(p)
 	rng := rand.New(rand.NewSource(1))
 	var specs []noc.Spec
 	cycle := int64(0)
@@ -407,6 +414,23 @@ func BenchmarkStepUR(b *testing.B) { benchStep(b, 0.2, noc.StepActivity) }
 // BenchmarkStepURFullScan is BenchmarkStepUR on the reference full-scan
 // path, for before/after comparison under load.
 func BenchmarkStepURFullScan(b *testing.B) { benchStep(b, 0.2, noc.StepFullScan) }
+
+// countingProbe is the cheapest possible live probe: one counter bump
+// per event, no allocation, no indirection beyond the interface call.
+type countingProbe struct{ n int64 }
+
+func (p *countingProbe) ProbeEvent(noc.ProbeEvent) { p.n++ }
+
+// BenchmarkStepURNilProbe is BenchmarkStepUR with the probe explicitly
+// detached: the zero-overhead-when-nil contract of internal/noc's probe
+// layer says this must match BenchmarkStepUR within noise (each emission
+// site pays one nil check either way).
+func BenchmarkStepURNilProbe(b *testing.B) { benchStepProbe(b, 0.2, noc.StepActivity, nil) }
+
+// BenchmarkStepURProbed measures the floor cost of live observation: the
+// loaded-mesh step loop with a minimal counting probe attached, i.e. the
+// per-event dispatch overhead before any collector logic runs.
+func BenchmarkStepURProbed(b *testing.B) { benchStepProbe(b, 0.2, noc.StepActivity, &countingProbe{}) }
 
 // BenchmarkStepLowRate measures the regime activity tracking targets:
 // at 0.05 flits/node/cycle most routers are idle most cycles, so the

@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	mirabench [-quick] [-csv] [-svg DIR] [-seed N] [-workers N] [-stepmode MODE] [-progress] [-timing FILE] [-cpuprofile FILE] [-memprofile FILE] <experiment>...
+//	mirabench [-quick] [-csv] [-svg DIR] [-seed N] [-workers N] [-stepmode MODE] [-progress] [-timing FILE] [-cpuprofile FILE] [-memprofile FILE] [-obs] [-obswindow N] <experiment>...
 //	mirabench all
 //	mirabench list
+//	mirabench -obs
 //
 // Sweep points fan out across -workers goroutines (default: all CPUs);
 // tables are bit-identical for any worker count. -progress logs a
@@ -17,6 +18,11 @@
 // fullscan or checked); all modes produce identical tables, so a stdout
 // diff between modes is a determinism regression check. -cpuprofile and
 // -memprofile write pprof profiles for performance work.
+//
+// -obs measures the observability layer's probe overhead (bare vs
+// collector vs collector+trace) and prints the comparison; alone it runs
+// just that report. -obswindow N attaches a collector with an N-cycle
+// sample window to every sweep point of the selected experiments.
 //
 // Experiments: table1 table2 table3, fig1 fig2 fig3 fig8 fig9 fig10,
 // fig11a-d, fig12a-d, fig13a-c, plus the ablation-* and ext-* studies
@@ -36,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"mira/internal/core"
 	"mira/internal/exp"
 	"mira/internal/noc"
 )
@@ -85,6 +92,10 @@ var experiments = []experiment{
 	{"ext-fault", "link-fault tolerance via west-first routing (extension)", exp.ExtFault},
 	{"ext-herding", "thermal herding + router shutdown (extension)", wrapOpts(exp.ExtHerding)},
 	{"ext-protocol", "MESI vs MOESI coherence traffic (extension)", exp.ExtProtocol},
+	{"obs-ur", "observability summaries across UR injection rates (extension)",
+		wrapOpts(func(ctx context.Context, o exp.Options) exp.Table {
+			return exp.ObsURSweep(ctx, core.Arch3DM, []float64{0.05, 0.10, 0.15, 0.20, 0.25}, o)
+		})},
 }
 
 func main() {
@@ -96,6 +107,8 @@ func main() {
 	progress := flag.Bool("progress", false, "log a per-point progress/timing line to stderr")
 	timingFile := flag.String("timing", "", "write per-experiment wall-clock times to this JSON file")
 	stepMode := flag.String("stepmode", "activity", "cycle-loop strategy: activity, fullscan or checked; tables are identical for every mode")
+	obsReport := flag.Bool("obs", false, "measure and report observability probe overhead (runs standalone or before the selected experiments)")
+	obsWindow := flag.Int64("obswindow", 0, "attach a collector with this sample window (cycles) to every sweep point; 0 = unobserved")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Usage = usage
@@ -108,7 +121,7 @@ func main() {
 	defer stop()
 
 	args := flag.Args()
-	if len(args) == 0 {
+	if len(args) == 0 && !*obsReport {
 		usage()
 		os.Exit(2)
 	}
@@ -119,12 +132,25 @@ func main() {
 	}
 	opts.Seed = *seed
 	opts.Workers = *workers
+	opts.ObserveWindow = *obsWindow
 	mode, err := noc.ParseStepMode(*stepMode)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mirabench: %v\n", err)
 		os.Exit(2)
 	}
 	opts.StepMode = mode
+
+	if *obsReport {
+		tb := exp.ObsOverhead(ctx, opts)
+		if *csv {
+			fmt.Printf("# %s\n%s\n", tb.ID, tb.CSV())
+		} else {
+			fmt.Println(tb.String())
+		}
+		if len(args) == 0 {
+			return
+		}
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -280,7 +306,7 @@ func writeSVG(dir string, tb exp.Table) error {
 func usage() {
 	fmt.Fprintf(os.Stderr, `mirabench regenerates the MIRA paper's tables and figures.
 
-usage: mirabench [-quick] [-seed N] [-workers N] [-stepmode MODE] [-progress] [-timing FILE] [-cpuprofile FILE] [-memprofile FILE] <experiment>... | all | list
+usage: mirabench [-quick] [-seed N] [-workers N] [-stepmode MODE] [-progress] [-timing FILE] [-cpuprofile FILE] [-memprofile FILE] [-obs] [-obswindow N] <experiment>... | all | list
 `)
 	flag.PrintDefaults()
 }

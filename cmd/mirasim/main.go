@@ -12,6 +12,15 @@
 //	mirasim -arch 3DM -traffic trace -workload tpcw
 //	mirasim -arch 3DM -traffic ur -rate 0.2 -dump > run.json
 //	mirasim -scenario runs.json -workers 4
+//	mirasim -arch 3DM -traffic ur -rate 0.2 -trace run.jsonl -series occ.csv
+//
+// -trace records every flit pipeline event as JSONL (replayable with
+// "miratrace flits"), -series writes the cycle-sampled gauge time series
+// (buffer occupancy, credit stalls, layer activity) as CSV, and
+// -obswindow sets the sample window; any of the three attaches the
+// observability collector (internal/obs) and prints a latency-percentile
+// digest after the run. A scenario file may request the same via its
+// "observe" block.
 //
 // Ctrl-C cancels the run; a canceled simulation reports the counters it
 // measured before the interrupt and marks the result canceled.
@@ -31,6 +40,7 @@ import (
 	"mira/internal/core"
 	"mira/internal/exp"
 	"mira/internal/noc"
+	"mira/internal/obs"
 	"mira/internal/power"
 	"mira/internal/scenario"
 )
@@ -52,6 +62,9 @@ func main() {
 	spec := flag.Bool("spec", false, "speculative switch allocation (Figure 8 (b))")
 	lookahead := flag.Bool("lookahead", false, "look-ahead routing (Figure 8 (c))")
 	matrixArb := flag.Bool("matrix-arb", false, "matrix (least-recently-served) allocator arbiters")
+	trace := flag.String("trace", "", "write a JSONL flit-event trace to this file (see miratrace flits)")
+	series := flag.String("series", "", "write the sampled observability time series to this CSV file")
+	obsWindow := flag.Int64("obswindow", 0, "observability sample window in cycles (0 = default 1000; enables observation with -trace/-series)")
 	dump := flag.Bool("dump", false, "print the scenario JSON for these flags and exit without running")
 	scenarioFile := flag.String("scenario", "", "run a JSON scenario (or array of scenarios) from this file ('-' for stdin) and print JSON results")
 	workers := flag.Int("workers", 0, "batch worker goroutines for -scenario (0 = all CPUs)")
@@ -81,6 +94,9 @@ func main() {
 		LookaheadRC: *lookahead,
 		MatrixArb:   *matrixArb,
 		Traffic:     trafficFromFlags(*trafficKind, *rate, *short, *workload, *traceFile, *hotFrac, *measure),
+	}
+	if *trace != "" || *series != "" || *obsWindow > 0 {
+		sc.Observe = &scenario.Observe{Window: *obsWindow}
 	}
 	if err := sc.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "mirasim: %v\n", err)
@@ -113,8 +129,49 @@ func main() {
 			sc.Traffic.Workload, e.Stats.ShortFlitPct(), 100*e.Stats.ControlPacketFrac())
 	}
 
+	var traceOut *os.File
+	if *trace != "" {
+		traceOut, err = os.Create(*trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mirasim: %v\n", err)
+			os.Exit(1)
+		}
+		defer traceOut.Close()
+		e.Obs.SetTraceWriter(traceOut)
+	}
+
 	r := e.Sim.Run(ctx)
 	report(d, r, exp.NetworkPowerW(d, r, *shutdown))
+
+	if e.Obs != nil {
+		if err := finishObs(e.Obs, traceOut, *trace, *series); err != nil {
+			fmt.Fprintf(os.Stderr, "mirasim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// finishObs flushes the trace, writes the series CSV and prints the
+// observability digest for an observed run.
+func finishObs(c *obs.Collector, traceOut *os.File, tracePath, seriesPath string) error {
+	if err := c.Close(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	sum := c.Summary()
+	l := sum.Latency
+	fmt.Printf("observability: %d flits, flit lat p50/p95/p99 = %d/%d/%d, pkt p99 = %d (%d windows of %d cycles)\n",
+		l.Flits, l.FlitP50, l.FlitP95, l.FlitP99, l.PacketP99, sum.Windows, sum.Window)
+	if tracePath != "" {
+		fmt.Printf("trace        : %d events -> %s\n", sum.Traced, tracePath)
+	}
+	if seriesPath != "" {
+		if err := os.WriteFile(seriesPath, []byte(c.SeriesTable().CSV()), 0o644); err != nil {
+			return fmt.Errorf("series: %w", err)
+		}
+		fmt.Printf("series       : %d windows x %d metrics -> %s\n",
+			sum.Windows, c.Registry().Len(), seriesPath)
+	}
+	return nil
 }
 
 // trafficFromFlags assembles the traffic description for one kind,

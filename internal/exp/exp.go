@@ -39,6 +39,12 @@ type Options struct {
 	// modes; fullscan/checked exist for determinism diffs and
 	// debugging (mirabench -stepmode).
 	StepMode noc.StepMode
+	// ObserveWindow, when positive, adds an Observe block with this
+	// sample window (cycles) to every scenario the options produce, so
+	// each sweep point runs with an observability collector attached
+	// (internal/obs). Zero leaves scenarios unobserved; results are
+	// identical either way, observation only adds visibility.
+	ObserveWindow int64
 }
 
 // Default returns the full-size experiment windows.
@@ -58,7 +64,7 @@ func Quick() Options {
 // -stepmode/-seed reach every simulation and any driver's point can be
 // reproduced standalone from its serialized scenario.
 func (o Options) Scenario(a core.Arch) scenario.Scenario {
-	return scenario.Scenario{
+	sc := scenario.Scenario{
 		Arch:     a.String(),
 		Warmup:   o.Warmup,
 		Measure:  o.Measure,
@@ -66,6 +72,10 @@ func (o Options) Scenario(a core.Arch) scenario.Scenario {
 		Seed:     o.Seed,
 		StepMode: o.StepMode.String(),
 	}
+	if o.ObserveWindow > 0 {
+		sc.Observe = &scenario.Observe{Window: o.ObserveWindow}
+	}
+	return sc
 }
 
 // mustElaborate builds a driver-authored scenario. The drivers'

@@ -18,6 +18,10 @@ type Counters struct {
 	SAReqs    int64 // switch-allocator requests (incl. failed)
 	VAReqs    int64 // VC-allocator requests (incl. failed)
 	RCOps     int64 // route computations
+	// CreditStalls counts switch-eligible flits skipped because their
+	// output VC had no downstream credit — the per-router backpressure
+	// signal the observability sampler tracks over time.
+	CreditStalls int64
 
 	// Layer-shutdown-weighted datapath activity.
 	WBufWrites float64
@@ -44,6 +48,7 @@ func (c *Counters) Add(other *Counters) {
 	c.SAReqs += other.SAReqs
 	c.VAReqs += other.VAReqs
 	c.RCOps += other.RCOps
+	c.CreditStalls += other.CreditStalls
 	c.WBufWrites += other.WBufWrites
 	c.WBufReads += other.WBufReads
 	c.WXbarFlits += other.WXbarFlits

@@ -78,6 +78,11 @@ type Network struct {
 
 	// onEject is invoked when a packet's tail flit leaves the network.
 	onEject func(*Packet)
+
+	// probe, when non-nil, observes every pipeline event (see probe.go).
+	// Emission sites nil-check it so an unobserved network pays one
+	// branch per site and nothing else.
+	probe Probe
 }
 
 // NewNetwork builds a network from cfg. It panics on invalid
@@ -186,6 +191,9 @@ func (n *Network) Step() {
 			n.routers[ev.router].creditReturn(ev.dir, ev.vc)
 		case evEject:
 			n.inFlightFlits--
+			if n.probe != nil {
+				n.probe.ProbeEvent(ProbeEvent{Kind: ProbeEject, Cycle: n.cycle, Router: ev.router, Flit: ev.flit})
+			}
 			if ev.flit.Type.IsTail() {
 				pkt := ev.flit.Pkt
 				pkt.EjectedAt = n.cycle
@@ -303,6 +311,12 @@ func (n *Network) inject(id topology.NodeID) {
 		job.pkt.InjectedAt = n.cycle
 	}
 	r.acceptFlit(n.cycle, int(r.inIndex[topology.Local]), s.curVC, f)
+	if n.probe != nil {
+		n.probe.ProbeEvent(ProbeEvent{
+			Kind: ProbeInject, Cycle: n.cycle, Router: id,
+			Dir: topology.Local, VC: int8(s.curVC), Flit: f,
+		})
+	}
 	n.inFlightFlits++
 	n.queuedFlits--
 	s.curSeq++

@@ -1,0 +1,132 @@
+package noc
+
+import "mira/internal/topology"
+
+// ProbeKind tags one observable event in a flit's life. The six kinds
+// cover the full path of §3.2's router pipeline: creation at the source
+// NI, the RC/VA/SA stages, the link traversal, and the ejection at the
+// destination NI.
+type ProbeKind uint8
+
+// Probe event kinds, in the order a flit experiences them.
+const (
+	// ProbeInject fires when a flit leaves its source NI and is written
+	// into the local input buffer of its source router.
+	ProbeInject ProbeKind = iota
+	// ProbeRoute fires when a head flit's output port is computed (the
+	// RC stage, or the upstream look-ahead computation).
+	ProbeRoute
+	// ProbeVCAlloc fires when a head flit wins an output virtual
+	// channel (the VA stage).
+	ProbeVCAlloc
+	// ProbeSAGrant fires when a flit wins the crossbar (the SA stage,
+	// including speculative grants) and starts switch traversal.
+	ProbeSAGrant
+	// ProbeLink fires when a flit is sent over an inter-router link
+	// (ejecting flits traverse the switch but no link).
+	ProbeLink
+	// ProbeEject fires when a flit leaves the network at its
+	// destination NI.
+	ProbeEject
+	// NumProbeKinds is the number of distinct event kinds.
+	NumProbeKinds
+)
+
+func (k ProbeKind) String() string {
+	switch k {
+	case ProbeInject:
+		return "inject"
+	case ProbeRoute:
+		return "route"
+	case ProbeVCAlloc:
+		return "vcalloc"
+	case ProbeSAGrant:
+		return "sagrant"
+	case ProbeLink:
+		return "link"
+	case ProbeEject:
+		return "eject"
+	}
+	return "unknown"
+}
+
+// ParseProbeKind converts a serialized kind name back to its value.
+func ParseProbeKind(s string) (ProbeKind, bool) {
+	for k := ProbeKind(0); k < NumProbeKinds; k++ {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// ProbeEvent is one pipeline event, passed to the attached Probe by
+// value (emitting an event never allocates). Router identifies where
+// the event happened; Dir and VC identify the output port and virtual
+// channel for route/VC-alloc/SA/link events (Dir is Local and VC the
+// injection VC for inject events; both are zero for eject events, where
+// the flit has left the router).
+type ProbeEvent struct {
+	Kind   ProbeKind
+	Cycle  int64
+	Router topology.NodeID
+	Dir    topology.Dir
+	VC     int8
+	Flit   Flit
+}
+
+// Probe observes router-pipeline events. A probe is attached to a
+// Network with SetProbe; a nil probe costs a single pointer check per
+// emission site, which keeps the simulator's hot path unaffected when
+// nothing is observing (see BenchmarkStepUR vs BenchmarkStepURNilProbe).
+//
+// Events are emitted in a deterministic order: for a fixed scenario and
+// step mode the stream is bit-reproducible. Across step modes
+// (activity vs fullscan vs checked) the inject, VC-alloc, SA-grant,
+// link and eject sequences are identical event for event, because their
+// emission sites sit in the shared stage helpers (forward, inject,
+// event delivery) or at the matched grant points of the paired stage
+// implementations. Route events match as a per-cycle set but may
+// interleave differently within one cycle — the RC stage carries no
+// arbitration, so the activity path visits its pending list in
+// insertion order while the full scan visits port order.
+//
+// Implementations must not mutate the network from inside a callback;
+// the event's Flit shares the live *Packet.
+type Probe interface {
+	ProbeEvent(ev ProbeEvent)
+}
+
+// SetProbe attaches p to the network (nil detaches). The probe observes
+// every subsequent pipeline event; attach before the first Step for a
+// complete trace.
+func (n *Network) SetProbe(p Probe) { n.probe = p }
+
+// Instrumentation accessors: read-only views of live router state for
+// the cycle sampler (internal/obs). All are O(ports·VCs) or cheaper and
+// never mutate the router.
+
+// ID returns the router's node ID.
+func (r *Router) ID() topology.NodeID { return r.id }
+
+// Occupancy returns the flits currently buffered across all of the
+// router's input VCs.
+func (r *Router) Occupancy() int { return r.occupancy() }
+
+// NumInVCs returns the number of input VCs (ports × VCs per port).
+func (r *Router) NumInVCs() int { return len(r.inPorts) * r.net.cfg.VCs }
+
+// VCOccupancy returns the buffered flits in input VC vi of port pi.
+func (r *Router) VCOccupancy(pi, vi int) int { return r.inPorts[pi].vcs[vi].occ() }
+
+// VCOccupancies appends the per-input-VC buffer occupancies (flits) in
+// flat (port, vc) order to dst and returns the extended slice, so a
+// per-window sampler can reuse one backing array.
+func (r *Router) VCOccupancies(dst []int) []int {
+	for pi := range r.inPorts {
+		for vi := range r.inPorts[pi].vcs {
+			dst = append(dst, r.inPorts[pi].vcs[vi].occ())
+		}
+	}
+	return dst
+}

@@ -1,0 +1,175 @@
+package noc
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+
+	"mira/internal/topology"
+)
+
+// recordingProbe captures every emitted event in order.
+type recordingProbe struct {
+	events []ProbeEvent
+}
+
+func (p *recordingProbe) ProbeEvent(ev ProbeEvent) { p.events = append(p.events, ev) }
+
+// runProbed runs a short bernoulli simulation with a recording probe
+// attached and returns the event stream plus the final counters.
+func runProbed(t *testing.T, mode StepMode) ([]ProbeEvent, Counters, Result) {
+	t.Helper()
+	cfg := cfg2D(2)
+	cfg.Mode = mode
+	net := NewNetwork(cfg)
+	p := &recordingProbe{}
+	net.SetProbe(p)
+	s := NewSim(net, bernoulli(cfg.Topo, 0.1, 4, Data))
+	s.Params = SimParams{Warmup: 0, Measure: 400, DrainMax: 2000}
+	res := s.Run(context.Background())
+	return p.events, net.TotalCounters(), res
+}
+
+// TestProbeEventStreamMatchesCounters cross-checks the probe stream
+// against the router activity counters: every counted pipeline event of
+// an observable kind must have been emitted exactly once.
+func TestProbeEventStreamMatchesCounters(t *testing.T) {
+	events, c, res := runProbed(t, StepActivity)
+	if res.Ejected == 0 {
+		t.Fatal("no traffic simulated")
+	}
+	var n [NumProbeKinds]int64
+	for _, ev := range events {
+		n[ev.Kind]++
+	}
+	if n[ProbeRoute] != c.RCOps {
+		t.Errorf("route events = %d, RCOps = %d", n[ProbeRoute], c.RCOps)
+	}
+	if n[ProbeVCAlloc] != c.VAGrants {
+		t.Errorf("vcalloc events = %d, VAGrants = %d", n[ProbeVCAlloc], c.VAGrants)
+	}
+	if n[ProbeSAGrant] != c.SAGrants {
+		t.Errorf("sagrant events = %d, SAGrants = %d", n[ProbeSAGrant], c.SAGrants)
+	}
+	if n[ProbeLink] != c.LinkFlits {
+		t.Errorf("link events = %d, LinkFlits = %d", n[ProbeLink], c.LinkFlits)
+	}
+	// Every injected flit is eventually ejected in a fully drained run.
+	if n[ProbeInject] != n[ProbeEject] {
+		t.Errorf("inject events = %d, eject events = %d", n[ProbeInject], n[ProbeEject])
+	}
+	if n[ProbeInject] == 0 {
+		t.Error("no inject events emitted")
+	}
+}
+
+// TestProbeEventStreamDeterministicAcrossModes verifies the activity
+// path emits the byte-identical event sequence the reference full scan
+// produces — the property that makes traces comparable across step
+// modes.
+func TestProbeEventStreamDeterministicAcrossModes(t *testing.T) {
+	act, _, _ := runProbed(t, StepActivity)
+	full, _, _ := runProbed(t, StepFullScan)
+	if len(act) != len(full) {
+		t.Fatalf("activity emitted %d events, fullscan %d", len(act), len(full))
+	}
+	evKey := func(ev ProbeEvent) string {
+		return fmt.Sprintf("%d %v r%d %v vc%d pkt%d.%d",
+			ev.Cycle, ev.Kind, ev.Router, ev.Dir, ev.VC, ev.Flit.Pkt.ID, ev.Flit.Seq)
+	}
+	// Arbitrated and delivery events (inject, VA, SA, link, eject) are
+	// strictly ordered and must match event for event.
+	strict := func(evs []ProbeEvent) []string {
+		var out []string
+		for _, ev := range evs {
+			if ev.Kind != ProbeRoute {
+				out = append(out, evKey(ev))
+			}
+		}
+		return out
+	}
+	sa, sf := strict(act), strict(full)
+	for i := range sa {
+		if sa[i] != sf[i] {
+			t.Fatalf("strict event %d differs: activity %s vs fullscan %s", i, sa[i], sf[i])
+		}
+	}
+	// The RC stage is order-independent, so route events only need to
+	// match as a per-cycle set.
+	routes := func(evs []ProbeEvent) []string {
+		var out []string
+		for _, ev := range evs {
+			if ev.Kind == ProbeRoute {
+				out = append(out, evKey(ev))
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+	ra, rf := routes(act), routes(full)
+	for i := range ra {
+		if ra[i] != rf[i] {
+			t.Fatalf("route event set differs at %d: activity %s vs fullscan %s", i, ra[i], rf[i])
+		}
+	}
+}
+
+// TestProbePerFlitOrdering checks the pipeline invariant per flit:
+// inject precedes every router event, and eject is last, with
+// non-decreasing cycles along the way.
+func TestProbePerFlitOrdering(t *testing.T) {
+	events, _, _ := runProbed(t, StepActivity)
+	type key struct {
+		pkt int64
+		seq int
+	}
+	last := map[key]ProbeEvent{}
+	for _, ev := range events {
+		k := key{ev.Flit.Pkt.ID, ev.Flit.Seq}
+		prev, seen := last[k]
+		if !seen {
+			if ev.Kind != ProbeInject {
+				t.Fatalf("first event for flit %v is %v, want inject", k, ev.Kind)
+			}
+		} else {
+			if prev.Cycle > ev.Cycle {
+				t.Fatalf("flit %v went back in time: %v@%d after %v@%d",
+					k, ev.Kind, ev.Cycle, prev.Kind, prev.Cycle)
+			}
+			if prev.Kind == ProbeEject {
+				t.Fatalf("flit %v has events after eject", k)
+			}
+		}
+		last[k] = ev
+	}
+	for k, ev := range last {
+		if ev.Kind != ProbeEject {
+			t.Errorf("flit %v never ejected (last event %v)", k, ev.Kind)
+		}
+	}
+}
+
+// TestVCOccupanciesMatchOccupancy checks the sampler accessors agree
+// with the router's own total.
+func TestVCOccupanciesMatchOccupancy(t *testing.T) {
+	cfg := cfg2D(2)
+	net := NewNetwork(cfg)
+	s := NewSim(net, bernoulli(cfg.Topo, 0.2, 4, Data))
+	s.Params = SimParams{Warmup: 0, Measure: 200, DrainMax: 0}
+	s.Run(context.Background())
+	for i := 0; i < cfg.Topo.NumNodes(); i++ {
+		r := net.Router(topology.NodeID(i))
+		occ := r.VCOccupancies(nil)
+		if len(occ) != r.NumInVCs() {
+			t.Fatalf("router %d: %d occupancies for %d VCs", i, len(occ), r.NumInVCs())
+		}
+		sum := 0
+		for _, o := range occ {
+			sum += o
+		}
+		if sum != r.Occupancy() {
+			t.Errorf("router %d: per-VC sum %d != occupancy %d", i, sum, r.Occupancy())
+		}
+	}
+}

@@ -291,6 +291,11 @@ func (r *Router) routeHead(vc *inputVC) {
 		panic(fmt.Sprintf("noc: router %d routed to missing port %v", r.id, vc.outDir))
 	}
 	r.Counters.RCOps++
+	if r.net.probe != nil {
+		r.net.probe.ProbeEvent(ProbeEvent{
+			Kind: ProbeRoute, Cycle: r.net.cycle, Router: r.id, Dir: vc.outDir, Flit: vc.front().flit,
+		})
+	}
 }
 
 // layerFrac returns the fraction of datapath layers a flit keeps active.
@@ -446,6 +451,11 @@ func (r *Router) stepVA(cycle int64) {
 			r.setVCState(int32(g), vcActive)
 			vc.readyAt = cycle + 1
 			r.Counters.VAGrants++
+			if r.net.probe != nil {
+				r.net.probe.ProbeEvent(ProbeEvent{
+					Kind: ProbeVCAlloc, Cycle: cycle, Router: r.id, Dir: op.dir, VC: int8(ov), Flit: vc.front().flit,
+				})
+			}
 			if r.net.cfg.SpecSA {
 				r.trySpeculativeForward(cycle, pi, vi, oi)
 			}
@@ -501,6 +511,11 @@ func (r *Router) stepVAFull(cycle int64) {
 			r.setVCState(int32(g), vcActive)
 			vc.readyAt = cycle + 1
 			r.Counters.VAGrants++
+			if r.net.probe != nil {
+				r.net.probe.ProbeEvent(ProbeEvent{
+					Kind: ProbeVCAlloc, Cycle: cycle, Router: r.id, Dir: op.dir, VC: int8(ov), Flit: vc.front().flit,
+				})
+			}
 			if r.net.cfg.SpecSA {
 				r.trySpeculativeForward(cycle, pi, vi, oi)
 			}
@@ -558,6 +573,7 @@ func (r *Router) stepSA(cycle int64) {
 		oi := int(vc.outPort)
 		op := &r.outPorts[oi]
 		if op.hasLink && op.credits[vc.outVC] <= 0 {
+			r.Counters.CreditStalls++
 			continue // no downstream buffer space
 		}
 		bit := uint32(1) << uint(oi)
@@ -665,6 +681,7 @@ func (r *Router) stepSAFull(cycle int64) {
 			oi := r.outIndex[vc.outDir]
 			op := &r.outPorts[oi]
 			if op.hasLink && op.credits[vc.outVC] <= 0 {
+				r.Counters.CreditStalls++
 				continue // no downstream buffer space
 			}
 			eligibleOut[f] = oi
@@ -751,6 +768,11 @@ func (r *Router) forward(cycle int64, pi, vi, oi int) {
 	r.Counters.WBufReads += frac
 	r.Counters.XbarFlits++
 	r.Counters.WXbarFlits += frac
+	if r.net.probe != nil {
+		r.net.probe.ProbeEvent(ProbeEvent{
+			Kind: ProbeSAGrant, Cycle: cycle, Router: r.id, Dir: op.dir, VC: int8(vc.outVC), Flit: f,
+		})
+	}
 
 	// Credit back to the upstream router (the NI checks space directly).
 	if ip.upstream >= 0 {
@@ -773,6 +795,11 @@ func (r *Router) forward(cycle int64, pi, vi, oi int) {
 		r.Counters.LinkFlits++
 		r.Counters.WLinkFlits += frac
 		op.flitCount++
+		if r.net.probe != nil {
+			r.net.probe.ProbeEvent(ProbeEvent{
+				Kind: ProbeLink, Cycle: cycle, Router: r.id, Dir: op.dir, VC: int8(vc.outVC), Flit: f,
+			})
+		}
 		r.Counters.LinkMMFlits += op.link.LengthMM
 		r.Counters.WLinkMMFlits += op.link.LengthMM * frac
 		if op.dir.IsExpress() {

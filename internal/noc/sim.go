@@ -122,6 +122,13 @@ type Sim struct {
 	Gen    Generator
 	Params SimParams
 
+	// OnCycle, when non-nil, is invoked after every simulated cycle
+	// with the cycle just completed (equal to Net.Cycle()). The
+	// observability sampler (internal/obs) hooks here to snapshot
+	// gauges on its window boundaries; an unset hook costs one branch
+	// per cycle.
+	OnCycle func(cycle int64)
+
 	rng *rand.Rand
 	ran bool
 
@@ -239,6 +246,9 @@ func (s *Sim) Run(ctx context.Context) Result {
 			}
 		}
 		s.Net.Step()
+		if s.OnCycle != nil {
+			s.OnCycle(s.Net.Cycle())
+		}
 	}
 
 	if res.Canceled && cycle < measureEnd {

@@ -1,0 +1,301 @@
+// Package obs is the simulator's observability layer, the per-cycle
+// visibility behind the paper's time-averaged headline numbers
+// (Figs. 11-13): where backlog builds while an architecture approaches
+// saturation, when the short-flit layer shutdown of §3.2.1 actually
+// bites, and which routers and VCs stall on credits first.
+//
+// It has three cooperating parts:
+//
+//   - a Collector implementing noc.Probe, fed by the nil-checked probe
+//     hooks compiled into the router pipeline (inject, RC, VA, SA, link
+//     and eject events at zero cost when detached);
+//   - a metric Registry plus cycle-windowed Sampler that snapshots
+//     per-router/per-VC gauges (buffer occupancy, credit stalls, active
+//     layers, express usage) into time series exportable as text, CSV
+//     or JSON through stats.Table;
+//   - a JSONL flit-event TraceWriter with a bounded ring buffer, and a
+//     deterministic Replay reader that reproduces the live collector's
+//     per-flit latency statistics byte for byte from the recorded file.
+//
+// Scenarios opt in through their Observe block (internal/scenario);
+// mirasim -trace writes traces, miratrace flits replays them, and
+// mirabench -obs measures the probe overhead.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+
+	"mira/internal/noc"
+	"mira/internal/stats"
+)
+
+// Config parameterizes a Collector. The zero value samples on
+// DefaultWindow boundaries with no trace attached.
+type Config struct {
+	// Window is the gauge sample window in cycles (0 = DefaultWindow).
+	Window int64
+	// PerVCNodes lists routers whose individual VC occupancies are
+	// sampled (empty: per-router totals only).
+	PerVCNodes []int
+	// TraceNodes restricts trace output to events at these routers
+	// (empty: all). TraceClass restricts to one message class
+	// ("control" or "data"; empty: both). Filters apply to the trace
+	// file only — summaries and time series always cover everything.
+	TraceNodes []int
+	TraceClass string
+	// RingSize bounds the trace writer's in-memory event batch
+	// (0 = DefaultRingSize).
+	RingSize int
+}
+
+// LatencyStats are per-flit and per-packet latency statistics derived
+// purely from inject/eject probe events, so the identical numbers are
+// recomputable from a recorded trace (Replay). Flit latency is
+// inject-to-eject network time; packet latency is creation-to-tail-eject
+// and therefore includes source queueing, matching noc.Result.
+type LatencyStats struct {
+	Flits      int64            `json:"flits"`
+	Packets    int64            `json:"packets"`
+	FlitMean   float64          `json:"flit_mean"`
+	FlitP50    int              `json:"flit_p50"`
+	FlitP95    int              `json:"flit_p95"`
+	FlitP99    int              `json:"flit_p99"`
+	FlitMax    int64            `json:"flit_max"`
+	PacketMean float64          `json:"packet_mean"`
+	PacketP50  int              `json:"packet_p50"`
+	PacketP95  int              `json:"packet_p95"`
+	PacketP99  int              `json:"packet_p99"`
+	PacketMax  int64            `json:"packet_max"`
+	PerClass   map[string]int64 `json:"per_class,omitempty"` // ejected packets by class
+}
+
+// JSON renders the stats in a canonical form; byte equality of two
+// renderings is the replay-determinism check.
+func (l LatencyStats) JSON() []byte {
+	data, err := json.Marshal(l)
+	if err != nil {
+		panic(err) // plain struct always marshals
+	}
+	return data
+}
+
+// latencyAcc accumulates LatencyStats from an event stream. It is fed
+// either live probe events (Collector) or serialized ones (Replay);
+// both paths reduce to feed(), so the two produce identical stats for
+// identical streams.
+type latencyAcc struct {
+	flitHist *stats.Histogram
+	pktHist  *stats.Histogram
+	inject   map[flitKey]int64 // flit -> inject cycle
+	flitMax  int64
+	pktMax   int64
+	flitSum  float64
+	pktSum   float64
+	flits    int64
+	packets  int64
+	perClass map[string]int64
+}
+
+type flitKey struct {
+	pkt int64
+	seq int
+}
+
+// histBins sizes the latency histograms; latencies beyond it land in
+// the overflow bin (matching noc.Result's 4096-bin packet histogram).
+const histBins = 4096
+
+func (a *latencyAcc) init() {
+	if a.flitHist == nil {
+		a.flitHist = stats.NewHistogram(histBins)
+		a.pktHist = stats.NewHistogram(histBins)
+		a.inject = make(map[flitKey]int64)
+		a.perClass = make(map[string]int64)
+	}
+}
+
+// feed consumes one event; only inject and eject contribute to latency.
+func (a *latencyAcc) feed(kind string, cycle int64, pkt int64, seq int, tail bool, class string, created int64) {
+	a.init()
+	k := flitKey{pkt, seq}
+	switch kind {
+	case "inject":
+		a.inject[k] = cycle
+	case "eject":
+		inj, ok := a.inject[k]
+		if !ok {
+			return // filtered or truncated trace: unmatched eject
+		}
+		delete(a.inject, k)
+		lat := cycle - inj
+		a.flitHist.Add(int(lat))
+		a.flitSum += float64(lat)
+		a.flits++
+		if lat > a.flitMax {
+			a.flitMax = lat
+		}
+		if tail {
+			plat := cycle - created
+			a.pktHist.Add(int(plat))
+			a.pktSum += float64(plat)
+			a.packets++
+			if plat > a.pktMax {
+				a.pktMax = plat
+			}
+			a.perClass[class]++
+		}
+	}
+}
+
+func (a *latencyAcc) feedLive(ev noc.ProbeEvent) {
+	if ev.Kind != noc.ProbeInject && ev.Kind != noc.ProbeEject {
+		return
+	}
+	a.feed(ev.Kind.String(), ev.Cycle, ev.Flit.Pkt.ID, ev.Flit.Seq,
+		ev.Flit.Type.IsTail(), ev.Flit.Pkt.Class.String(), ev.Flit.Pkt.CreatedAt)
+}
+
+func (a *latencyAcc) feedSerialized(e Event) {
+	a.feed(e.Kind, e.Cycle, e.Pkt, e.Seq,
+		e.Type == "tail" || e.Type == "headtail", e.Class, e.Created)
+}
+
+func (a *latencyAcc) stats() LatencyStats {
+	a.init()
+	l := LatencyStats{
+		Flits:   a.flits,
+		Packets: a.packets,
+		FlitMax: a.flitMax,
+	}
+	if a.flits > 0 {
+		l.FlitMean = a.flitSum / float64(a.flits)
+		l.FlitP50 = a.flitHist.Percentile(0.50)
+		l.FlitP95 = a.flitHist.Percentile(0.95)
+		l.FlitP99 = a.flitHist.Percentile(0.99)
+	}
+	if a.packets > 0 {
+		l.PacketMean = a.pktSum / float64(a.packets)
+		l.PacketP50 = a.pktHist.Percentile(0.50)
+		l.PacketP95 = a.pktHist.Percentile(0.95)
+		l.PacketP99 = a.pktHist.Percentile(0.99)
+		l.PacketMax = a.pktMax
+	}
+	if len(a.perClass) > 0 {
+		l.PerClass = a.perClass
+	}
+	return l
+}
+
+// Summarize computes latency statistics from a recorded trace without
+// the per-flit protocol verification Replay performs — the right tool
+// for filtered traces, where unmatched events are expected.
+func Summarize(events []Event) LatencyStats {
+	var acc latencyAcc
+	for _, e := range events {
+		acc.feedSerialized(e)
+	}
+	return acc.stats()
+}
+
+// Collector is the live observability pipeline of one simulation run:
+// it implements noc.Probe (event counting, latency accumulation, trace
+// writing) and exposes an OnCycle hook for the gauge sampler. Attach
+// wires both into a Sim.
+type Collector struct {
+	net     *noc.Network
+	reg     *Registry
+	sampler *Sampler
+	tw      *TraceWriter
+	cfg     Config
+
+	counts [noc.NumProbeKinds]int64
+	lat    latencyAcc
+}
+
+// New builds a collector over net with the standard network gauge set.
+func New(net *noc.Network, cfg Config) *Collector {
+	reg := NewRegistry()
+	RegisterNetwork(reg, net, cfg.PerVCNodes)
+	return &Collector{net: net, reg: reg, sampler: NewSampler(reg, cfg.Window), cfg: cfg}
+}
+
+// Registry returns the collector's metric registry, for registering
+// additional gauges before the run starts.
+func (c *Collector) Registry() *Registry { return c.reg }
+
+// SetTraceWriter attaches a JSONL event sink (applying the collector's
+// node/class filter). Call before the run; the caller must Close the
+// collector (or the writer) afterwards to flush the ring.
+func (c *Collector) SetTraceWriter(w io.Writer) *TraceWriter {
+	c.tw = NewTraceWriter(w, c.cfg.RingSize, NodeClassFilter(c.cfg.TraceNodes, c.cfg.TraceClass))
+	return c.tw
+}
+
+// Attach installs the collector on the simulation: probe events from
+// the network and the sampler on the per-cycle hook.
+func (c *Collector) Attach(sim *noc.Sim) {
+	sim.Net.SetProbe(c)
+	sim.OnCycle = c.OnCycle
+}
+
+// ProbeEvent implements noc.Probe.
+func (c *Collector) ProbeEvent(ev noc.ProbeEvent) {
+	c.counts[ev.Kind]++
+	c.lat.feedLive(ev)
+	if c.tw != nil {
+		c.tw.ProbeEvent(ev)
+	}
+}
+
+// OnCycle drives the gauge sampler (window boundaries only).
+func (c *Collector) OnCycle(cycle int64) { c.sampler.OnCycle(cycle) }
+
+// Close flushes the trace writer, if any.
+func (c *Collector) Close() error {
+	if c.tw == nil {
+		return nil
+	}
+	return c.tw.Close()
+}
+
+// EventCount returns how many events of kind k were observed.
+func (c *Collector) EventCount(k noc.ProbeKind) int64 { return c.counts[k] }
+
+// Latency returns the per-flit/per-packet latency statistics observed
+// so far.
+func (c *Collector) Latency() LatencyStats { return c.lat.stats() }
+
+// Sampler returns the gauge sampler (time series access).
+func (c *Collector) Sampler() *Sampler { return c.sampler }
+
+// SeriesTable exports the sampled time series.
+func (c *Collector) SeriesTable() stats.Table { return c.sampler.Table() }
+
+// Summary is the JSON-serializable digest of one observed run: event
+// counts, latency statistics and the sampled window count. exp-level
+// sweeps aggregate these per point.
+type Summary struct {
+	Events  map[string]int64 `json:"events"`
+	Latency LatencyStats     `json:"latency"`
+	Windows int              `json:"windows"`
+	Window  int64            `json:"window"`
+	Traced  int64            `json:"traced_events,omitempty"`
+}
+
+// Summary digests the collector's current state.
+func (c *Collector) Summary() Summary {
+	s := Summary{
+		Events:  make(map[string]int64, int(noc.NumProbeKinds)),
+		Latency: c.Latency(),
+		Windows: c.sampler.Samples(),
+		Window:  c.sampler.Window(),
+	}
+	for k := noc.ProbeKind(0); k < noc.NumProbeKinds; k++ {
+		s.Events[k.String()] = c.counts[k]
+	}
+	if c.tw != nil {
+		s.Traced = c.tw.Written()
+	}
+	return s
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mira/internal/noc"
+	"mira/internal/routing"
+	"mira/internal/topology"
+	"mira/internal/traffic"
+)
+
+func testConfig() noc.Config {
+	return noc.Config{
+		Topo: topology.NewMesh2D(4, 4, 3.1), Alg: routing.XY{},
+		VCs: 2, BufDepth: 8, STLTCycles: 2, Layers: 4,
+		Policy: noc.AnyFree, Seed: 42,
+	}
+}
+
+// runObserved runs a short uniform-random simulation with a collector
+// (and optional trace buffer) attached.
+func runObserved(t *testing.T, cfg Config, buf *bytes.Buffer) (*Collector, noc.Result) {
+	t.Helper()
+	nc := testConfig()
+	net := noc.NewNetwork(nc)
+	c := New(net, cfg)
+	if buf != nil {
+		c.SetTraceWriter(buf)
+	}
+	sim := noc.NewSim(net, &traffic.Uniform{Topo: nc.Topo, InjectionRate: 0.1, PacketSize: 4})
+	sim.Params = noc.SimParams{Warmup: 0, Measure: 600, DrainMax: 3000}
+	c.Attach(sim)
+	res := sim.Run(context.Background())
+	if err := c.Close(); err != nil {
+		t.Fatalf("collector close: %v", err)
+	}
+	if res.Ejected == 0 {
+		t.Fatal("no traffic simulated")
+	}
+	return c, res
+}
+
+// TestReplayByteIdentical is the acceptance check for the trace format:
+// a recorded JSONL trace, read back and replayed through the latency
+// accumulator, must reproduce the live collector's per-flit statistics
+// byte for byte.
+func TestReplayByteIdentical(t *testing.T) {
+	var buf bytes.Buffer
+	c, _ := runObserved(t, Config{RingSize: 64}, &buf)
+
+	events, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if int64(len(events)) != c.tw.Written() {
+		t.Fatalf("read %d events, writer reports %d", len(events), c.tw.Written())
+	}
+	replayed, err := Replay(events)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	live := c.Latency()
+	if lb, rb := live.JSON(), replayed.JSON(); !bytes.Equal(lb, rb) {
+		t.Errorf("replayed stats differ from live:\nlive   %s\nreplay %s", lb, rb)
+	}
+	if live.Flits == 0 || live.Packets == 0 {
+		t.Errorf("no latency samples collected: %s", live.JSON())
+	}
+	if live.FlitP50 > live.FlitP95 || live.FlitP95 > live.FlitP99 {
+		t.Errorf("percentiles not monotonic: %s", live.JSON())
+	}
+}
+
+// TestTraceDeterministicAcrossRuns: two runs of the same scenario write
+// byte-identical trace files.
+func TestTraceDeterministicAcrossRuns(t *testing.T) {
+	var a, b bytes.Buffer
+	runObserved(t, Config{}, &a)
+	runObserved(t, Config{}, &b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same scenario produced different traces")
+	}
+	if a.Len() == 0 {
+		t.Error("empty trace")
+	}
+}
+
+// TestCollectorCountsMatchResult cross-checks collector event counts
+// against the simulation's own accounting.
+func TestCollectorCountsMatchResult(t *testing.T) {
+	c, res := runObserved(t, Config{}, nil)
+	// Fully drained run: every injected flit ejects.
+	if in, out := c.EventCount(noc.ProbeInject), c.EventCount(noc.ProbeEject); in != out {
+		t.Errorf("inject %d != eject %d", in, out)
+	}
+	lat := c.Latency()
+	// The collector sees warm-up and unmeasured packets too, so it can
+	// only have more packets than the measured result, never fewer.
+	if lat.Packets < res.Ejected {
+		t.Errorf("collector packets %d < measured ejected %d", lat.Packets, res.Ejected)
+	}
+	sum := c.Summary()
+	if sum.Events["inject"] != c.EventCount(noc.ProbeInject) {
+		t.Errorf("summary events mismatch")
+	}
+	if sum.Windows != c.Sampler().Samples() {
+		t.Errorf("summary windows mismatch")
+	}
+	data, err := json.Marshal(sum)
+	if err != nil || len(data) == 0 {
+		t.Errorf("summary not serializable: %v", err)
+	}
+}
+
+// TestSamplerSeries verifies window boundaries, series lengths, and the
+// table export.
+func TestSamplerSeries(t *testing.T) {
+	c, _ := runObserved(t, Config{Window: 100, PerVCNodes: []int{5}}, nil)
+	s := c.Sampler()
+	if s.Window() != 100 {
+		t.Fatalf("window = %d, want 100", s.Window())
+	}
+	if s.Samples() < 6 {
+		t.Fatalf("only %d samples for a >=600-cycle run with window 100", s.Samples())
+	}
+	occ := s.Series("net.occ")
+	if len(occ) != s.Samples() {
+		t.Fatalf("series length %d != samples %d", len(occ), s.Samples())
+	}
+	if s.Series("no.such.metric") != nil {
+		t.Error("unknown metric should return nil series")
+	}
+	if s.Series("r5.p0.vc1.occ") == nil {
+		t.Error("per-VC series for node 5 missing")
+	}
+	// Link-flit deltas over all windows cannot exceed the counter total.
+	var links float64
+	for _, v := range s.Series("net.link_flits") {
+		links += v
+	}
+	if int64(links) > c.EventCount(noc.ProbeLink) {
+		t.Errorf("windowed link flits %v exceed total %d", links, c.EventCount(noc.ProbeLink))
+	}
+
+	tbl := c.SeriesTable()
+	if tbl.Header[0] != "cycle" || len(tbl.Header) != c.Registry().Len()+1 {
+		t.Fatalf("table header wrong: %v", tbl.Header)
+	}
+	if len(tbl.Rows) != s.Samples() {
+		t.Fatalf("table rows %d != samples %d", len(tbl.Rows), s.Samples())
+	}
+	if !strings.Contains(tbl.String(), "net.occ") {
+		t.Error("table text missing metric column")
+	}
+}
+
+// TestTraceFilters: node and class filters restrict the trace without
+// touching the collector's own statistics.
+func TestTraceFilters(t *testing.T) {
+	var full, filtered bytes.Buffer
+	cFull, _ := runObserved(t, Config{}, &full)
+	cFilt, _ := runObserved(t, Config{TraceNodes: []int{0, 1}, TraceClass: "data"}, &filtered)
+
+	if !bytes.Equal(cFull.Latency().JSON(), cFilt.Latency().JSON()) {
+		t.Error("trace filter changed collector statistics")
+	}
+	events, err := ReadTrace(&filtered)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("filter removed everything")
+	}
+	fullEvents, _ := ReadTrace(&full)
+	if len(events) >= len(fullEvents) {
+		t.Error("filter did not shrink the trace")
+	}
+	for _, e := range events {
+		if e.Router != 0 && e.Router != 1 {
+			t.Fatalf("event at router %d escaped node filter", e.Router)
+		}
+		if e.Class != "data" {
+			t.Fatalf("class %q escaped class filter", e.Class)
+		}
+	}
+	// A node-filtered trace is partial per flit; Summarize handles it,
+	// strict Replay is expected to reject it.
+	if _, err := Replay(events); err == nil {
+		t.Error("Replay accepted a node-filtered (partial) trace")
+	}
+	sum := Summarize(events)
+	if sum.Flits < 0 {
+		t.Errorf("Summarize produced negative counts: %s", sum.JSON())
+	}
+}
+
+// TestRegistryDuplicatePanics guards the metric namespace.
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate metric registration did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Gauge("x", func() float64 { return 0 })
+	r.Gauge("x", func() float64 { return 0 })
+}

@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mira/internal/noc"
+)
+
+// Event is the JSONL-serialized form of one probe event: one object per
+// line, in emission order. Field names are kept short because traces
+// run to millions of lines.
+type Event struct {
+	Cycle  int64  `json:"c"`
+	Kind   string `json:"k"`
+	Router int    `json:"r"`
+	Dir    string `json:"d,omitempty"`
+	VC     int    `json:"vc,omitempty"`
+	Pkt    int64  `json:"p"`
+	Seq    int    `json:"s"`
+	Type   string `json:"t"`
+	Class  string `json:"cl"`
+	Src    int    `json:"src"`
+	Dst    int    `json:"dst"`
+	// Created is the packet's creation cycle (source queueing included),
+	// carried on inject and eject events so packet latency is computable
+	// from the trace alone.
+	Created int64 `json:"created,omitempty"`
+}
+
+// flitTypeNames maps noc.FlitType to its serialized name.
+var flitTypeNames = [...]string{"head", "body", "tail", "headtail"}
+
+func flitTypeName(t noc.FlitType) string { return flitTypeNames[t] }
+
+// eventOf converts a live probe event to its serialized form.
+func eventOf(ev noc.ProbeEvent) Event {
+	e := Event{
+		Cycle:  ev.Cycle,
+		Kind:   ev.Kind.String(),
+		Router: int(ev.Router),
+		VC:     int(ev.VC),
+		Pkt:    ev.Flit.Pkt.ID,
+		Seq:    ev.Flit.Seq,
+		Type:   flitTypeName(ev.Flit.Type),
+		Class:  ev.Flit.Pkt.Class.String(),
+		Src:    int(ev.Flit.Pkt.Src),
+		Dst:    int(ev.Flit.Pkt.Dst),
+	}
+	if ev.Kind != noc.ProbeEject {
+		e.Dir = ev.Dir.String()
+	}
+	if ev.Kind == noc.ProbeInject || ev.Kind == noc.ProbeEject {
+		e.Created = ev.Flit.Pkt.CreatedAt
+	}
+	return e
+}
+
+// TraceWriter streams probe events as JSONL through a bounded ring
+// buffer: events accumulate in a fixed-size in-memory batch and are
+// encoded and flushed together when the batch fills (and on Close), so
+// tracing never holds more than RingSize events in memory no matter how
+// long the run is. Nothing is ever dropped — the ring bounds memory,
+// not the trace.
+type TraceWriter struct {
+	w    *bufio.Writer
+	ring []Event
+	n    int
+	enc  *json.Encoder
+	err  error
+
+	// Filter, when non-nil, decides which events are written.
+	filter func(noc.ProbeEvent) bool
+
+	written int64
+}
+
+// DefaultRingSize is the event batch capacity used when NewTraceWriter
+// is given a non-positive size.
+const DefaultRingSize = 4096
+
+// NewTraceWriter builds a JSONL trace writer over w. ringSize bounds
+// the in-memory event batch (0 means DefaultRingSize). filter, when
+// non-nil, selects the events to record; everything else is discarded.
+func NewTraceWriter(w io.Writer, ringSize int, filter func(noc.ProbeEvent) bool) *TraceWriter {
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	bw := bufio.NewWriter(w)
+	return &TraceWriter{
+		w:      bw,
+		ring:   make([]Event, ringSize),
+		enc:    json.NewEncoder(bw),
+		filter: filter,
+	}
+}
+
+// ProbeEvent implements noc.Probe: filter, stage into the ring, flush
+// when full.
+func (t *TraceWriter) ProbeEvent(ev noc.ProbeEvent) {
+	if t.err != nil {
+		return
+	}
+	if t.filter != nil && !t.filter(ev) {
+		return
+	}
+	t.ring[t.n] = eventOf(ev)
+	t.n++
+	if t.n == len(t.ring) {
+		t.flushRing()
+	}
+}
+
+func (t *TraceWriter) flushRing() {
+	for i := 0; i < t.n; i++ {
+		if err := t.enc.Encode(t.ring[i]); err != nil {
+			t.err = err
+			break
+		}
+		t.written++
+	}
+	t.n = 0
+}
+
+// Written returns the number of events encoded so far (staged ring
+// events are not yet counted).
+func (t *TraceWriter) Written() int64 { return t.written }
+
+// Close flushes the staged events and the underlying buffer. It does
+// not close the wrapped writer.
+func (t *TraceWriter) Close() error {
+	t.flushRing()
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// NodeClassFilter builds a trace filter from a router allow-list and a
+// message-class name. An empty node list admits every router; an empty
+// class admits both classes. Inject events are matched against the
+// source router and eject events against the destination, so a node
+// filter follows a flit only through the listed routers.
+func NodeClassFilter(nodes []int, class string) func(noc.ProbeEvent) bool {
+	if len(nodes) == 0 && class == "" {
+		return nil
+	}
+	var allow map[int]bool
+	if len(nodes) > 0 {
+		allow = make(map[int]bool, len(nodes))
+		for _, n := range nodes {
+			allow[n] = true
+		}
+	}
+	return func(ev noc.ProbeEvent) bool {
+		if allow != nil && !allow[int(ev.Router)] {
+			return false
+		}
+		return class == "" || ev.Flit.Pkt.Class.String() == class
+	}
+}
+
+// ReadTrace decodes a JSONL trace, verifying structure as it goes:
+// every line must parse, carry a known kind, and cycles must be
+// non-decreasing (emission order is simulation order). It returns the
+// events in file order.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var out []Event
+	line := 0
+	lastCycle := int64(-1)
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		if _, ok := noc.ParseProbeKind(e.Kind); !ok {
+			return nil, fmt.Errorf("obs: trace line %d: unknown event kind %q", line, e.Kind)
+		}
+		if e.Cycle < lastCycle {
+			return nil, fmt.Errorf("obs: trace line %d: cycle %d after cycle %d (trace out of order)",
+				line, e.Cycle, lastCycle)
+		}
+		lastCycle = e.Cycle
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return out, nil
+}
+
+// Replay folds a recorded trace back through the same latency
+// accumulator the live Collector uses, so an unfiltered trace
+// reproduces the collector's per-flit latency statistics byte for byte
+// (see LatencyStats.JSON). It also verifies the per-flit protocol: a
+// flit must be injected before any later event and must not reappear
+// after ejection.
+func Replay(events []Event) (LatencyStats, error) {
+	var acc latencyAcc
+	type key struct {
+		pkt int64
+		seq int
+	}
+	state := map[key]string{}
+	for i, e := range events {
+		k := key{e.Pkt, e.Seq}
+		prev, seen := state[k]
+		switch e.Kind {
+		case noc.ProbeInject.String():
+			if seen {
+				return LatencyStats{}, fmt.Errorf("obs: event %d: flit %d.%d injected twice", i, e.Pkt, e.Seq)
+			}
+		default:
+			if !seen {
+				return LatencyStats{}, fmt.Errorf("obs: event %d: flit %d.%d %s before inject (trace filtered or truncated?)",
+					i, e.Pkt, e.Seq, e.Kind)
+			}
+			if prev == noc.ProbeEject.String() {
+				return LatencyStats{}, fmt.Errorf("obs: event %d: flit %d.%d active after eject", i, e.Pkt, e.Seq)
+			}
+		}
+		state[k] = e.Kind
+		acc.feedSerialized(e)
+	}
+	return acc.stats(), nil
+}

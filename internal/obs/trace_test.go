@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mira/internal/noc"
+)
+
+func mkEvent(kind string, cycle, pkt int64, seq int) Event {
+	return Event{Cycle: cycle, Kind: kind, Pkt: pkt, Seq: seq, Type: "headtail", Class: "data"}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"garbage", "not json\n", "line 1"},
+		{"unknown kind", `{"c":1,"k":"teleport","p":0,"s":0}` + "\n", "unknown event kind"},
+		{"out of order", `{"c":5,"k":"inject","p":0,"s":0}` + "\n" + `{"c":3,"k":"eject","p":0,"s":0}` + "\n", "out of order"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadTrace(strings.NewReader(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestReadTraceSkipsBlankLines(t *testing.T) {
+	in := `{"c":1,"k":"inject","p":0,"s":0,"t":"headtail","cl":"data"}` + "\n\n" +
+		`{"c":4,"k":"eject","p":0,"s":0,"t":"headtail","cl":"data"}` + "\n"
+	events, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+}
+
+func TestReplayProtocolViolations(t *testing.T) {
+	cases := []struct {
+		name    string
+		events  []Event
+		wantErr string
+	}{
+		{"double inject",
+			[]Event{mkEvent("inject", 1, 7, 0), mkEvent("inject", 2, 7, 0)},
+			"injected twice"},
+		{"eject before inject",
+			[]Event{mkEvent("eject", 1, 7, 0)},
+			"before inject"},
+		{"event after eject",
+			[]Event{mkEvent("inject", 1, 7, 0), mkEvent("eject", 2, 7, 0), mkEvent("link", 3, 7, 0)},
+			"after eject"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Replay(tc.events)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestReplayComputesLatency(t *testing.T) {
+	events := []Event{
+		{Cycle: 10, Kind: "inject", Pkt: 1, Seq: 0, Type: "headtail", Class: "data", Created: 8},
+		{Cycle: 25, Kind: "eject", Pkt: 1, Seq: 0, Type: "headtail", Class: "data", Created: 8},
+	}
+	stats, err := Replay(events)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if stats.Flits != 1 || stats.Packets != 1 {
+		t.Fatalf("counts wrong: %s", stats.JSON())
+	}
+	if stats.FlitMean != 15 || stats.FlitMax != 15 {
+		t.Errorf("flit latency = %v/%v, want 15 (eject - inject)", stats.FlitMean, stats.FlitMax)
+	}
+	if stats.PacketMean != 17 || stats.PacketMax != 17 {
+		t.Errorf("packet latency = %v/%v, want 17 (eject - created)", stats.PacketMean, stats.PacketMax)
+	}
+	if stats.PerClass["data"] != 1 {
+		t.Errorf("per-class count wrong: %s", stats.JSON())
+	}
+}
+
+// TestTraceWriterRingFlush checks the bounded ring batches without
+// dropping: write more events than the ring holds, everything survives.
+func TestTraceWriterRingFlush(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf, 4, nil)
+	pkt := &noc.Packet{ID: 1, Size: 1, Class: noc.Data}
+	const n = 11
+	for i := 0; i < n; i++ {
+		tw.ProbeEvent(noc.ProbeEvent{
+			Kind: noc.ProbeInject, Cycle: int64(i),
+			Flit: noc.Flit{Pkt: pkt, Type: noc.HeadTailFlit},
+		})
+	}
+	// Only full batches are flushed so far.
+	if tw.Written() != 8 {
+		t.Errorf("written before close = %d, want 8 (two full rings)", tw.Written())
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if tw.Written() != n {
+		t.Errorf("written after close = %d, want %d", tw.Written(), n)
+	}
+	events, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(events) != n {
+		t.Fatalf("trace has %d events, want %d", len(events), n)
+	}
+	for i, e := range events {
+		if e.Cycle != int64(i) {
+			t.Fatalf("event %d out of order: cycle %d", i, e.Cycle)
+		}
+	}
+}
+
+func TestNodeClassFilterNil(t *testing.T) {
+	if NodeClassFilter(nil, "") != nil {
+		t.Error("empty filter spec should compile to no filter at all")
+	}
+	f := NodeClassFilter([]int{3}, "")
+	ev := noc.ProbeEvent{Router: 3}
+	if !f(ev) {
+		t.Error("allow-listed router rejected")
+	}
+	ev.Router = 4
+	if f(ev) {
+		t.Error("other router admitted")
+	}
+}

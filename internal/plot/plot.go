@@ -1,8 +1,10 @@
 // Package plot renders experiment results as standalone SVG figures
-// (line charts for the injection-rate sweeps, grouped bar charts for the
-// per-workload and per-design comparisons) using only the standard
-// library. The output aims for "paper figure" fidelity: titled axes,
-// tick labels, legends, deterministic layout.
+// (line charts for the injection-rate sweeps of Figs. 11 and 12, grouped
+// bar charts for the per-workload and per-design comparisons of Figs. 1,
+// 2, 9 and 13) using only the standard library. The output aims for
+// "paper figure" fidelity: titled axes, tick labels, legends,
+// deterministic layout. mirabench -svg routes every exp.Table with a
+// numeric series through here.
 package plot
 
 import (

@@ -7,6 +7,7 @@ import (
 	"mira/internal/cmp"
 	"mira/internal/core"
 	"mira/internal/noc"
+	"mira/internal/obs"
 	"mira/internal/routing"
 	"mira/internal/topology"
 	"mira/internal/traffic"
@@ -27,6 +28,10 @@ type Elaboration struct {
 	// Trace and Stats are populated by the trace-backed traffic kinds.
 	Trace *traffic.Trace
 	Stats cmp.Stats
+	// Obs is the attached observability collector, present iff the
+	// scenario carries an Observe block. Callers that want a flit-event
+	// trace call Obs.SetTraceWriter before running and Obs.Close after.
+	Obs *obs.Collector
 }
 
 // NoCConfig elaborates the design and simulator configuration without
@@ -133,7 +138,7 @@ func (s Scenario) Elaborate() (*Elaboration, error) {
 	net := noc.NewNetwork(cfg)
 	sim := noc.NewSim(net, built.Gen)
 	sim.Params = noc.SimParams{Warmup: s.Warmup, Measure: s.Measure, DrainMax: s.Drain}
-	return &Elaboration{
+	e := &Elaboration{
 		Scenario: s,
 		Design:   d,
 		Config:   cfg,
@@ -142,7 +147,25 @@ func (s Scenario) Elaborate() (*Elaboration, error) {
 		Sim:      sim,
 		Trace:    built.Trace,
 		Stats:    built.Stats,
-	}, nil
+	}
+	if o := s.Observe; o != nil {
+		for _, lists := range [][]int{o.PerVCNodes, o.TraceNodes} {
+			for _, n := range lists {
+				if n >= d.Topo.NumNodes() {
+					return nil, fmt.Errorf("scenario: observe node %d outside %s's %d nodes",
+						n, d.Arch, d.Topo.NumNodes())
+				}
+			}
+		}
+		e.Obs = obs.New(net, obs.Config{
+			Window:     o.Window,
+			PerVCNodes: o.PerVCNodes,
+			TraceNodes: o.TraceNodes,
+			TraceClass: o.TraceClass,
+		})
+		e.Obs.Attach(sim)
+	}
+	return e, nil
 }
 
 // Run elaborates and executes the scenario under the context. The

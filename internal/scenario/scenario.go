@@ -53,6 +53,26 @@ type Traffic struct {
 	Hot []int `json:"hot,omitempty"`
 }
 
+// Observe configures the observability layer (internal/obs) for a run.
+// Its presence on a scenario attaches a collector during elaboration:
+// gauge time series sampled every Window cycles, per-flit latency
+// percentiles, and — when the elaborating command requests it — a JSONL
+// flit-event trace restricted by the node/class filter.
+type Observe struct {
+	// Window is the gauge sample window in cycles (0 = the obs
+	// package default of 1000).
+	Window int64 `json:"window,omitempty"`
+	// PerVCNodes lists routers whose individual VC occupancies join the
+	// sampled series (empty: per-router totals only).
+	PerVCNodes []int `json:"per_vc_nodes,omitempty"`
+	// TraceNodes restricts the flit-event trace to events at these
+	// routers (empty: all routers).
+	TraceNodes []int `json:"trace_nodes,omitempty"`
+	// TraceClass restricts the trace to one message class: "control",
+	// "data", or "" for both.
+	TraceClass string `json:"trace_class,omitempty"`
+}
+
 // Fault is a serializable failed link for the fault-tolerant routing
 // study: the link leaving node Src in direction Dir is down.
 type Fault struct {
@@ -107,6 +127,10 @@ type Scenario struct {
 	// routing (required when Faults is non-empty).
 	Routing string  `json:"routing,omitempty"`
 	Faults  []Fault `json:"faults,omitempty"`
+
+	// Observe, when present, attaches the observability collector
+	// (internal/obs) to the elaborated simulation.
+	Observe *Observe `json:"observe,omitempty"`
 }
 
 // ArchByName resolves an architecture name.
@@ -179,6 +203,24 @@ func (s Scenario) validateCore() error {
 		}
 		if f.Src < 0 {
 			return fmt.Errorf("scenario: fault source node %d is negative", f.Src)
+		}
+	}
+	if o := s.Observe; o != nil {
+		if o.Window < 0 {
+			return fmt.Errorf("scenario: observe window %d is negative", o.Window)
+		}
+		switch o.TraceClass {
+		case "", noc.Control.String(), noc.Data.String():
+		default:
+			return fmt.Errorf("scenario: observe trace_class %q (want \"\", %q or %q)",
+				o.TraceClass, noc.Control, noc.Data)
+		}
+		for _, lists := range [][]int{o.PerVCNodes, o.TraceNodes} {
+			for _, n := range lists {
+				if n < 0 {
+					return fmt.Errorf("scenario: observe node %d is negative", n)
+				}
+			}
 		}
 	}
 	return nil

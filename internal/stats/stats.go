@@ -1,5 +1,12 @@
 // Package stats provides lightweight metric accumulators used throughout
-// the simulator: running means, histograms, and windowed time series.
+// the simulator: running means (Welford), unit-bin histograms with exact
+// percentiles, windowed time series, and a plain-text/CSV/JSON table.
+//
+// These are the numeric substrate of the paper's evaluation artifacts:
+// Histogram supplies the latency distributions behind the Fig. 11 curves
+// and the observability layer's p50/p95/p99 digests, Mean backs the
+// replicated-seed confidence checks on every simulated table, and Table
+// is the export format of the obs time series (internal/obs).
 //
 // All accumulators have useful zero values and are not safe for concurrent
 // use; the simulator is single-threaded per network instance.
@@ -39,11 +46,19 @@ func (m *Mean) Add(x float64) {
 	m.m2 += d * (x - m.mean)
 }
 
-// AddN records the same observation n times.
+// AddN records the same observation n times. It applies the batched
+// (Chan et al.) form of the Welford update in O(1): n identical
+// observations form a degenerate accumulator with mean x and zero
+// spread, which Merge folds in exactly. For an empty accumulator the
+// result is bit-identical to n repeated Add calls; after prior
+// observations it can differ from the iterated form only in the last
+// few ULPs (the iterated form accumulates n rounding steps, the batched
+// form one).
 func (m *Mean) AddN(x float64, n int64) {
-	for i := int64(0); i < n; i++ {
-		m.Add(x)
+	if n <= 0 {
+		return
 	}
+	m.Merge(&Mean{n: n, mean: x, min: x, max: x})
 }
 
 // N returns the number of observations.

@@ -57,6 +57,57 @@ func TestMeanAddN(t *testing.T) {
 	}
 }
 
+// TestMeanAddNEquivalence asserts the O(1) batched AddN matches n
+// repeated Add calls — exactly from an empty accumulator, and to
+// floating-point tolerance when batching on top of prior observations
+// (the two orderings round differently but describe the same sample).
+func TestMeanAddNEquivalence(t *testing.T) {
+	// From empty: bit-identical (Merge into empty copies the batch).
+	var batched, iterated Mean
+	batched.AddN(2.5, 1000)
+	for i := 0; i < 1000; i++ {
+		iterated.Add(2.5)
+	}
+	if batched != iterated {
+		t.Errorf("AddN from empty not bit-identical: %v vs %v", batched.String(), iterated.String())
+	}
+
+	// Mid-stream, with surrounding observations and several batches.
+	rng := rand.New(rand.NewSource(7))
+	var a, b Mean
+	for step := 0; step < 50; step++ {
+		x := rng.NormFloat64()*5 + 1
+		n := int64(rng.Intn(200) + 1)
+		a.AddN(x, n)
+		for i := int64(0); i < n; i++ {
+			b.Add(x)
+		}
+		y := rng.NormFloat64()
+		a.Add(y)
+		b.Add(y)
+	}
+	if a.N() != b.N() || a.Min() != b.Min() || a.Max() != b.Max() {
+		t.Fatalf("AddN count/extrema mismatch: %v vs %v", a.String(), b.String())
+	}
+	if !almostEq(a.Mean(), b.Mean(), 1e-9*(1+math.Abs(b.Mean()))) {
+		t.Errorf("AddN mean = %v, want %v", a.Mean(), b.Mean())
+	}
+	if !almostEq(a.Variance(), b.Variance(), 1e-6*(1+b.Variance())) {
+		t.Errorf("AddN variance = %v, want %v", a.Variance(), b.Variance())
+	}
+}
+
+// TestMeanAddNNonPositive verifies n <= 0 is a no-op.
+func TestMeanAddNNonPositive(t *testing.T) {
+	var m Mean
+	m.Add(1)
+	m.AddN(99, 0)
+	m.AddN(99, -5)
+	if m.N() != 1 || m.Max() != 1 {
+		t.Errorf("AddN with n <= 0 changed state: %v", m.String())
+	}
+}
+
 func TestMeanMerge(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	var all, left, right Mean
@@ -203,6 +254,52 @@ func TestHistogramPercentileEmpty(t *testing.T) {
 	h := NewHistogram(4)
 	if h.Percentile(0.5) != 0 {
 		t.Errorf("empty percentile should be 0")
+	}
+	if h.Percentile(0.99) != 0 || h.Percentile(1) != 0 {
+		t.Errorf("empty histogram should report 0 for every percentile")
+	}
+}
+
+// TestHistogramPercentileSingleBucket: with every observation in one
+// bin, every percentile must land on that bin.
+func TestHistogramPercentileSingleBucket(t *testing.T) {
+	h := NewHistogram(1)
+	h.Add(0)
+	for _, q := range []float64{0.01, 0.5, 0.95, 0.99, 1} {
+		if p := h.Percentile(q); p != 0 {
+			t.Errorf("Percentile(%v) = %d, want 0", q, p)
+		}
+	}
+}
+
+// TestHistogramPercentileAllEqual: identical samples collapse every
+// percentile onto the common value.
+func TestHistogramPercentileAllEqual(t *testing.T) {
+	h := NewHistogram(64)
+	for i := 0; i < 1000; i++ {
+		h.Add(17)
+	}
+	for _, q := range []float64{0.001, 0.5, 0.95, 0.99, 1} {
+		if p := h.Percentile(q); p != 17 {
+			t.Errorf("Percentile(%v) = %d, want 17", q, p)
+		}
+	}
+	if h.Mean() != 17 {
+		t.Errorf("Mean = %v, want 17", h.Mean())
+	}
+}
+
+// TestHistogramPercentileAllOverflow: observations past the last bin
+// report len(bins) (the "last bin + 1" overflow convention).
+func TestHistogramPercentileAllOverflow(t *testing.T) {
+	h := NewHistogram(4)
+	h.Add(100)
+	h.Add(200)
+	if p := h.Percentile(0.5); p != 4 {
+		t.Errorf("overflow P50 = %d, want 4", p)
+	}
+	if p := h.Percentile(1); p != 4 {
+		t.Errorf("overflow P100 = %d, want 4", p)
 	}
 }
 

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Table is a minimal tabular export container: a header row and string
+// cells, renderable as aligned text, RFC 4180 CSV, or JSON. The
+// observability layer (internal/obs) exports its time series and
+// summaries through it; the experiment drivers keep their own richer
+// exp.Table (IDs, notes, SVG rendering) for the paper artifacts.
+type Table struct {
+	Title  string     `json:"title,omitempty"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+// AddRow appends one row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table as aligned plain text.
+func (t Table) String() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&sb, "%-*s", w, c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as RFC 4180 CSV (header first; the title is
+// omitted). Cells containing commas, quotes or newlines are quoted.
+func (t Table) CSV() string {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	if err := w.Write(t.Header); err != nil {
+		panic(err) // strings.Builder never errors
+	}
+	if err := w.WriteAll(t.Rows); err != nil {
+		panic(err)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// JSON renders the table as a JSON object with "header" and "rows"
+// arrays (plus "title" when set).
+func (t Table) JSON() []byte {
+	data, err := json.Marshal(t)
+	if err != nil {
+		panic(err) // string slices always marshal
+	}
+	return data
+}

@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTable() Table {
+	t := Table{Title: "demo", Header: []string{"cycle", "occ", "note"}}
+	t.AddRow("1000", "3.5", "warm-up")
+	t.AddRow("2000", "12.25", "a,b")
+	return t
+}
+
+func TestTableString(t *testing.T) {
+	s := sampleTable().String()
+	for _, want := range []string{"== demo ==", "cycle", "12.25", "warm-up"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Errorf("String() has %d lines, want 4:\n%s", len(lines), s)
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	c := sampleTable().CSV()
+	if !strings.Contains(c, "\"a,b\"") {
+		t.Errorf("CSV should quote cells with commas:\n%s", c)
+	}
+	if !strings.HasPrefix(c, "cycle,occ,note\n") {
+		t.Errorf("CSV should start with the header:\n%s", c)
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	var back Table
+	if err := json.Unmarshal(sampleTable().JSON(), &back); err != nil {
+		t.Fatalf("JSON round trip: %v", err)
+	}
+	if back.Title != "demo" || len(back.Rows) != 2 || back.Rows[1][2] != "a,b" {
+		t.Errorf("round-tripped table differs: %+v", back)
+	}
+}
+
+func TestTableRaggedRow(t *testing.T) {
+	tb := Table{Header: []string{"a", "b"}}
+	tb.AddRow("1", "2", "3") // wider than the header must not panic
+	if s := tb.String(); !strings.Contains(s, "3") {
+		t.Errorf("ragged cell dropped:\n%s", s)
+	}
+}
