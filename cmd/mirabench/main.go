@@ -34,6 +34,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -42,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"mira/internal/cli"
 	"mira/internal/core"
 	"mira/internal/exp"
 	"mira/internal/noc"
@@ -96,6 +98,11 @@ var experiments = []experiment{
 		wrapOpts(func(ctx context.Context, o exp.Options) exp.Table {
 			return exp.ObsURSweep(ctx, core.Arch3DM, []float64{0.05, 0.10, 0.15, 0.20, 0.25}, o)
 		})},
+	{"obs-stages", "per-flit latency stage decomposition per architecture (extension)",
+		wrapOpts(func(ctx context.Context, o exp.Options) exp.Table {
+			return exp.SpanStages(ctx,
+				[]core.Arch{core.Arch2DB, core.Arch3DB, core.Arch3DM, core.Arch3DME}, 0.15, o)
+		})},
 }
 
 func main() {
@@ -111,8 +118,14 @@ func main() {
 	obsWindow := flag.Int64("obswindow", 0, "attach a collector with this sample window (cycles) to every sweep point; 0 = unobserved")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	var logf cli.LogFlags
+	cli.RegisterFlags(flag.CommandLine, &logf)
 	flag.Usage = usage
 	flag.Parse()
+	if err := cli.Setup(logf); err != nil {
+		fmt.Fprintf(os.Stderr, "mirabench: %v\n", err)
+		os.Exit(2)
+	}
 
 	// Ctrl-C / SIGTERM cancel the context; in-flight simulations stop
 	// within one cancellation stride and the process exits without
@@ -135,7 +148,7 @@ func main() {
 	opts.ObserveWindow = *obsWindow
 	mode, err := noc.ParseStepMode(*stepMode)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mirabench: %v\n", err)
+		slog.Error("bad -stepmode", "cmd", "mirabench", "err", err)
 		os.Exit(2)
 	}
 	opts.StepMode = mode
@@ -155,12 +168,10 @@ func main() {
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mirabench: cpuprofile: %v\n", err)
-			os.Exit(1)
+			cli.Fatal("mirabench", fmt.Errorf("cpuprofile: %w", err))
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "mirabench: cpuprofile: %v\n", err)
-			os.Exit(1)
+			cli.Fatal("mirabench", fmt.Errorf("cpuprofile: %w", err))
 		}
 		defer f.Close()
 		defer pprof.StopCPUProfile()
@@ -169,20 +180,20 @@ func main() {
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "mirabench: memprofile: %v\n", err)
+				slog.Error("memprofile", "cmd", "mirabench", "err", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC() // report live heap, not transient garbage
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "mirabench: memprofile: %v\n", err)
+				slog.Error("memprofile", "cmd", "mirabench", "err", err)
 			}
 		}()
 	}
 	if *progress {
 		opts.Progress = func(p exp.Progress) {
-			fmt.Fprintf(os.Stderr, "  [%*d/%d] %-40s %8v\n",
-				len(fmt.Sprint(p.Total)), p.Done, p.Total, p.Label, p.Elapsed.Round(time.Millisecond))
+			slog.Info("point", "done", p.Done, "total", p.Total, "label", p.Label,
+				"elapsed", p.Elapsed.Round(time.Millisecond))
 		}
 	}
 
@@ -204,7 +215,7 @@ func main() {
 		for _, id := range args {
 			e, ok := byID[id]
 			if !ok {
-				fmt.Fprintf(os.Stderr, "mirabench: unknown experiment %q (try 'list')\n", id)
+				slog.Error("unknown experiment (try 'list')", "cmd", "mirabench", "experiment", id)
 				os.Exit(2)
 			}
 			selected = append(selected, e)
@@ -214,18 +225,17 @@ func main() {
 	var timings []expTiming
 	for _, e := range selected {
 		if *progress {
-			fmt.Fprintf(os.Stderr, "%s:\n", e.id)
+			slog.Info("experiment start", "id", e.id)
 		}
 		start := time.Now()
 		tb, err := e.run(ctx, opts)
 		elapsed := time.Since(start)
 		if ctx.Err() != nil {
-			fmt.Fprintf(os.Stderr, "mirabench: %s: interrupted\n", e.id)
+			slog.Error("interrupted", "cmd", "mirabench", "experiment", e.id)
 			os.Exit(130)
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mirabench: %s: %v\n", e.id, err)
-			os.Exit(1)
+			cli.Fatal("mirabench", fmt.Errorf("%s: %w", e.id, err))
 		}
 		timings = append(timings, expTiming{ID: e.id, Seconds: elapsed.Seconds()})
 		if *csv {
@@ -234,18 +244,17 @@ func main() {
 			fmt.Println(tb.String())
 			// Timing goes to stderr so stdout stays byte-identical
 			// across worker counts and machines.
-			fmt.Fprintf(os.Stderr, "(%s completed in %v)\n\n", e.id, elapsed.Round(time.Millisecond))
+			slog.Info("experiment done", "id", e.id, "elapsed", elapsed.Round(time.Millisecond))
 		}
 		if *svgDir != "" {
 			if err := writeSVG(*svgDir, tb); err != nil {
-				fmt.Fprintf(os.Stderr, "mirabench: %s: no figure written: %v\n", tb.ID, err)
+				slog.Warn("no figure written", "cmd", "mirabench", "id", tb.ID, "err", err)
 			}
 		}
 	}
 	if *timingFile != "" {
 		if err := writeTimings(*timingFile, opts, *workers, timings); err != nil {
-			fmt.Fprintf(os.Stderr, "mirabench: timing file: %v\n", err)
-			os.Exit(1)
+			cli.Fatal("mirabench", fmt.Errorf("timing file: %w", err))
 		}
 	}
 }
@@ -299,7 +308,7 @@ func writeSVG(dir string, tb exp.Table) error {
 	if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	slog.Info("wrote figure", "path", path)
 	return nil
 }
 

@@ -13,14 +13,29 @@
 //	mirasim -arch 3DM -traffic ur -rate 0.2 -dump > run.json
 //	mirasim -scenario runs.json -workers 4
 //	mirasim -arch 3DM -traffic ur -rate 0.2 -trace run.jsonl -series occ.csv
+//	mirasim -arch 3DM -traffic ur -rate 0.2 -attrib stages.csv
+//	mirasim -scenario runs.json -serve 127.0.0.1:8080
 //
 // -trace records every flit pipeline event as JSONL (replayable with
 // "miratrace flits"), -series writes the cycle-sampled gauge time series
-// (buffer occupancy, credit stalls, layer activity) as CSV, and
-// -obswindow sets the sample window; any of the three attaches the
-// observability collector (internal/obs) and prints a latency-percentile
-// digest after the run. A scenario file may request the same via its
-// "observe" block.
+// (buffer occupancy, credit stalls, layer activity) as CSV, -attrib
+// writes the per-flit span latency attribution (stage cycles by router,
+// traffic class, hop count and datapath layer) as CSV, and -obswindow
+// sets the sample window; any of them attaches the observability
+// collector (internal/obs) and prints a latency-percentile digest after
+// the run. A scenario file may request the same via its "observe" block.
+//
+// -serve ADDR runs the batch (or the single flag-described scenario)
+// under a net/http server while it executes: hand-rolled Prometheus text
+// exposition of every run's metric registry at /metrics, run progress
+// and results at /runs, a liveness probe at /healthz, and net/http/pprof
+// at /debug/pprof/. Serving is observation-only — the simulated results
+// are bit-identical to an unserved run. The process prints the batch
+// results as JSON when the batch completes, then shuts the server down
+// and exits.
+//
+// Diagnostics go to stderr as log/slog structured logs (-loglevel,
+// -logjson); result output stays on stdout untouched.
 //
 // Ctrl-C cancels the run; a canceled simulation reports the counters it
 // measured before the interrupt and marks the result canceled.
@@ -28,21 +43,27 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"mira/internal/cli"
 	"mira/internal/core"
 	"mira/internal/exp"
 	"mira/internal/noc"
 	"mira/internal/obs"
 	"mira/internal/power"
 	"mira/internal/scenario"
+	"mira/internal/serve"
 )
 
 func main() {
@@ -64,50 +85,74 @@ func main() {
 	matrixArb := flag.Bool("matrix-arb", false, "matrix (least-recently-served) allocator arbiters")
 	trace := flag.String("trace", "", "write a JSONL flit-event trace to this file (see miratrace flits)")
 	series := flag.String("series", "", "write the sampled observability time series to this CSV file")
-	obsWindow := flag.Int64("obswindow", 0, "observability sample window in cycles (0 = default 1000; enables observation with -trace/-series)")
+	attrib := flag.String("attrib", "", "write the span latency-attribution table to this CSV file")
+	obsWindow := flag.Int64("obswindow", 0, "observability sample window in cycles (0 = default 1000; enables observation with -trace/-series/-attrib)")
 	dump := flag.Bool("dump", false, "print the scenario JSON for these flags and exit without running")
 	scenarioFile := flag.String("scenario", "", "run a JSON scenario (or array of scenarios) from this file ('-' for stdin) and print JSON results")
 	workers := flag.Int("workers", 0, "batch worker goroutines for -scenario (0 = all CPUs)")
 	timeout := flag.Duration("timeout", 0, "per-run wall-clock limit for -scenario (0 = none)")
+	serveAddr := flag.String("serve", "", "serve /metrics, /runs, /healthz and /debug/pprof on this address while the batch runs")
+	var logf cli.LogFlags
+	cli.RegisterFlags(flag.CommandLine, &logf)
 	flag.Parse()
+	if err := cli.Setup(logf); err != nil {
+		fmt.Fprintf(os.Stderr, "mirasim: %v\n", err)
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if *scenarioFile != "" {
-		if err := runBatchFile(ctx, *scenarioFile, *workers, *timeout); err != nil {
-			fmt.Fprintf(os.Stderr, "mirasim: %v\n", err)
-			os.Exit(1)
+	batchOpts := scenario.BatchOptions{Workers: *workers, Timeout: *timeout}
+
+	flagScenario := func() scenario.Scenario {
+		sc := scenario.Scenario{
+			Arch:        *archName,
+			Warmup:      *warmup,
+			Measure:     *measure,
+			Drain:       2 * *measure,
+			Seed:        *seed,
+			StepMode:    *stepMode,
+			QoSPriority: *qos,
+			SpecSA:      *spec,
+			LookaheadRC: *lookahead,
+			MatrixArb:   *matrixArb,
+			Traffic:     trafficFromFlags(*trafficKind, *rate, *short, *workload, *traceFile, *hotFrac, *measure),
+		}
+		if *trace != "" || *series != "" || *attrib != "" || *obsWindow > 0 {
+			sc.Observe = &scenario.Observe{Window: *obsWindow, Spans: *attrib != ""}
+		}
+		return sc
+	}
+
+	if *serveAddr != "" {
+		scs, err := loadScenarios(*scenarioFile, flagScenario)
+		if err == nil {
+			err = runServe(ctx, *serveAddr, scs, batchOpts)
+		}
+		if err != nil {
+			cli.Fatal("mirasim", err)
 		}
 		return
 	}
 
-	sc := scenario.Scenario{
-		Arch:        *archName,
-		Warmup:      *warmup,
-		Measure:     *measure,
-		Drain:       2 * *measure,
-		Seed:        *seed,
-		StepMode:    *stepMode,
-		QoSPriority: *qos,
-		SpecSA:      *spec,
-		LookaheadRC: *lookahead,
-		MatrixArb:   *matrixArb,
-		Traffic:     trafficFromFlags(*trafficKind, *rate, *short, *workload, *traceFile, *hotFrac, *measure),
+	if *scenarioFile != "" {
+		if err := runBatchFile(ctx, *scenarioFile, batchOpts); err != nil {
+			cli.Fatal("mirasim", err)
+		}
+		return
 	}
-	if *trace != "" || *series != "" || *obsWindow > 0 {
-		sc.Observe = &scenario.Observe{Window: *obsWindow}
-	}
+
+	sc := flagScenario()
 	if err := sc.Validate(); err != nil {
-		fmt.Fprintf(os.Stderr, "mirasim: %v\n", err)
+		slog.Error("invalid scenario", "cmd", "mirasim", "err", err)
 		os.Exit(2)
 	}
 
 	if *dump {
 		data, err := sc.MarshalIndent()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mirasim: %v\n", err)
-			os.Exit(1)
+			cli.Fatal("mirasim", err)
 		}
 		fmt.Printf("%s\n", data)
 		return
@@ -115,8 +160,7 @@ func main() {
 
 	e, err := sc.Elaborate()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mirasim: %v\n", err)
-		os.Exit(1)
+		cli.Fatal("mirasim", err)
 	}
 	d := e.Design
 	fmt.Printf("architecture : %s (%d ports, %d layers, %d-cycle ST+LT)\n",
@@ -133,10 +177,8 @@ func main() {
 	if *trace != "" {
 		traceOut, err = os.Create(*trace)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mirasim: %v\n", err)
-			os.Exit(1)
+			cli.Fatal("mirasim", err)
 		}
-		defer traceOut.Close()
 		e.Obs.SetTraceWriter(traceOut)
 	}
 
@@ -144,18 +186,27 @@ func main() {
 	report(d, r, exp.NetworkPowerW(d, r, *shutdown))
 
 	if e.Obs != nil {
-		if err := finishObs(e.Obs, traceOut, *trace, *series); err != nil {
-			fmt.Fprintf(os.Stderr, "mirasim: %v\n", err)
-			os.Exit(1)
+		if err := finishObs(e.Obs, traceOut, *trace, *series, *attrib); err != nil {
+			cli.Fatal("mirasim", err)
 		}
 	}
 }
 
-// finishObs flushes the trace, writes the series CSV and prints the
-// observability digest for an observed run.
-func finishObs(c *obs.Collector, traceOut *os.File, tracePath, seriesPath string) error {
-	if err := c.Close(); err != nil {
-		return fmt.Errorf("trace: %w", err)
+// finishObs flushes and closes the trace, writes the series and
+// attribution CSVs and prints the observability digest for an observed
+// run. Trace-writer failures (a disk that filled mid-run, a pipe that
+// closed) surface here: the collector's Close reports the buffered
+// writer's first error together with the count of events that made it
+// out, and closing the file itself is checked rather than deferred away.
+func finishObs(c *obs.Collector, traceOut *os.File, tracePath, seriesPath, attribPath string) error {
+	closeErr := c.Close()
+	if traceOut != nil {
+		if err := traceOut.Close(); err != nil && closeErr == nil {
+			closeErr = fmt.Errorf("trace %s: %w", tracePath, err)
+		}
+	}
+	if closeErr != nil {
+		return fmt.Errorf("trace: %w", closeErr)
 	}
 	sum := c.Summary()
 	l := sum.Latency
@@ -170,6 +221,20 @@ func finishObs(c *obs.Collector, traceOut *os.File, tracePath, seriesPath string
 		}
 		fmt.Printf("series       : %d windows x %d metrics -> %s\n",
 			sum.Windows, c.Registry().Len(), seriesPath)
+	}
+	if attribPath != "" {
+		sb := c.Spans()
+		if sb == nil {
+			return fmt.Errorf("attrib: collector has no span builder (observe.spans not enabled)")
+		}
+		if err := sb.Err(); err != nil {
+			return fmt.Errorf("attrib: %w", err)
+		}
+		tbl := sb.Attribution().CombinedTable()
+		if err := os.WriteFile(attribPath, []byte(tbl.CSV()), 0o644); err != nil {
+			return fmt.Errorf("attrib: %w", err)
+		}
+		fmt.Printf("attribution  : %d flit spans -> %s\n", sb.Attribution().Flits(), attribPath)
 	}
 	return nil
 }
@@ -197,9 +262,31 @@ func trafficFromFlags(kind string, rate, short float64, workload, traceFile stri
 	return t
 }
 
+// loadScenarios resolves the batch to serve: the scenario file when one
+// was given, otherwise the single scenario described by the flags.
+func loadScenarios(path string, flagScenario func() scenario.Scenario) ([]scenario.Scenario, error) {
+	if path == "" {
+		sc := flagScenario()
+		if err := sc.Validate(); err != nil {
+			return nil, err
+		}
+		return []scenario.Scenario{sc}, nil
+	}
+	var in io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		in = f
+	}
+	return scenario.DecodeBatch(in)
+}
+
 // runBatchFile executes a stored scenario file through the batch runner
 // and streams the JSON results to stdout.
-func runBatchFile(ctx context.Context, path string, workers int, timeout time.Duration) error {
+func runBatchFile(ctx context.Context, path string, o scenario.BatchOptions) error {
 	var in io.Reader = os.Stdin
 	if path != "-" {
 		f, err := os.Open(path)
@@ -209,10 +296,53 @@ func runBatchFile(ctx context.Context, path string, workers int, timeout time.Du
 		defer f.Close()
 		in = f
 	}
-	return scenario.RunBatchJSON(ctx, in, os.Stdout, scenario.BatchOptions{
-		Workers: workers,
-		Timeout: timeout,
-	})
+	return scenario.RunBatchJSON(ctx, in, os.Stdout, o)
+}
+
+// runServe executes the batch under the observability HTTP server. The
+// listener is bound before the batch starts so a bad address fails fast;
+// the server then runs until the batch finishes (or ctx is canceled,
+// which also cancels in-flight runs), the results are printed as JSON,
+// and the server is drained with a short grace period.
+func runServe(ctx context.Context, addr string, scs []scenario.Scenario, o scenario.BatchOptions) error {
+	srv := serve.New(scs)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	slog.Info("serving", "cmd", "mirasim", "addr", ln.Addr().String(), "runs", len(scs))
+
+	results := srv.Run(ctx, o)
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		return err
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		slog.Warn("server shutdown", "cmd", "mirasim", "err", err)
+	}
+	if err := <-serveErr; err != nil && err != http.ErrServerClosed {
+		return fmt.Errorf("serve: %w", err)
+	}
+	// A signal-canceled batch is a clean exit: the partial results were
+	// reported above. Only unprompted per-run failures are fatal.
+	if ctx.Err() != nil {
+		slog.Info("batch canceled", "cmd", "mirasim", "runs", len(results))
+		return nil
+	}
+	for _, br := range results {
+		if br.Err != "" {
+			return fmt.Errorf("run %d (%s): %s", br.Index, br.Scenario.Arch, br.Err)
+		}
+	}
+	return nil
 }
 
 func report(d *core.Design, r noc.Result, powerW float64) {

@@ -12,6 +12,9 @@
 //	miratrace stat tpcw.trace
 //	miratrace replay -arch 2DB tpcw.trace
 //	miratrace flits run.jsonl
+//	miratrace spans run.jsonl
+//	miratrace spans -perfetto run.perfetto.json run.jsonl
+//	miratrace spans -heatmap congestion.csv -svg congestion.svg run.jsonl
 //
 // Traces are tied to the node numbering of the architecture they were
 // generated for; replay an -arch trace on the same -arch.
@@ -23,24 +26,45 @@
 // recorded with a node/class filter fail strict verification by design
 // (per-flit streams are partial); the stats then cover the matched
 // inject/eject pairs only.
+//
+// "spans" folds an unfiltered trace into per-flit, per-hop latency
+// spans and prints the stage-level attribution table (queue wait, route,
+// VA stall, SA stall, ST+LT cycles by router, traffic class, hop count
+// and datapath layer; the stage cycles of every flit sum exactly to its
+// measured network latency). -perfetto exports the spans as a Chrome
+// trace-event JSON file — open it in Perfetto (ui.perfetto.dev) or
+// chrome://tracing; each router is a process track and concurrent flit
+// visits occupy separate lanes. -heatmap writes the per-router,
+// per-window congestion matrix (stalled-flit cycles) as CSV, -svg as a
+// rendered heatmap.
+//
+// Diagnostics go to stderr as log/slog structured logs (-loglevel,
+// -logjson after the subcommand); result output stays on stdout.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 
+	"mira/internal/cli"
 	"mira/internal/exp"
 	"mira/internal/noc"
 	"mira/internal/obs"
+	"mira/internal/plot"
 	"mira/internal/scenario"
 	"mira/internal/traffic"
 )
 
 func main() {
+	if err := cli.Setup(cli.LogFlags{}); err != nil {
+		fmt.Fprintf(os.Stderr, "miratrace: %v\n", err)
+		os.Exit(2)
+	}
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
@@ -57,13 +81,14 @@ func main() {
 		err = cmdReplay(ctx, os.Args[2:])
 	case "flits":
 		err = cmdFlits(os.Args[2:])
+	case "spans":
+		err = cmdSpans(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "miratrace: %v\n", err)
-		os.Exit(1)
+		cli.Fatal("miratrace", err)
 	}
 }
 
@@ -72,7 +97,19 @@ func usage() {
   miratrace gen -workload NAME -cycles N [-arch 2DB] [-seed N] -o FILE
   miratrace stat FILE
   miratrace replay [-arch 2DB] [-measure N] FILE
-  miratrace flits FILE.jsonl`)
+  miratrace flits [-json] FILE.jsonl
+  miratrace spans [-group G] [-json] [-perfetto F] [-heatmap F] [-svg F] FILE.jsonl`)
+}
+
+// parseWithLogging parses fs with the standard logging flags registered
+// and installs the slog handler they describe.
+func parseWithLogging(fs *flag.FlagSet, args []string) error {
+	var logf cli.LogFlags
+	cli.RegisterFlags(fs, &logf)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return cli.Setup(logf)
 }
 
 func cmdGen(args []string) error {
@@ -82,7 +119,7 @@ func cmdGen(args []string) error {
 	archName := fs.String("arch", "2DB", "architecture whose node numbering to use")
 	seed := fs.Int64("seed", 1, "generation seed")
 	out := fs.String("o", "", "output file (default stdout)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseWithLogging(fs, args); err != nil {
 		return err
 	}
 	// Elaborating a "trace" scenario generates the trace; the windows are
@@ -110,8 +147,8 @@ func cmdGen(args []string) error {
 	if _, err := e.Trace.WriteTo(dst); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "generated %d packets (%d flits, %.1f%% short) over %d cycles\n",
-		len(e.Trace.Events), e.Trace.Flits(), e.Stats.ShortFlitPct(), e.Trace.Span())
+	slog.Info("generated trace", "packets", len(e.Trace.Events), "flits", e.Trace.Flits(),
+		"short_pct", fmt.Sprintf("%.1f", e.Stats.ShortFlitPct()), "cycles", e.Trace.Span())
 	return nil
 }
 
@@ -126,7 +163,7 @@ func loadTrace(path string) (*traffic.Trace, error) {
 
 func cmdStat(args []string) error {
 	fs := flag.NewFlagSet("stat", flag.ExitOnError)
-	if err := fs.Parse(args); err != nil {
+	if err := parseWithLogging(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
@@ -154,7 +191,7 @@ func cmdReplay(ctx context.Context, args []string) error {
 	measure := fs.Int64("measure", 20000, "measurement cycles")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	shutdown := fs.Bool("shutdown", true, "apply layer-shutdown power accounting")
-	if err := fs.Parse(args); err != nil {
+	if err := parseWithLogging(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
@@ -178,23 +215,28 @@ func cmdReplay(ctx context.Context, args []string) error {
 	return nil
 }
 
+// readFlitTrace loads a JSONL flit-event trace from path.
+func readFlitTrace(path string) ([]obs.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return obs.ReadTrace(f)
+}
+
 // cmdFlits verifies and summarizes a JSONL flit-event trace recorded by
 // the observability layer (mirasim -trace).
 func cmdFlits(args []string) error {
 	fs := flag.NewFlagSet("flits", flag.ExitOnError)
 	asJSON := fs.Bool("json", false, "emit the recomputed latency stats as JSON")
-	if err := fs.Parse(args); err != nil {
+	if err := parseWithLogging(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("flits needs exactly one trace file")
 	}
-	f, err := os.Open(fs.Arg(0))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	events, err := obs.ReadTrace(f)
+	events, err := readFlitTrace(fs.Arg(0))
 	if err != nil {
 		return err
 	}
@@ -227,9 +269,103 @@ func cmdFlits(args []string) error {
 		}
 	}
 	if verifyErr != nil {
-		fmt.Fprintf(os.Stderr, "miratrace: trace is partial (%v); stats cover matched flits only\n", verifyErr)
+		slog.Warn("trace is partial; stats cover matched flits only", "err", verifyErr)
 	} else {
-		fmt.Fprintln(os.Stderr, "trace verified: per-flit protocol consistent, replay deterministic")
+		slog.Info("trace verified: per-flit protocol consistent, replay deterministic")
 	}
 	return nil
+}
+
+// cmdSpans folds a flit-event trace into per-flit spans, prints the
+// stage-latency attribution and optionally exports Perfetto JSON and
+// the congestion heatmap.
+func cmdSpans(args []string) error {
+	fs := flag.NewFlagSet("spans", flag.ExitOnError)
+	group := fs.String("group", "", "print a single grouping (router, class, hops, layers) instead of the combined table")
+	asJSON := fs.Bool("json", false, "emit the attribution table as JSON")
+	perfetto := fs.String("perfetto", "", "write the spans as Chrome trace-event / Perfetto JSON to this file")
+	heatmap := fs.String("heatmap", "", "write the per-router congestion heatmap as CSV to this file")
+	svgOut := fs.String("svg", "", "write the congestion heatmap as SVG to this file")
+	window := fs.Int64("window", 1000, "congestion heatmap column width in cycles")
+	if err := parseWithLogging(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("spans needs exactly one trace file")
+	}
+	events, err := readFlitTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	spans, attr, err := obs.BuildSpans(events)
+	if err != nil {
+		return fmt.Errorf("spans: %w (span folding needs an unfiltered trace)", err)
+	}
+	slog.Info("spans built", "events", len(events), "flits", attr.Flits())
+
+	var tbl = attr.CombinedTable()
+	if *group != "" {
+		tbl, err = attr.Table(*group)
+		if err != nil {
+			return err
+		}
+	}
+	if *asJSON {
+		fmt.Printf("%s\n", tbl.JSON())
+	} else {
+		fmt.Print(tbl.String())
+	}
+
+	if *perfetto != "" {
+		if err := writeFileWith(*perfetto, func(f *os.File) error {
+			return obs.WritePerfetto(f, spans)
+		}); err != nil {
+			return fmt.Errorf("perfetto: %w", err)
+		}
+		slog.Info("perfetto trace written", "file", *perfetto, "spans", len(spans))
+	}
+	if *heatmap != "" || *svgOut != "" {
+		hm := obs.CongestionHeatmap(spans, *window)
+		if *heatmap != "" {
+			if err := os.WriteFile(*heatmap, []byte(hm.CSV()), 0o644); err != nil {
+				return fmt.Errorf("heatmap: %w", err)
+			}
+			slog.Info("congestion heatmap written", "file", *heatmap, "window", *window)
+		}
+		if *svgOut != "" {
+			rows, rowLabels, colLabels := obs.HeatmapMatrix(hm)
+			chart := plot.Heatmap{
+				Title:     "per-router congestion (stalled-flit cycles)",
+				XLabel:    fmt.Sprintf("cycle window (%d cycles)", *window),
+				YLabel:    "router",
+				Rows:      rows,
+				RowLabels: rowLabels,
+				ColLabels: colLabels,
+			}
+			svg, err := chart.SVG()
+			if err != nil {
+				return fmt.Errorf("svg: %w", err)
+			}
+			if err := os.WriteFile(*svgOut, []byte(svg), 0o644); err != nil {
+				return fmt.Errorf("svg: %w", err)
+			}
+			slog.Info("congestion heatmap rendered", "file", *svgOut)
+		}
+	}
+	return nil
+}
+
+// writeFileWith creates path, runs fn on the open file and closes it,
+// reporting the first error (including the close, so short writes on a
+// full disk are not silently dropped).
+func writeFileWith(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = fn(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

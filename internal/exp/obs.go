@@ -83,6 +83,72 @@ func ObsURSweep(ctx context.Context, a core.Arch, rates []float64, o Options) Ta
 	return t
 }
 
+// SpanStages runs one mid-load uniform-random point per architecture
+// with span folding attached and decomposes the mean flit latency into
+// the pipeline stages (inject-queue wait, route, VA stall, SA stall,
+// ST+LT). The stage means sum exactly to the probe-measured mean
+// network latency — the per-flit identity SpanBuilder enforces — so the
+// table is an exact accounting of where each architecture's cycles go,
+// not an estimate. Tables are bit-identical for any worker count and
+// step mode.
+func SpanStages(ctx context.Context, archs []core.Arch, rate float64, o Options) Table {
+	type staged struct {
+		res  noc.Result
+		sums obs.StageSums
+	}
+	points := make([]Point[staged], len(archs))
+	for i, a := range archs {
+		a := a
+		points[i] = Point[staged]{
+			Label: fmt.Sprintf("%s ur %.2f spans", a, rate),
+			Run: func(ctx context.Context, o Options) staged {
+				sc := o.Scenario(a)
+				sc.Traffic = scenario.Traffic{Kind: "ur", Rate: rate}
+				if sc.Observe == nil {
+					sc.Observe = &scenario.Observe{}
+				}
+				sc.Observe.Spans = true
+				e := mustElaborate(sc)
+				res := e.Sim.Run(ctx)
+				if err := e.Obs.Close(); err != nil {
+					panic(err)
+				}
+				sb := e.Obs.Spans()
+				if err := sb.Err(); err != nil {
+					panic(err)
+				}
+				return staged{res: res, sums: sb.Attribution().Total()}
+			},
+		}
+	}
+	results := RunAll(ctx, o, points)
+
+	t := Table{
+		ID:    "obs-stages",
+		Title: fmt.Sprintf("per-flit latency decomposition at %.2f flits/node/cycle (mean cycles per stage)", rate),
+		Header: []string{"arch", "flits", "queue", "route", "va_stall", "sa_stall",
+			"st_lt", "network", "avg lat"},
+	}
+	mean := func(cycles, n int64) string {
+		if n == 0 {
+			return "0.00"
+		}
+		return fmt.Sprintf("%.2f", float64(cycles)/float64(n))
+	}
+	for i, r := range results {
+		s := r.sums
+		row := []string{archs[i].String(), fmt.Sprint(s.N)}
+		for st := obs.Stage(0); st < obs.NumStages; st++ {
+			row = append(row, mean(s.Cycles[st], s.N))
+		}
+		row = append(row, mean(s.NetworkCycles(), s.N), latCell(r.res))
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"stage means sum exactly to the network mean (all carried flits, warm-up included); avg lat is the measured window only")
+	return t
+}
+
 // ObsOverhead measures the live cost of the observability layer on one
 // mid-load uniform-random run: the same scenario is executed bare, with
 // the full collector attached, and with the collector streaming a JSONL

@@ -310,13 +310,17 @@ func (n *Network) inject(id topology.NodeID) {
 	if f.Type.IsHead() {
 		job.pkt.InjectedAt = n.cycle
 	}
-	r.acceptFlit(n.cycle, int(r.inIndex[topology.Local]), s.curVC, f)
+	// Emit the inject event before acceptFlit: with look-ahead routing,
+	// acceptFlit computes the route and emits the flit's first route
+	// event, and the trace contract promises inject precedes every later
+	// event of the same flit (obs.Replay enforces it).
 	if n.probe != nil {
 		n.probe.ProbeEvent(ProbeEvent{
 			Kind: ProbeInject, Cycle: n.cycle, Router: id,
 			Dir: topology.Local, VC: int8(s.curVC), Flit: f,
 		})
 	}
+	r.acceptFlit(n.cycle, int(r.inIndex[topology.Local]), s.curVC, f)
 	n.inFlightFlits++
 	n.queuedFlits--
 	s.curSeq++

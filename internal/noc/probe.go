@@ -91,6 +91,15 @@ type ProbeEvent struct {
 // arbitration, so the activity path visits its pending list in
 // insertion order while the full scan visits port order.
 //
+// Per flit, the stream satisfies a span-folding contract (relied on by
+// internal/obs's Replay and SpanBuilder): inject is the flit's first
+// event — even under look-ahead routing, where the route event fires in
+// the same cycle — eject is its last, cycles never decrease in between,
+// and each router visit emits its stage events in pipeline order
+// (route, VC alloc, switch grant, link). Body and tail flits inherit
+// the head's route and VC, so their visits carry switch-grant (and
+// link) events only.
+//
 // Implementations must not mutate the network from inside a callback;
 // the event's Flit shares the live *Packet.
 type Probe interface {

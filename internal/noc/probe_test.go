@@ -19,9 +19,16 @@ func (p *recordingProbe) ProbeEvent(ev ProbeEvent) { p.events = append(p.events,
 // runProbed runs a short bernoulli simulation with a recording probe
 // attached and returns the event stream plus the final counters.
 func runProbed(t *testing.T, mode StepMode) ([]ProbeEvent, Counters, Result) {
+	return runProbedCfg(t, mode, nil)
+}
+
+func runProbedCfg(t *testing.T, mode StepMode, mutate func(*Config)) ([]ProbeEvent, Counters, Result) {
 	t.Helper()
 	cfg := cfg2D(2)
 	cfg.Mode = mode
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	net := NewNetwork(cfg)
 	p := &recordingProbe{}
 	net.SetProbe(p)
@@ -117,9 +124,27 @@ func TestProbeEventStreamDeterministicAcrossModes(t *testing.T) {
 
 // TestProbePerFlitOrdering checks the pipeline invariant per flit:
 // inject precedes every router event, and eject is last, with
-// non-decreasing cycles along the way.
+// non-decreasing cycles along the way. The look-ahead variant is the
+// regression for inject-event ordering: look-ahead routing computes the
+// route (and emits its route event) as the flit enters the source
+// buffer, which must still happen after the inject emission.
 func TestProbePerFlitOrdering(t *testing.T) {
-	events, _, _ := runProbed(t, StepActivity)
+	for _, variant := range []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"baseline", nil},
+		{"lookahead", func(c *Config) { c.LookaheadRC = true }},
+		{"lookahead_specsa", func(c *Config) { c.LookaheadRC = true; c.SpecSA = true }},
+	} {
+		t.Run(variant.name, func(t *testing.T) {
+			checkPerFlitOrdering(t, variant.mutate)
+		})
+	}
+}
+
+func checkPerFlitOrdering(t *testing.T, mutate func(*Config)) {
+	events, _, _ := runProbedCfg(t, StepActivity, mutate)
 	type key struct {
 		pkt int64
 		seq int

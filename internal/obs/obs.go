@@ -47,6 +47,11 @@ type Config struct {
 	// RingSize bounds the trace writer's in-memory event batch
 	// (0 = DefaultRingSize).
 	RingSize int
+	// Spans enables live per-flit span building: every probe event is
+	// folded into per-hop stage spans and the latency attribution
+	// aggregate (see SpanBuilder). Costs memory proportional to the
+	// completed flit count.
+	Spans bool
 }
 
 // LatencyStats are per-flit and per-packet latency statistics derived
@@ -207,17 +212,24 @@ type Collector struct {
 	reg     *Registry
 	sampler *Sampler
 	tw      *TraceWriter
+	spans   *SpanBuilder
 	cfg     Config
 
-	counts [noc.NumProbeKinds]int64
-	lat    latencyAcc
+	counts    [noc.NumProbeKinds]int64
+	lat       latencyAcc
+	lastCycle int64
+	finished  bool
 }
 
 // New builds a collector over net with the standard network gauge set.
 func New(net *noc.Network, cfg Config) *Collector {
 	reg := NewRegistry()
 	RegisterNetwork(reg, net, cfg.PerVCNodes)
-	return &Collector{net: net, reg: reg, sampler: NewSampler(reg, cfg.Window), cfg: cfg}
+	c := &Collector{net: net, reg: reg, sampler: NewSampler(reg, cfg.Window), cfg: cfg}
+	if cfg.Spans {
+		c.spans = NewSpanBuilder(true)
+	}
+	return c
 }
 
 // Registry returns the collector's metric registry, for registering
@@ -243,16 +255,35 @@ func (c *Collector) Attach(sim *noc.Sim) {
 func (c *Collector) ProbeEvent(ev noc.ProbeEvent) {
 	c.counts[ev.Kind]++
 	c.lat.feedLive(ev)
+	if c.spans != nil {
+		c.spans.FeedProbe(ev)
+	}
 	if c.tw != nil {
 		c.tw.ProbeEvent(ev)
 	}
 }
 
-// OnCycle drives the gauge sampler (window boundaries only).
-func (c *Collector) OnCycle(cycle int64) { c.sampler.OnCycle(cycle) }
+// OnCycle drives the gauge sampler (window boundaries only) and tracks
+// the last simulated cycle for the trailing partial window.
+func (c *Collector) OnCycle(cycle int64) {
+	c.lastCycle = cycle
+	c.sampler.OnCycle(cycle)
+}
 
-// Close flushes the trace writer, if any.
+// Finish marks the end of the observed run: the trailing partial sample
+// window (if the run stopped off a window boundary) is emitted, flagged
+// partial in the series. Idempotent; Close calls it.
+func (c *Collector) Finish() {
+	if c.finished {
+		return
+	}
+	c.finished = true
+	c.sampler.Final(c.lastCycle)
+}
+
+// Close finishes sampling and flushes the trace writer, if any.
 func (c *Collector) Close() error {
+	c.Finish()
 	if c.tw == nil {
 		return nil
 	}
@@ -268,6 +299,9 @@ func (c *Collector) Latency() LatencyStats { return c.lat.stats() }
 
 // Sampler returns the gauge sampler (time series access).
 func (c *Collector) Sampler() *Sampler { return c.sampler }
+
+// Spans returns the live span builder, or nil when Config.Spans is off.
+func (c *Collector) Spans() *SpanBuilder { return c.spans }
 
 // SeriesTable exports the sampled time series.
 func (c *Collector) SeriesTable() stats.Table { return c.sampler.Table() }

@@ -147,7 +147,8 @@ func TestSamplerSeries(t *testing.T) {
 	}
 
 	tbl := c.SeriesTable()
-	if tbl.Header[0] != "cycle" || len(tbl.Header) != c.Registry().Len()+1 {
+	if tbl.Header[0] != "cycle" || tbl.Header[len(tbl.Header)-1] != "partial" ||
+		len(tbl.Header) != c.Registry().Len()+2 {
 		t.Fatalf("table header wrong: %v", tbl.Header)
 	}
 	if len(tbl.Rows) != s.Samples() {

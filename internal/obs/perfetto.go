@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"mira/internal/stats"
+)
+
+// Chrome trace-event export: completed FlitSpans render as "X" (complete
+// duration) events on per-router tracks, loadable by Perfetto
+// (ui.perfetto.dev) and chrome://tracing. Each router is a process
+// (pid = router id); within a router, overlapping flit visits are
+// spread across lanes (tid) by a deterministic greedy assignment so
+// slices never overlap on a track. One simulated cycle maps to one
+// microsecond of trace time.
+//
+// The exporter is deterministic: spans arrive in eject order (itself
+// deterministic per scenario), lane assignment is a pure function of
+// the visit intervals, and encoding/json renders struct fields in
+// declaration order — so byte-identical simulations produce
+// byte-identical JSON across step modes and worker counts.
+
+// TraceEvent is one Chrome trace-event object. Field order is the
+// serialization order.
+type TraceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Cat   string         `json:"cat,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// TraceDoc is the JSON object format of the trace-event spec.
+type TraceDoc struct {
+	TraceEvents []TraceEvent `json:"traceEvents"`
+	DisplayUnit string       `json:"displayTimeUnit"`
+}
+
+// routerVisit is one flit's stay at one router, for lane assignment.
+type routerVisit struct {
+	span *FlitSpan
+	hop  int
+	// start is the lane-occupancy start: the queue slice begins at
+	// Created for the injection hop, Arrive otherwise.
+	start int64
+	end   int64
+}
+
+// assignLanes spreads a router's visits over the fewest lanes such that
+// no two visits on a lane overlap: visits are sorted by (start, end,
+// pkt, seq) and each takes the lowest-numbered lane free at its start.
+func assignLanes(visits []routerVisit) []int {
+	order := make([]int, len(visits))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		va, vb := visits[order[a]], visits[order[b]]
+		if va.start != vb.start {
+			return va.start < vb.start
+		}
+		if va.end != vb.end {
+			return va.end < vb.end
+		}
+		if va.span.Pkt != vb.span.Pkt {
+			return va.span.Pkt < vb.span.Pkt
+		}
+		return va.span.Seq < vb.span.Seq
+	})
+	lanes := make([]int, len(visits))
+	var laneEnd []int64 // per-lane last occupied cycle (exclusive)
+	for _, i := range order {
+		v := visits[i]
+		lane := -1
+		for l, end := range laneEnd {
+			if end <= v.start {
+				lane = l
+				break
+			}
+		}
+		if lane == -1 {
+			lane = len(laneEnd)
+			laneEnd = append(laneEnd, 0)
+		}
+		laneEnd[lane] = v.end
+		lanes[i] = lane
+	}
+	return lanes
+}
+
+// stageSlice is one stage sub-interval of a router visit.
+type stageSlice struct {
+	name       string
+	start, end int64
+}
+
+// stageSlices lists the non-empty stage sub-slices of one visit; the
+// queue slice appears only on the injection hop.
+func stageSlices(v routerVisit) []stageSlice {
+	h := v.span.Hops[v.hop]
+	out := make([]stageSlice, 0, 5)
+	add := func(name string, start, end int64) {
+		if end > start {
+			out = append(out, stageSlice{name, start, end})
+		}
+	}
+	if v.hop == 0 {
+		add(StageQueue.String(), v.span.Created, v.span.Inject)
+	}
+	add(StageRoute.String(), h.Arrive, h.Route)
+	add(StageVA.String(), h.Route, h.Alloc)
+	add(StageSA.String(), h.Alloc, h.Grant)
+	add(StageXfer.String(), h.Grant, h.Depart)
+	return out
+}
+
+// WritePerfetto renders spans as Chrome trace-event JSON on w.
+func WritePerfetto(w io.Writer, spans []FlitSpan) error {
+	doc := PerfettoDoc(spans)
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// PerfettoDoc builds the trace-event document for a set of spans.
+func PerfettoDoc(spans []FlitSpan) TraceDoc {
+	// Group visits by router.
+	perRouter := map[int][]routerVisit{}
+	for i := range spans {
+		s := &spans[i]
+		for h := range s.Hops {
+			v := routerVisit{span: s, hop: h, start: s.Hops[h].Arrive, end: s.Hops[h].Depart}
+			if h == 0 && s.Created < v.start {
+				v.start = s.Created
+			}
+			perRouter[s.Hops[h].Router] = append(perRouter[s.Hops[h].Router], v)
+		}
+	}
+	routers := make([]int, 0, len(perRouter))
+	for r := range perRouter {
+		routers = append(routers, r)
+	}
+	sort.Ints(routers)
+
+	doc := TraceDoc{DisplayUnit: "ns", TraceEvents: []TraceEvent{}}
+	for _, r := range routers {
+		doc.TraceEvents = append(doc.TraceEvents,
+			TraceEvent{Name: "process_name", Phase: "M", PID: r,
+				Args: map[string]any{"name": fmt.Sprintf("router %d", r)}},
+			TraceEvent{Name: "process_sort_index", Phase: "M", PID: r,
+				Args: map[string]any{"sort_index": r}},
+		)
+	}
+	for _, r := range routers {
+		visits := perRouter[r]
+		lanes := assignLanes(visits)
+		for i, v := range visits {
+			h := v.span.Hops[v.hop]
+			args := map[string]any{
+				"pkt":   v.span.Pkt,
+				"seq":   v.span.Seq,
+				"type":  v.span.Type,
+				"class": v.span.Class,
+				"src":   v.span.Src,
+				"dst":   v.span.Dst,
+				"hop":   v.hop,
+				"dir":   h.Dir,
+				"vc":    h.VC,
+			}
+			if v.span.Layers != 0 {
+				args["layers"] = v.span.Layers
+			}
+			for _, sl := range stageSlices(v) {
+				doc.TraceEvents = append(doc.TraceEvents, TraceEvent{
+					Name:  sl.name,
+					Phase: "X",
+					TS:    sl.start,
+					Dur:   sl.end - sl.start,
+					PID:   r,
+					TID:   lanes[i],
+					Cat:   v.span.Class,
+					Args:  args,
+				})
+			}
+		}
+	}
+	return doc
+}
+
+// CongestionHeatmap aggregates spans into a per-router stall-cycle
+// time series: for each router and each window of the given cycle
+// width, the number of flit-cycles spent stalled there (arrival to
+// switch grant — the congestion component, excluding the fixed ST+LT
+// traversal). The result is a stats.Table with one row per router and
+// one column per window, the CSV behind "miratrace spans -heatmap" and
+// the input to plot.Heatmap.
+func CongestionHeatmap(spans []FlitSpan, window int64) stats.Table {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	var maxCycle int64
+	maxRouter := -1
+	for i := range spans {
+		for _, h := range spans[i].Hops {
+			if h.Depart > maxCycle {
+				maxCycle = h.Depart
+			}
+			if h.Router > maxRouter {
+				maxRouter = h.Router
+			}
+		}
+	}
+	nWin := int((maxCycle + window - 1) / window)
+	if nWin == 0 || maxRouter < 0 {
+		return stats.Table{Title: "per-router congestion heatmap", Header: []string{"router"}}
+	}
+	cells := make([][]int64, maxRouter+1)
+	for i := range cells {
+		cells[i] = make([]int64, nWin)
+	}
+	// Spread each stall interval [Arrive, Grant) over the windows it
+	// overlaps.
+	for i := range spans {
+		for _, h := range spans[i].Hops {
+			for c := h.Arrive; c < h.Grant; {
+				win := c / window
+				end := (win + 1) * window
+				if end > h.Grant {
+					end = h.Grant
+				}
+				cells[h.Router][win] += end - c
+				c = end
+			}
+		}
+	}
+	t := stats.Table{
+		Title:  "per-router congestion heatmap (stall cycles per window)",
+		Header: make([]string, 0, nWin+1),
+	}
+	t.Header = append(t.Header, "router")
+	for w := 0; w < nWin; w++ {
+		t.Header = append(t.Header, fmt.Sprintf("c%d", int64(w+1)*window))
+	}
+	for r := range cells {
+		row := make([]string, 0, nWin+1)
+		row = append(row, fmt.Sprintf("%d", r))
+		for _, v := range cells[r] {
+			row = append(row, fmt.Sprintf("%d", v))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("cell = flit-cycles stalled (arrival to switch grant) at the router during the %d-cycle window ending at the column cycle", window))
+	return t
+}
+
+// HeatmapMatrix extracts the numeric cell matrix from a congestion
+// heatmap table (row per router, column per window), for plot.Heatmap.
+func HeatmapMatrix(t stats.Table) ([][]float64, []string, []string) {
+	rows := make([][]float64, len(t.Rows))
+	rowLabels := make([]string, len(t.Rows))
+	for i, r := range t.Rows {
+		rowLabels[i] = r[0]
+		rows[i] = make([]float64, len(r)-1)
+		for j, c := range r[1:] {
+			fmt.Sscanf(c, "%g", &rows[i][j])
+		}
+	}
+	return rows, rowLabels, t.Header[1:]
+}

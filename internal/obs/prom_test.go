@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"mira/internal/noc"
+	"mira/internal/traffic"
+)
+
+// TestPromNameMapping checks the dotted-name to prometheus translation.
+func TestPromNameMapping(t *testing.T) {
+	cases := []struct {
+		in     string
+		name   string
+		labels string
+	}{
+		{"net.occ", "mira_net_occ", ""},
+		{"net.active_layers", "mira_net_active_layers", ""},
+		{"r5.credit_stalls", "mira_router_credit_stalls", `router="5"`},
+		{"r12.occ", "mira_router_occ", `router="12"`},
+		{"r5.p2.vc1.occ", "mira_router_vc_occ", `router="5",port="2",vc="1"`},
+	}
+	for _, c := range cases {
+		s := promName(c.in, nil)
+		if s.Name != c.name {
+			t.Errorf("%s: name %q, want %q", c.in, s.Name, c.name)
+		}
+		var parts []string
+		for _, l := range s.Labels {
+			parts = append(parts, l[0]+`="`+l[1]+`"`)
+		}
+		if got := strings.Join(parts, ","); got != c.labels {
+			t.Errorf("%s: labels %q, want %q", c.in, got, c.labels)
+		}
+	}
+}
+
+// TestPromExposition renders a live sampler row and checks the text
+// format: every line is a TYPE comment or name{labels} value, families
+// are sorted and typed, and extra labels are attached.
+func TestPromExposition(t *testing.T) {
+	nc := testConfig()
+	net := noc.NewNetwork(nc)
+	c := New(net, Config{Window: 100, PerVCNodes: []int{5}})
+	sim := noc.NewSim(net, &traffic.Uniform{Topo: nc.Topo, InjectionRate: 0.1, PacketSize: 4})
+	sim.Params = noc.SimParams{Warmup: 0, Measure: 600, DrainMax: 3000}
+	c.Attach(sim)
+	sim.Run(context.Background())
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, row, ok := c.Sampler().Latest()
+	if !ok {
+		t.Fatal("no samples")
+	}
+	samples := PromSamples(c.Registry().Names(), row, [][2]string{{"run", "0"}})
+	var sb strings.Builder
+	if err := WriteProm(&sb, samples); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, "# TYPE mira_net_occ gauge\n") {
+		t.Errorf("missing TYPE line:\n%s", text)
+	}
+	if !strings.Contains(text, `mira_router_vc_occ{run="0",router="5",port="0",vc="0"} `) {
+		t.Errorf("missing per-VC sample:\n%s", text)
+	}
+	typed := map[string]bool{}
+	lastFamily := ""
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[3] != "gauge" {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if fields[2] <= lastFamily {
+				t.Fatalf("families not sorted: %q after %q", fields[2], lastFamily)
+			}
+			lastFamily = fields[2]
+			typed[fields[2]] = true
+			continue
+		}
+		name, rest, found := strings.Cut(line, " ")
+		if !found {
+			name, rest, found = strings.Cut(line, "{")
+			_ = rest
+			if !found {
+				t.Fatalf("malformed sample line %q", line)
+			}
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("malformed label block in %q", line)
+			}
+			name = name[:i]
+		}
+		if !typed[name] {
+			t.Fatalf("sample %q before its TYPE line", line)
+		}
+		if !strings.Contains(line, `run="0"`) {
+			t.Fatalf("sample %q missing extra label", line)
+		}
+	}
+
+	// Determinism: the same row renders the same bytes.
+	var sb2 strings.Builder
+	if err := WriteProm(&sb2, PromSamples(c.Registry().Names(), row, [][2]string{{"run", "0"}})); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != text {
+		t.Error("exposition not deterministic")
+	}
+}
+
+// TestSamplerFinalPartialWindow: a run shorter than the window still
+// produces a series row, flagged partial; a boundary-aligned run gains
+// no duplicate row from Finish.
+func TestSamplerFinalPartialWindow(t *testing.T) {
+	nc := testConfig()
+	net := noc.NewNetwork(nc)
+	c := New(net, Config{Window: 10000}) // longer than the whole run
+	sim := noc.NewSim(net, &traffic.Uniform{Topo: nc.Topo, InjectionRate: 0.1, PacketSize: 4})
+	sim.Params = noc.SimParams{Warmup: 0, Measure: 600, DrainMax: 3000}
+	c.Attach(sim)
+	sim.Run(context.Background())
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tbl := c.SeriesTable()
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("short run produced %d rows, want exactly the partial one", len(tbl.Rows))
+	}
+	row := tbl.Rows[0]
+	if row[len(row)-1] != "1" {
+		t.Errorf("trailing window not flagged partial: %v", row)
+	}
+	// Close is idempotent: no duplicate partial row.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(c.SeriesTable().Rows); n != 1 {
+		t.Errorf("second Close added rows: %d", n)
+	}
+
+	// Direct sampler check: Final on an exact boundary is a no-op.
+	reg := NewRegistry()
+	reg.Gauge("x", func() float64 { return 1 })
+	s := NewSampler(reg, 100)
+	s.OnCycle(100)
+	s.Final(100)
+	if s.Samples() != 1 {
+		t.Errorf("Final duplicated a boundary sample: %d rows", s.Samples())
+	}
+	s.Final(130)
+	if s.Samples() != 2 {
+		t.Errorf("Final did not emit the partial window: %d rows", s.Samples())
+	}
+	tb := s.Table()
+	if got := tb.Rows[1]; got[0] != "130" || got[len(got)-1] != "1" {
+		t.Errorf("partial row wrong: %v", got)
+	}
+	if got := tb.Rows[0]; got[len(got)-1] != "0" {
+		t.Errorf("full row flagged partial: %v", got)
+	}
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"sync"
 
 	"mira/internal/noc"
 	"mira/internal/stats"
@@ -130,14 +131,20 @@ func RegisterNetwork(g *Registry, net *noc.Network, perVC []int) {
 
 // Sampler snapshots a registry on fixed cycle windows, building one
 // time-series row per window. It is driven from noc.Sim's OnCycle hook;
-// off-boundary cycles cost one modulo check.
+// off-boundary cycles cost one modulo check. The stored series is
+// guarded by a mutex so a serving goroutine (internal/serve) can read
+// Latest/Table while the simulation keeps sampling; the gauges
+// themselves are only ever called from the simulation goroutine.
 type Sampler struct {
 	window  int64
 	reg     *Registry
-	cycles  []int64
-	rows    [][]float64
 	prevRaw []float64 // previous raw reading per metric (counter/ratio denominator)
 	prevNum []float64 // previous numerator reading (ratio metrics only)
+
+	mu      sync.Mutex
+	cycles  []int64
+	rows    [][]float64
+	partial []bool // row i covers less than a full window
 }
 
 // DefaultWindow is the sample window (cycles) used when a scenario does
@@ -167,10 +174,26 @@ func (s *Sampler) OnCycle(cycle int64) {
 	if cycle%s.window != 0 {
 		return
 	}
-	s.sample(cycle)
+	s.sample(cycle, false)
 }
 
-func (s *Sampler) sample(cycle int64) {
+// Final emits the trailing partial window at simulation end: if the run
+// stopped off a window boundary, the cycles since the last sample are
+// recorded as one more row flagged partial. Runs shorter than a window
+// therefore still produce a (single-row) series. Sampling on an
+// already-recorded boundary is a no-op, so Final is safe to call
+// unconditionally (and repeatedly) after the run.
+func (s *Sampler) Final(cycle int64) {
+	s.mu.Lock()
+	done := len(s.cycles) > 0 && s.cycles[len(s.cycles)-1] >= cycle
+	s.mu.Unlock()
+	if done || cycle <= 0 {
+		return
+	}
+	s.sample(cycle, true)
+}
+
+func (s *Sampler) sample(cycle int64, partial bool) {
 	row := make([]float64, s.reg.Len())
 	for i, m := range s.reg.metrics {
 		raw := m.num()
@@ -189,12 +212,35 @@ func (s *Sampler) sample(cycle int64) {
 			s.prevNum[i] = raw
 		}
 	}
+	s.mu.Lock()
 	s.cycles = append(s.cycles, cycle)
 	s.rows = append(s.rows, row)
+	s.partial = append(s.partial, partial)
+	s.mu.Unlock()
 }
 
 // Samples returns the number of completed sample rows.
-func (s *Sampler) Samples() int { return len(s.rows) }
+func (s *Sampler) Samples() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.rows)
+}
+
+// Latest returns the most recent sample (boundary cycle plus one value
+// per metric, in registration order), or ok=false before the first
+// window completes. The row is a copy; safe to call from a goroutine
+// other than the simulation's (the Prometheus exposition path).
+func (s *Sampler) Latest() (cycle int64, row []float64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.rows) == 0 {
+		return 0, nil, false
+	}
+	last := s.rows[len(s.rows)-1]
+	out := make([]float64, len(last))
+	copy(out, last)
+	return s.cycles[len(s.cycles)-1], out, true
+}
 
 // Series returns the time series of one metric (one value per sampled
 // window), or nil if the metric is unknown.
@@ -203,6 +249,8 @@ func (s *Sampler) Series(name string) []float64 {
 	if !ok {
 		return nil
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]float64, len(s.rows))
 	for j, row := range s.rows {
 		out[j] = row[i]
@@ -210,17 +258,27 @@ func (s *Sampler) Series(name string) []float64 {
 	return out
 }
 
-// Table exports every sampled window as a stats.Table: a "cycle" column
-// followed by one column per metric in registration order.
+// Table exports every sampled window as a stats.Table: a "cycle" column,
+// one column per metric in registration order, and a trailing "partial"
+// flag column (1 on the final short window emitted by Final, else 0).
 func (s *Sampler) Table() stats.Table {
-	t := stats.Table{Title: "observability time series", Header: append([]string{"cycle"}, s.reg.Names()...)}
+	t := stats.Table{
+		Title:  "observability time series",
+		Header: append(append([]string{"cycle"}, s.reg.Names()...), "partial"),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for j, row := range s.rows {
-		cells := make([]string, 0, len(row)+1)
+		cells := make([]string, 0, len(row)+2)
 		cells = append(cells, fmt.Sprintf("%d", s.cycles[j]))
 		for _, v := range row {
 			cells = append(cells, fmt.Sprintf("%.4g", v))
 		}
-		t.Rows = append(t.Rows, cells)
+		flag := "0"
+		if s.partial[j] {
+			flag = "1"
+		}
+		t.Rows = append(t.Rows, append(cells, flag))
 	}
 	return t
 }

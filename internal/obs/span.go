@@ -1,0 +1,549 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"mira/internal/noc"
+	"mira/internal/stats"
+)
+
+// Span-level tracing: the six probe event kinds of one flit's life fold
+// into a sequence of per-hop spans, each decomposed into the pipeline
+// stages of §3.2 — the wait for route computation, the VA stall, the SA
+// stall and the switch(+link) traversal — plus the source-queue wait
+// before injection. Because every stage boundary is the difference of
+// two consecutive event cycles, the stages of a flit telescope exactly
+// to its inject-to-eject latency: the decomposition cannot drift from
+// the live collector's per-flit numbers (pinned by TestSpanTotals*).
+//
+// This is the latency analogue of Orion-style per-component energy
+// models: instead of one end-to-end percentile, every cycle of latency
+// is attributed to a router, a stage, a traffic class and a datapath
+// layer count, which is exactly where 3DM's merged ST+LT stage and the
+// §3.2.1 layer shutdown are supposed to pay off against 2DB/3DB.
+
+// Stage indexes one latency component of a flit's journey.
+type Stage int
+
+// Latency stages, in the order a flit experiences them at each hop.
+// StageQueue occurs once per flit (source NI queueing before inject);
+// the remaining four occur once per router visit.
+const (
+	// StageQueue is creation-to-inject source queueing (NI backlog).
+	StageQueue Stage = iota
+	// StageRoute is arrival-to-RC-done: buffer wait behind earlier
+	// packets plus the route computation itself (zero for body flits
+	// and for look-ahead routed heads).
+	StageRoute
+	// StageVA is the stall between route computation and winning an
+	// output virtual channel.
+	StageVA
+	// StageSA is the stall between VC allocation (or, for body/tail
+	// flits, arrival) and winning the crossbar.
+	StageSA
+	// StageXfer is switch(+link) traversal: SA grant to arrival at the
+	// next router or the destination NI. It equals the architecture's
+	// ST+LT depth — 1 cycle for the merged 3DM stage, 2 for 2DB/3DB —
+	// times the hop count.
+	StageXfer
+	// NumStages is the number of distinct stages.
+	NumStages
+)
+
+var stageNames = [NumStages]string{"queue", "route", "va_stall", "sa_stall", "st_lt"}
+
+func (s Stage) String() string {
+	if s < 0 || s >= NumStages {
+		return "unknown"
+	}
+	return stageNames[s]
+}
+
+// HopSpan is one router visit of one flit, expressed as the cycles at
+// which the flit crossed each stage boundary. Durations are differences
+// of adjacent fields; Depart of hop h equals Arrive of hop h+1 (or the
+// eject cycle on the final hop), so a flit's hops tile its network
+// latency with no gaps.
+type HopSpan struct {
+	Router int    `json:"router"`
+	Arrive int64  `json:"arrive"` // cycle the flit entered this router's input buffer
+	Route  int64  `json:"route"`  // RC done (== Arrive for body/tail flits)
+	Alloc  int64  `json:"alloc"`  // output VC won (== Route for body/tail flits)
+	Grant  int64  `json:"grant"`  // crossbar won, traversal begins
+	Depart int64  `json:"depart"` // arrival downstream, or ejection at the NI
+	Dir    string `json:"dir"`    // granted output direction ("local" on the ejection hop)
+	VC     int    `json:"vc"`     // granted output VC
+}
+
+// Wait returns the duration of stage s at this hop (0 for StageQueue,
+// which is a flit-level, not hop-level, component).
+func (h HopSpan) Wait(s Stage) int64 {
+	switch s {
+	case StageRoute:
+		return h.Route - h.Arrive
+	case StageVA:
+		return h.Alloc - h.Route
+	case StageSA:
+		return h.Grant - h.Alloc
+	case StageXfer:
+		return h.Depart - h.Grant
+	}
+	return 0
+}
+
+// FlitSpan is the complete stage-resolved trajectory of one flit.
+type FlitSpan struct {
+	Pkt     int64     `json:"pkt"`
+	Seq     int       `json:"seq"`
+	Type    string    `json:"type"`
+	Class   string    `json:"class"`
+	Src     int       `json:"src"`
+	Dst     int       `json:"dst"`
+	Layers  int       `json:"layers"` // active datapath layers (0 = all)
+	Created int64     `json:"created"`
+	Inject  int64     `json:"inject"`
+	Eject   int64     `json:"eject"`
+	Hops    []HopSpan `json:"hops"`
+}
+
+// QueueWait is the source-NI queueing delay (creation to injection).
+func (s FlitSpan) QueueWait() int64 { return s.Inject - s.Created }
+
+// Network is the inject-to-eject latency — identical to the live
+// collector's per-flit latency and to the sum of the hop stages.
+func (s FlitSpan) Network() int64 { return s.Eject - s.Inject }
+
+// StageTotal sums stage st across the flit's hops (or returns the queue
+// wait for StageQueue).
+func (s FlitSpan) StageTotal(st Stage) int64 {
+	if st == StageQueue {
+		return s.QueueWait()
+	}
+	var sum int64
+	for _, h := range s.Hops {
+		sum += h.Wait(st)
+	}
+	return sum
+}
+
+// openFlit is the under-construction span of a flit still in the
+// network. Route/Alloc/Grant are -1 until their events arrive; Arrive
+// and Depart are resolved at eject, when the ST+LT depth becomes known.
+type openFlit struct {
+	span FlitSpan
+}
+
+// SpanBuilder folds a stream of probe events into FlitSpans and an
+// Attribution aggregate. It accepts either live noc.ProbeEvents
+// (FeedProbe, used by the Collector when Config.Spans is set) or
+// serialized trace Events (Feed, used by "miratrace spans"); both paths
+// reduce to the same state machine, so a span built from an unfiltered
+// recorded trace is byte-identical to the live one.
+//
+// The builder requires a complete, unfiltered event stream: a
+// node/class-filtered trace truncates flit histories and Feed reports
+// the first inconsistency it proves (an event for a flit never
+// injected, an eject with no SA grant).
+type SpanBuilder struct {
+	retain bool
+	open   map[flitKey]*openFlit
+	spans  []FlitSpan
+	agg    *Attribution
+	err    error
+}
+
+// NewSpanBuilder returns a builder that aggregates attribution totals.
+// When retain is true, completed FlitSpans are also kept (required for
+// the Perfetto and heatmap exports; costs memory proportional to the
+// flit count rather than the in-flight window).
+func NewSpanBuilder(retain bool) *SpanBuilder {
+	return &SpanBuilder{
+		retain: retain,
+		open:   make(map[flitKey]*openFlit),
+		agg:    newAttribution(),
+	}
+}
+
+// Err returns the first protocol inconsistency encountered, or nil.
+// Events after the first error are ignored, so a partial trace fails
+// loudly instead of producing a silently wrong decomposition.
+func (b *SpanBuilder) Err() error { return b.err }
+
+// Spans returns the completed spans in flit-completion (eject) order,
+// which is deterministic for a fixed scenario across step modes. Only
+// populated when the builder retains spans.
+func (b *SpanBuilder) Spans() []FlitSpan { return b.spans }
+
+// Attribution returns the running latency decomposition aggregate.
+func (b *SpanBuilder) Attribution() *Attribution { return b.agg }
+
+// InFlight returns the number of flits with an open, unejected span.
+func (b *SpanBuilder) InFlight() int { return len(b.open) }
+
+// FeedProbe consumes one live probe event.
+func (b *SpanBuilder) FeedProbe(ev noc.ProbeEvent) { b.feed(eventOf(ev)) }
+
+// Feed consumes one serialized trace event, returning the builder's
+// sticky error state (nil while the stream stays consistent).
+func (b *SpanBuilder) Feed(e Event) error {
+	b.feed(e)
+	return b.err
+}
+
+func (b *SpanBuilder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("obs: span "+format, args...)
+	}
+}
+
+// lastHop returns the flit's current (open) hop, or nil.
+func lastHop(o *openFlit) *HopSpan {
+	if len(o.span.Hops) == 0 {
+		return nil
+	}
+	return &o.span.Hops[len(o.span.Hops)-1]
+}
+
+func (b *SpanBuilder) feed(e Event) {
+	if b.err != nil {
+		return
+	}
+	k := flitKey{e.Pkt, e.Seq}
+	o := b.open[k]
+	switch e.Kind {
+	case "inject":
+		if o == nil {
+			o = &openFlit{}
+			b.open[k] = o
+		} else if o.span.Inject != 0 || len(o.span.Hops) > 1 {
+			// A same-cycle look-ahead route may legitimately precede the
+			// inject event; anything more means a duplicated inject.
+			b.fail("flit %d.%d injected twice", e.Pkt, e.Seq)
+			return
+		}
+		o.span.Pkt, o.span.Seq = e.Pkt, e.Seq
+		o.span.Type, o.span.Class = e.Type, e.Class
+		o.span.Src, o.span.Dst = e.Src, e.Dst
+		o.span.Layers = e.Layers
+		o.span.Created, o.span.Inject = e.Created, e.Cycle
+		if len(o.span.Hops) == 0 {
+			o.span.Hops = append(o.span.Hops, HopSpan{Router: e.Router, Route: -1, Alloc: -1, Grant: -1})
+		}
+	case "route":
+		if o == nil {
+			// Look-ahead routing computes the output port as the flit is
+			// written into the source buffer, one emission site before
+			// the inject event of the same cycle.
+			o = &openFlit{}
+			b.open[k] = o
+		}
+		h := lastHop(o)
+		if h == nil || h.Grant >= 0 || h.Router != e.Router {
+			o.span.Hops = append(o.span.Hops, HopSpan{Router: e.Router, Route: e.Cycle, Alloc: -1, Grant: -1})
+		} else if h.Route >= 0 {
+			b.fail("flit %d.%d routed twice at router %d", e.Pkt, e.Seq, e.Router)
+		} else {
+			h.Route = e.Cycle
+		}
+	case "vcalloc":
+		if o == nil {
+			b.fail("flit %d.%d VC-allocated before inject (trace filtered or truncated?)", e.Pkt, e.Seq)
+			return
+		}
+		h := lastHop(o)
+		if h == nil || h.Grant >= 0 || h.Router != e.Router {
+			b.fail("flit %d.%d VC grant at router %d without a routed hop", e.Pkt, e.Seq, e.Router)
+			return
+		}
+		h.Alloc = e.Cycle
+	case "sagrant":
+		if o == nil {
+			b.fail("flit %d.%d switch grant before inject (trace filtered or truncated?)", e.Pkt, e.Seq)
+			return
+		}
+		h := lastHop(o)
+		if h == nil || h.Grant >= 0 || h.Router != e.Router {
+			// Body/tail flit: no RC/VA events at this hop.
+			o.span.Hops = append(o.span.Hops, HopSpan{Router: e.Router, Route: -1, Alloc: -1})
+			h = lastHop(o)
+		}
+		h.Grant = e.Cycle
+		h.Dir, h.VC = e.Dir, e.VC
+	case "link":
+		// The link event fires in the same emission (and cycle) as the SA
+		// grant; it adds no stage boundary, only a cross-check.
+		if o == nil {
+			b.fail("flit %d.%d on a link before inject (trace filtered or truncated?)", e.Pkt, e.Seq)
+			return
+		}
+		if h := lastHop(o); h == nil || h.Grant != e.Cycle {
+			b.fail("flit %d.%d link traversal at cycle %d without a matching switch grant", e.Pkt, e.Seq, e.Cycle)
+		}
+	case "eject":
+		if o == nil {
+			b.fail("flit %d.%d ejected before inject (trace filtered or truncated?)", e.Pkt, e.Seq)
+			return
+		}
+		b.finish(k, o, e.Cycle)
+	}
+}
+
+// finish resolves the open flit into a completed span: the ST+LT depth
+// is the eject delay after the final grant (the NI ejection takes
+// exactly the configured traversal cycles), which fixes every hop's
+// departure and therefore every arrival.
+func (b *SpanBuilder) finish(k flitKey, o *openFlit, eject int64) {
+	s := &o.span
+	h := lastHop(o)
+	if h == nil || h.Grant < 0 {
+		b.fail("flit %d.%d ejected without a switch grant (trace filtered or truncated?)", s.Pkt, s.Seq)
+		return
+	}
+	if s.Inject == 0 && len(s.Hops) > 0 && s.Hops[0].Route >= 0 && s.Created == 0 {
+		b.fail("flit %d.%d ejected without an inject event", s.Pkt, s.Seq)
+		return
+	}
+	stlt := eject - h.Grant
+	if stlt < 1 {
+		b.fail("flit %d.%d ejected %d cycles after its final grant (want >= 1)", s.Pkt, s.Seq, stlt)
+		return
+	}
+	s.Eject = eject
+	arrive := s.Inject
+	for i := range s.Hops {
+		hp := &s.Hops[i]
+		if hp.Grant < 0 {
+			b.fail("flit %d.%d hop %d at router %d never won the switch", s.Pkt, s.Seq, i, hp.Router)
+			return
+		}
+		hp.Arrive = arrive
+		if hp.Route < 0 {
+			hp.Route = arrive // body/tail flit, or look-ahead at arrival
+		}
+		if hp.Alloc < 0 {
+			hp.Alloc = hp.Route
+		}
+		if hp.Route < hp.Arrive || hp.Alloc < hp.Route || hp.Grant < hp.Alloc {
+			b.fail("flit %d.%d hop %d stage cycles not monotonic (%d/%d/%d/%d)",
+				s.Pkt, s.Seq, i, hp.Arrive, hp.Route, hp.Alloc, hp.Grant)
+			return
+		}
+		hp.Depart = hp.Grant + stlt
+		arrive = hp.Depart
+	}
+	if got := s.Hops[len(s.Hops)-1].Depart; got != eject {
+		b.fail("flit %d.%d hops end at %d, ejected at %d", s.Pkt, s.Seq, got, eject)
+		return
+	}
+	delete(b.open, k)
+	b.agg.add(*s)
+	if b.retain {
+		b.spans = append(b.spans, *s)
+	}
+}
+
+// BuildSpans folds a complete recorded trace into spans plus the
+// attribution aggregate — the entry point behind "miratrace spans".
+func BuildSpans(events []Event) ([]FlitSpan, *Attribution, error) {
+	b := NewSpanBuilder(true)
+	for _, e := range events {
+		if err := b.Feed(e); err != nil {
+			return nil, nil, err
+		}
+	}
+	return b.Spans(), b.Attribution(), nil
+}
+
+// StageSums accumulates stage cycle totals over a set of flits (or, for
+// the per-router grouping, router visits).
+type StageSums struct {
+	N      int64 // flits, or visits for the router grouping
+	Cycles [NumStages]int64
+}
+
+// NetworkCycles is the total in-network latency (all stages but queue).
+func (s StageSums) NetworkCycles() int64 {
+	var sum int64
+	for st := StageRoute; st < NumStages; st++ {
+		sum += s.Cycles[st]
+	}
+	return sum
+}
+
+// Attribution is the latency-decomposition aggregate over completed
+// spans: stage cycle totals overall and grouped by router, traffic
+// class, hop count, and active datapath layers. All sums are integer
+// cycles, so equal event streams produce byte-identical tables
+// regardless of step mode or accumulation order.
+type Attribution struct {
+	total    StageSums
+	byRouter map[int]*StageSums
+	byClass  map[string]*StageSums
+	byHops   map[int]*StageSums
+	byLayers map[int]*StageSums
+}
+
+func newAttribution() *Attribution {
+	return &Attribution{
+		byRouter: make(map[int]*StageSums),
+		byClass:  make(map[string]*StageSums),
+		byHops:   make(map[int]*StageSums),
+		byLayers: make(map[int]*StageSums),
+	}
+}
+
+func sumsAt[K comparable](m map[K]*StageSums, k K) *StageSums {
+	s := m[k]
+	if s == nil {
+		s = &StageSums{}
+		m[k] = s
+	}
+	return s
+}
+
+func (a *Attribution) add(s FlitSpan) {
+	var flit StageSums
+	flit.N = 1
+	flit.Cycles[StageQueue] = s.QueueWait()
+	for _, h := range s.Hops {
+		for st := StageRoute; st < NumStages; st++ {
+			flit.Cycles[st] += h.Wait(st)
+		}
+		r := sumsAt(a.byRouter, h.Router)
+		r.N++
+		for st := StageRoute; st < NumStages; st++ {
+			r.Cycles[st] += h.Wait(st)
+		}
+	}
+	// Source queueing happens at the injecting router's NI.
+	sumsAt(a.byRouter, s.Hops[0].Router).Cycles[StageQueue] += flit.Cycles[StageQueue]
+
+	merge := func(dst *StageSums) {
+		dst.N++
+		for st := Stage(0); st < NumStages; st++ {
+			dst.Cycles[st] += flit.Cycles[st]
+		}
+	}
+	merge(&a.total)
+	merge(sumsAt(a.byClass, s.Class))
+	merge(sumsAt(a.byHops, len(s.Hops)))
+	merge(sumsAt(a.byLayers, s.Layers))
+}
+
+// Total returns the stage sums over every completed flit.
+func (a *Attribution) Total() StageSums { return a.total }
+
+// Flits returns the number of completed flits aggregated so far.
+func (a *Attribution) Flits() int64 { return a.total.N }
+
+// Groupings, in the order they appear in the combined table.
+const (
+	GroupRouter = "router"
+	GroupClass  = "class"
+	GroupHops   = "hops"
+	GroupLayers = "layers"
+)
+
+// Groupings lists the supported attribution groupings.
+func Groupings() []string { return []string{GroupRouter, GroupClass, GroupHops, GroupLayers} }
+
+// attribution table header; "n" counts flits, except for the router
+// grouping where it counts router visits (hops).
+var attribHeader = []string{"key", "n", "queue", "route", "va_stall", "sa_stall", "st_lt", "network", "per_n"}
+
+func attribRow(key string, s *StageSums) []string {
+	net := s.NetworkCycles()
+	row := []string{key, strconv.FormatInt(s.N, 10)}
+	for st := Stage(0); st < NumStages; st++ {
+		row = append(row, strconv.FormatInt(s.Cycles[st], 10))
+	}
+	perN := 0.0
+	if s.N > 0 {
+		perN = float64(net) / float64(s.N)
+	}
+	return append(row, strconv.FormatInt(net, 10), strconv.FormatFloat(perN, 'f', 2, 64))
+}
+
+// rowsFor renders one grouping's rows in deterministic key order.
+func (a *Attribution) rowsFor(group string) ([][]string, error) {
+	intRows := func(m map[int]*StageSums, label func(int) string) [][]string {
+		keys := make([]int, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		rows := make([][]string, 0, len(keys))
+		for _, k := range keys {
+			rows = append(rows, attribRow(label(k), m[k]))
+		}
+		return rows
+	}
+	switch group {
+	case GroupRouter:
+		return intRows(a.byRouter, strconv.Itoa), nil
+	case GroupClass:
+		keys := make([]string, 0, len(a.byClass))
+		for k := range a.byClass {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		rows := make([][]string, 0, len(keys))
+		for _, k := range keys {
+			rows = append(rows, attribRow(k, a.byClass[k]))
+		}
+		return rows, nil
+	case GroupHops:
+		return intRows(a.byHops, strconv.Itoa), nil
+	case GroupLayers:
+		return intRows(a.byLayers, func(k int) string {
+			if k == 0 {
+				return "all"
+			}
+			return strconv.Itoa(k)
+		}), nil
+	}
+	return nil, fmt.Errorf("obs: unknown attribution grouping %q (want %s, %s, %s or %s)",
+		group, GroupRouter, GroupClass, GroupHops, GroupLayers)
+}
+
+// Table renders one grouping's latency decomposition: integer cycle
+// totals per stage plus the mean network latency per flit (per visit
+// for the router grouping).
+func (a *Attribution) Table(group string) (stats.Table, error) {
+	rows, err := a.rowsFor(group)
+	if err != nil {
+		return stats.Table{}, err
+	}
+	t := stats.Table{
+		Title:  fmt.Sprintf("latency attribution by %s (%d flits)", group, a.total.N),
+		Header: append([]string{group}, attribHeader[1:]...),
+		Rows:   rows,
+	}
+	t.Notes = append(t.Notes, "cycle totals per stage; st_lt is switch(+link) traversal, per_n is mean network cycles")
+	return t, nil
+}
+
+// CombinedTable stacks every grouping into one machine-readable table
+// (a "group" discriminator column followed by the per-group key), the
+// format behind "mirasim -attrib". A "total" row leads.
+func (a *Attribution) CombinedTable() stats.Table {
+	t := stats.Table{
+		Title:  fmt.Sprintf("latency attribution (%d flits)", a.total.N),
+		Header: append([]string{"group"}, attribHeader...),
+	}
+	t.Rows = append(t.Rows, append([]string{"total"}, attribRow("", &a.total)...))
+	for _, g := range Groupings() {
+		rows, err := a.rowsFor(g)
+		if err != nil {
+			panic(err) // Groupings() only yields known groups
+		}
+		for _, r := range rows {
+			t.Rows = append(t.Rows, append([]string{g}, r...))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"n counts flits (router group: visits); stage columns are cycle totals, per_n mean network cycles per n")
+	return t
+}

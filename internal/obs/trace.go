@@ -28,6 +28,10 @@ type Event struct {
 	// carried on inject and eject events so packet latency is computable
 	// from the trace alone.
 	Created int64 `json:"created,omitempty"`
+	// Layers is the flit's active datapath layer count (0 = all layers),
+	// carried on inject events so span attribution can group by the
+	// §3.2.1 layer-shutdown state.
+	Layers int `json:"al,omitempty"`
 }
 
 // flitTypeNames maps noc.FlitType to its serialized name.
@@ -54,6 +58,9 @@ func eventOf(ev noc.ProbeEvent) Event {
 	}
 	if ev.Kind == noc.ProbeInject || ev.Kind == noc.ProbeEject {
 		e.Created = ev.Flit.Pkt.CreatedAt
+	}
+	if ev.Kind == noc.ProbeInject {
+		e.Layers = int(ev.Flit.ActiveLayers)
 	}
 	return e
 }
@@ -129,13 +136,20 @@ func (t *TraceWriter) flushRing() {
 func (t *TraceWriter) Written() int64 { return t.written }
 
 // Close flushes the staged events and the underlying buffer. It does
-// not close the wrapped writer.
+// not close the wrapped writer. A flush failure — including one that
+// happened mid-run and silently stopped recording — is reported here,
+// annotated with how many events made it out, so callers can exit
+// nonzero instead of shipping a truncated trace.
 func (t *TraceWriter) Close() error {
 	t.flushRing()
-	if t.err != nil {
-		return t.err
+	err := t.err
+	if err == nil {
+		err = t.w.Flush()
 	}
-	return t.w.Flush()
+	if err != nil {
+		return fmt.Errorf("obs: trace writer failed after %d events written: %w", t.written, err)
+	}
+	return nil
 }
 
 // NodeClassFilter builds a trace filter from a router allow-list and a

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -140,5 +141,62 @@ func TestNodeClassFilterNil(t *testing.T) {
 	ev.Router = 4
 	if f(ev) {
 		t.Error("other router admitted")
+	}
+}
+
+// failAfterWriter fails every Write after the first n bytes have been
+// accepted, mimicking a disk filling up mid-run.
+type failAfterWriter struct {
+	budget int
+	wrote  int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.wrote+len(p) > w.budget {
+		return 0, errors.New("disk full")
+	}
+	w.wrote += len(p)
+	return len(p), nil
+}
+
+// TestTraceWriterCloseReportsFailure: a writer that starts failing
+// mid-run surfaces the error (with the count of events that made it
+// out) from Close instead of silently truncating the trace.
+func TestTraceWriterCloseReportsFailure(t *testing.T) {
+	// Budget of ~2 events: ring flushes go through bufio, so the
+	// failure surfaces at Close's Flush at the latest.
+	tw := NewTraceWriter(&failAfterWriter{budget: 150}, 2, nil)
+	pkt := &noc.Packet{ID: 1, Size: 1, Class: noc.Data}
+	for i := 0; i < 40; i++ {
+		tw.ProbeEvent(noc.ProbeEvent{
+			Kind: noc.ProbeInject, Cycle: int64(i),
+			Flit: noc.Flit{Pkt: pkt, Type: noc.HeadTailFlit},
+		})
+	}
+	err := tw.Close()
+	if err == nil {
+		t.Fatal("Close returned nil for a failing writer")
+	}
+	if !strings.Contains(err.Error(), "disk full") {
+		t.Errorf("error does not carry the cause: %v", err)
+	}
+	if !strings.Contains(err.Error(), "events written") {
+		t.Errorf("error does not report the written count: %v", err)
+	}
+}
+
+// TestTraceWriterCloseCleanOK: Close on a healthy writer returns nil.
+func TestTraceWriterCloseCleanOK(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf, 4, nil)
+	tw.ProbeEvent(noc.ProbeEvent{
+		Kind: noc.ProbeInject, Cycle: 1,
+		Flit: noc.Flit{Pkt: &noc.Packet{ID: 1, Size: 1, Class: noc.Data}, Type: noc.HeadTailFlit},
+	})
+	if err := tw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if tw.Written() != 1 {
+		t.Errorf("written = %d, want 1", tw.Written())
 	}
 }

@@ -304,3 +304,116 @@ func (c *BarChart) SVG() (string, error) {
 	legend(b, names)
 	return b.finish(), nil
 }
+
+// Heatmap is a matrix chart: one colored cell per (row, column) value,
+// rendered with a sequential white-to-blue ramp and a value legend. The
+// observability layer's per-router congestion matrices (internal/obs
+// CongestionHeatmap) render through it; rows are routers, columns are
+// cycle windows.
+type Heatmap struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Rows[i][j] is the cell value at row i, column j; all rows must
+	// have the same length.
+	Rows      [][]float64
+	RowLabels []string // one per row (optional)
+	ColLabels []string // one per column (optional)
+	Width     int
+	Height    int
+}
+
+// rampColor maps t in [0,1] onto a white-to-deep-blue ramp.
+func rampColor(t float64) string {
+	if math.IsNaN(t) || t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	// Interpolate white (255,255,255) -> #08519c (8,81,156).
+	r := int(255 + t*(8-255))
+	g := int(255 + t*(81-255))
+	b := int(255 + t*(156-255))
+	return fmt.Sprintf("#%02x%02x%02x", r, g, b)
+}
+
+// SVG renders the heatmap.
+func (c *Heatmap) SVG() (string, error) {
+	if len(c.Rows) == 0 || len(c.Rows[0]) == 0 {
+		return "", fmt.Errorf("plot: heatmap %q is empty", c.Title)
+	}
+	nR, nC := len(c.Rows), len(c.Rows[0])
+	for i, r := range c.Rows {
+		if len(r) != nC {
+			return "", fmt.Errorf("plot: heatmap row %d has %d cells, want %d", i, len(r), nC)
+		}
+	}
+	if c.RowLabels != nil && len(c.RowLabels) != nR {
+		return "", fmt.Errorf("plot: heatmap has %d row labels for %d rows", len(c.RowLabels), nR)
+	}
+	if c.ColLabels != nil && len(c.ColLabels) != nC {
+		return "", fmt.Errorf("plot: heatmap has %d column labels for %d columns", len(c.ColLabels), nC)
+	}
+	w, h := c.Width, c.Height
+	if w == 0 {
+		w = defaultWidth
+	}
+	if h == 0 {
+		h = defaultHeight
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range c.Rows {
+		for _, v := range row {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+	}
+	if lo > 0 {
+		lo = 0 // anchor the ramp at zero so "no stall" reads as white
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+
+	b := newSVG(w, h)
+	b.text(float64(w)/2, 24, 16, "middle", ` font-weight="bold"`, c.Title)
+	plotW := float64(w - marginLeft - marginRight)
+	plotH := float64(h - marginTop - marginBottom)
+	cellW := plotW / float64(nC)
+	cellH := plotH / float64(nR)
+	for i, row := range c.Rows {
+		y := float64(marginTop) + float64(i)*cellH
+		for j, v := range row {
+			x := float64(marginLeft) + float64(j)*cellW
+			fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.2f" height="%.2f" fill="%s"/>`+"\n",
+				x, y, cellW, cellH, rampColor((v-lo)/(hi-lo)))
+		}
+		if c.RowLabels != nil {
+			b.text(float64(marginLeft)-6, y+cellH/2+4, 10, "end", "", c.RowLabels[i])
+		}
+	}
+	// Column labels: thin to at most ~12 so they stay readable.
+	if c.ColLabels != nil {
+		step := (nC + 11) / 12
+		for j := 0; j < nC; j += step {
+			x := float64(marginLeft) + (float64(j)+0.5)*cellW
+			b.text(x, float64(marginTop)+plotH+16, 10, "middle", "", c.ColLabels[j])
+		}
+	}
+	b.text(float64(marginLeft)+plotW/2, float64(h)-12, 13, "middle", "", c.XLabel)
+	b.text(18, float64(marginTop)+plotH/2, 13, "middle",
+		fmt.Sprintf(` transform="rotate(-90 18 %.1f)"`, float64(marginTop)+plotH/2), c.YLabel)
+	// Color legend: vertical ramp with min/max labels.
+	lx := float64(w - marginRight + 24)
+	steps := 24
+	lh := plotH * 0.6
+	ly := float64(marginTop) + (plotH-lh)/2
+	for s := 0; s < steps; s++ {
+		t := 1 - float64(s)/float64(steps-1)
+		fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="14" height="%.2f" fill="%s"/>`+"\n",
+			lx, ly+float64(s)*lh/float64(steps), lh/float64(steps)+0.5, rampColor(t))
+	}
+	b.text(lx+20, ly+8, 10, "start", "", fmtTick(hi))
+	b.text(lx+20, ly+lh, 10, "start", "", fmtTick(lo))
+	return b.finish(), nil
+}

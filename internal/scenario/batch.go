@@ -20,6 +20,17 @@ type BatchOptions struct {
 	// a run over budget returns its partial result with
 	// Result.Canceled set. 0 means no per-run bound.
 	Timeout time.Duration `json:"timeout,omitempty"`
+
+	// OnStart, when non-nil, is called from the worker goroutine right
+	// after scenario i elaborates and before its simulation starts. The
+	// serving layer (internal/serve) uses it to publish the run's live
+	// observability collector. Hooks must be safe for concurrent calls
+	// from multiple workers.
+	OnStart func(i int, e *Elaboration) `json:"-"`
+	// OnDone, when non-nil, is called from the worker goroutine as soon
+	// as run i finishes (successfully or not), before the batch as a
+	// whole completes.
+	OnDone func(r BatchResult) `json:"-"`
 }
 
 // BatchResult pairs one scenario with its outcome. Exactly one of
@@ -68,12 +79,26 @@ func RunBatch(ctx context.Context, scs []Scenario, o BatchOptions) []BatchResult
 			runCtx, cancel = context.WithTimeout(ctx, o.Timeout)
 		}
 		defer cancel()
-		res, err := scs[i].Run(runCtx)
-		br := BatchResult{Index: i, Scenario: scs[i], Result: res}
+		br := BatchResult{Index: i, Scenario: scs[i]}
+		e, err := scs[i].Elaborate()
+		if err == nil {
+			if o.OnStart != nil {
+				o.OnStart(i, e)
+			}
+			br.Result = e.Sim.Run(runCtx)
+			if e.Obs != nil {
+				// Flush the trailing partial sample window so serving
+				// readers see the run's final state.
+				err = e.Obs.Close()
+			}
+		}
 		if err != nil {
 			br.Err = err.Error()
 		}
 		out[i] = br
+		if o.OnDone != nil {
+			o.OnDone(br)
+		}
 	}
 
 	idx := make(chan int)
@@ -100,21 +125,31 @@ dispatch:
 	return out
 }
 
-// RunBatchJSON is RunBatch over serialized scenarios: r holds either a
-// JSON array of scenarios or a single scenario object, and the results
-// are written to w as an indented JSON array.
-func RunBatchJSON(ctx context.Context, r io.Reader, w io.Writer, o BatchOptions) error {
+// DecodeBatch reads a batch description: either a JSON array of
+// scenarios or a single scenario object.
+func DecodeBatch(r io.Reader) ([]Scenario, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
-		return fmt.Errorf("scenario: reading batch input: %w", err)
+		return nil, fmt.Errorf("scenario: reading batch input: %w", err)
 	}
 	var scs []Scenario
 	if err := json.Unmarshal(data, &scs); err != nil {
 		var one Scenario
 		if err1 := json.Unmarshal(data, &one); err1 != nil {
-			return fmt.Errorf("scenario: batch input is neither a scenario array (%v) nor a scenario object (%v)", err, err1)
+			return nil, fmt.Errorf("scenario: batch input is neither a scenario array (%v) nor a scenario object (%v)", err, err1)
 		}
 		scs = []Scenario{one}
+	}
+	return scs, nil
+}
+
+// RunBatchJSON is RunBatch over serialized scenarios: r holds either a
+// JSON array of scenarios or a single scenario object, and the results
+// are written to w as an indented JSON array.
+func RunBatchJSON(ctx context.Context, r io.Reader, w io.Writer, o BatchOptions) error {
+	scs, err := DecodeBatch(r)
+	if err != nil {
+		return err
 	}
 	results := RunBatch(ctx, scs, o)
 	enc := json.NewEncoder(w)

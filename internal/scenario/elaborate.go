@@ -162,6 +162,7 @@ func (s Scenario) Elaborate() (*Elaboration, error) {
 			PerVCNodes: o.PerVCNodes,
 			TraceNodes: o.TraceNodes,
 			TraceClass: o.TraceClass,
+			Spans:      o.Spans,
 		})
 		e.Obs.Attach(sim)
 	}

@@ -71,6 +71,10 @@ type Observe struct {
 	// TraceClass restricts the trace to one message class: "control",
 	// "data", or "" for both.
 	TraceClass string `json:"trace_class,omitempty"`
+	// Spans enables live per-flit span building (obs.SpanBuilder):
+	// per-hop stage decomposition and the latency attribution tables
+	// behind mirasim -attrib and mirabench obs-stages.
+	Spans bool `json:"spans,omitempty"`
 }
 
 // Fault is a serializable failed link for the fault-tolerant routing

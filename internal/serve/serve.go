@@ -1,0 +1,216 @@
+// Package serve turns a scenario batch into a live, observable service:
+// mirasim -serve runs the batch while a stdlib net/http server exposes
+// the in-flight metric registries as hand-rolled Prometheus text
+// exposition (/metrics), run progress and completed results as JSON
+// (/runs), a liveness probe (/healthz), and the standard pprof
+// endpoints (/debug/pprof/). This is the ROADMAP step from "offline
+// batch tool" toward a long-running simulation service: a dashboard can
+// watch an experiment sweep converge window by window instead of
+// waiting for the final tables.
+//
+// Serving is observation-only by construction: the handlers read the
+// samplers' already-snapshotted series (mutex-guarded) and the batch
+// results written at run completion. No handler touches live network
+// state, so a served batch produces bit-identical results to a bare
+// one (pinned by TestServedResultsBitIdentical).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+
+	"mira/internal/noc"
+	"mira/internal/obs"
+	"mira/internal/scenario"
+)
+
+// state of one run in the batch.
+const (
+	StatePending = "pending"
+	StateRunning = "running"
+	StateDone    = "done"
+)
+
+// runState tracks one scenario through the batch.
+type runState struct {
+	state string
+	col   *obs.Collector // non-nil once running
+	names []string       // registry column names, fixed at elaboration
+	res   *scenario.BatchResult
+}
+
+// Server owns a scenario batch and serves its live state. Create with
+// New, start the batch with Run, and expose Handler over net/http.
+type Server struct {
+	scs []scenario.Scenario
+
+	mu   sync.Mutex
+	runs []runState
+}
+
+// New builds a server over the batch. Every scenario is given an
+// Observe block if it lacks one, so each run has a metric registry to
+// expose.
+func New(scs []scenario.Scenario) *Server {
+	owned := make([]scenario.Scenario, len(scs))
+	copy(owned, scs)
+	for i := range owned {
+		if owned[i].Observe == nil {
+			owned[i].Observe = &scenario.Observe{}
+		}
+	}
+	s := &Server{scs: owned, runs: make([]runState, len(owned))}
+	for i := range s.runs {
+		s.runs[i].state = StatePending
+	}
+	return s
+}
+
+// Scenarios returns the (possibly Observe-augmented) batch.
+func (s *Server) Scenarios() []scenario.Scenario { return s.scs }
+
+// Run executes the batch, publishing per-run progress as it goes. The
+// caller's OnStart/OnDone hooks in o, if any, still fire (after the
+// server's own bookkeeping). Blocks until the batch completes; serve
+// the Handler from another goroutine.
+func (s *Server) Run(ctx context.Context, o scenario.BatchOptions) []scenario.BatchResult {
+	userStart, userDone := o.OnStart, o.OnDone
+	o.OnStart = func(i int, e *scenario.Elaboration) {
+		s.mu.Lock()
+		s.runs[i].state = StateRunning
+		s.runs[i].col = e.Obs
+		if e.Obs != nil {
+			s.runs[i].names = e.Obs.Registry().Names()
+		}
+		s.mu.Unlock()
+		if userStart != nil {
+			userStart(i, e)
+		}
+	}
+	o.OnDone = func(r scenario.BatchResult) {
+		s.mu.Lock()
+		res := r
+		s.runs[r.Index].state = StateDone
+		s.runs[r.Index].res = &res
+		s.mu.Unlock()
+		if userDone != nil {
+			userDone(r)
+		}
+	}
+	return scenario.RunBatch(ctx, s.scs, o)
+}
+
+// Handler returns the service mux: /healthz, /runs, /metrics and
+// /debug/pprof/.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/runs", s.handleRuns)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// RunStatus is the JSON shape of one run on /runs.
+type RunStatus struct {
+	Index   int    `json:"index"`
+	Arch    string `json:"arch"`
+	Traffic string `json:"traffic"`
+	Seed    int64  `json:"seed"`
+	State   string `json:"state"`
+	// Windows counts completed sample windows (live progress signal).
+	Windows int `json:"windows"`
+	// Cycle is the boundary cycle of the latest sample window.
+	Cycle int64 `json:"cycle,omitempty"`
+	// Result and Error are present once the run is done.
+	Result *noc.Result `json:"result,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
+// status snapshots one run under the lock.
+func (s *Server) status(i int) RunStatus {
+	sc := s.scs[i]
+	r := &s.runs[i]
+	st := RunStatus{
+		Index:   i,
+		Arch:    sc.Arch,
+		Traffic: sc.Traffic.Kind,
+		Seed:    sc.Seed,
+		State:   r.state,
+	}
+	if r.col != nil {
+		st.Windows = r.col.Sampler().Samples()
+		if cycle, _, ok := r.col.Sampler().Latest(); ok {
+			st.Cycle = cycle
+		}
+	}
+	if r.res != nil {
+		if r.res.Err != "" {
+			st.Error = r.res.Err
+		} else {
+			res := r.res.Result
+			st.Result = &res
+		}
+	}
+	return st
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := make([]RunStatus, len(s.runs))
+	for i := range s.runs {
+		out[i] = s.status(i)
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out) //nolint:errcheck // client gone; nothing to do
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	counts := map[string]int{StatePending: 0, StateRunning: 0, StateDone: 0}
+	var samples []obs.PromSample
+	for i := range s.runs {
+		r := &s.runs[i]
+		counts[r.state]++
+		if r.col == nil {
+			continue
+		}
+		cycle, row, ok := r.col.Sampler().Latest()
+		if !ok {
+			continue
+		}
+		labels := [][2]string{
+			{"run", strconv.Itoa(i)},
+			{"arch", s.scs[i].Arch},
+		}
+		samples = append(samples, obs.PromSample{
+			Name: "mira_run_cycle", Labels: labels, Value: float64(cycle),
+		})
+		samples = append(samples, obs.PromSamples(r.names, row, labels)...)
+	}
+	s.mu.Unlock()
+	for _, st := range []string{StateDone, StatePending, StateRunning} {
+		samples = append(samples, obs.PromSample{
+			Name:   "mira_runs",
+			Labels: [][2]string{{"state", st}},
+			Value:  float64(counts[st]),
+		})
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WriteProm(w, samples) //nolint:errcheck // client gone; nothing to do
+}

@@ -16,6 +16,10 @@ type Table struct {
 	Title  string     `json:"title,omitempty"`
 	Header []string   `json:"header"`
 	Rows   [][]string `json:"rows"`
+	// Notes are free-form caption lines rendered after the text form and
+	// carried in JSON; the CSV form omits them so machine consumers see
+	// data rows only.
+	Notes []string `json:"notes,omitempty"`
 }
 
 // AddRow appends one row of cells.
@@ -54,6 +58,9 @@ func (t Table) String() string {
 	line(t.Header)
 	for _, row := range t.Rows {
 		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "# %s\n", n)
 	}
 	return sb.String()
 }
