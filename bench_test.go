@@ -23,6 +23,7 @@ import (
 	"mira/internal/power"
 	"mira/internal/routing"
 	"mira/internal/timing"
+	"mira/internal/topology"
 	"mira/internal/traffic"
 )
 
@@ -384,10 +385,21 @@ func benchStepProbe(b *testing.B, rate float64, mode noc.StepMode, p noc.Probe) 
 	cfg.Mode = mode
 	net := noc.NewNetwork(cfg)
 	net.SetProbe(p)
+	runStepBench(b, net, gen)
+}
+
+// runStepBench warms net up to steady state (1000 cycles) and then runs
+// b.N timed cycles. Traffic generation is pure rng work whose cost is
+// identical for every simulator variant, so it runs with the timer
+// stopped — specs are pre-generated a chunk of cycles at a time and the
+// timed region is exactly Enqueue+Step. Generation depends only on the
+// cycle number, so batching it does not change the injected traffic.
+func runStepBench(b *testing.B, net *noc.Network, gen *traffic.Uniform) {
+	b.Helper()
 	rng := rand.New(rand.NewSource(1))
 	var specs []noc.Spec
 	cycle := int64(0)
-	step := func() {
+	for ; cycle < 1000; cycle++ { // reach steady state before measuring
 		specs = gen.Generate(cycle, rng, specs[:0])
 		for _, sp := range specs {
 			if _, err := net.Enqueue(sp); err != nil {
@@ -395,15 +407,36 @@ func benchStepProbe(b *testing.B, rate float64, mode noc.StepMode, p noc.Probe) 
 			}
 		}
 		net.Step()
-		cycle++
 	}
-	for cycle < 1000 { // reach steady state before measuring
-		step()
-	}
+	const chunk = 4096 // cycles pre-generated per timer pause
+	var (
+		flat []noc.Spec // chunk's specs, concatenated in cycle order
+		off  []int      // off[i]:off[i+1] bounds cycle i's specs
+	)
 	b.ReportAllocs()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		step()
+	for done := 0; done < b.N; done += chunk {
+		nc := chunk
+		if rem := b.N - done; rem < nc {
+			nc = rem
+		}
+		b.StopTimer()
+		flat, off = flat[:0], off[:0]
+		for i := 0; i < nc; i++ {
+			off = append(off, len(flat))
+			flat = gen.Generate(cycle+int64(i), rng, flat)
+		}
+		off = append(off, len(flat))
+		b.StartTimer()
+		for i := 0; i < nc; i++ {
+			for _, sp := range flat[off[i]:off[i+1]] {
+				if _, err := net.Enqueue(sp); err != nil {
+					b.Fatal(err)
+				}
+			}
+			net.Step()
+		}
+		cycle += int64(nc)
 	}
 }
 
@@ -431,6 +464,44 @@ func BenchmarkStepURNilProbe(b *testing.B) { benchStepProbe(b, 0.2, noc.StepActi
 // loaded-mesh step loop with a minimal counting probe attached, i.e. the
 // per-event dispatch overhead before any collector logic runs.
 func BenchmarkStepURProbed(b *testing.B) { benchStepProbe(b, 0.2, noc.StepActivity, &countingProbe{}) }
+
+// BenchmarkStepHighRate measures the near-saturation regime the SoA
+// router core targets: at 0.3 flits/node/cycle most VCs hold flits most
+// cycles, so activity tracking prunes little and per-cycle cost is
+// dominated by the stage loops walking live VC state. This is the
+// regime the fig11/fig12 sweeps spend most of their wall-clock in.
+func BenchmarkStepHighRate(b *testing.B) { benchStep(b, 0.3, noc.StepActivity) }
+
+// BenchmarkStepHighRateFullScan is the full-scan reference for
+// BenchmarkStepHighRate.
+func BenchmarkStepHighRateFullScan(b *testing.B) { benchStep(b, 0.3, noc.StepFullScan) }
+
+// benchStepLarge is benchStep on a 16x16 mesh (256 routers, ~7x the
+// 6x6 fabric), pinning that per-cycle cost stays proportional to
+// traffic as the flat state arrays grow.
+func benchStepLarge(b *testing.B, rate float64, mode noc.StepMode) {
+	b.Helper()
+	topo := topology.NewMesh2D(16, 16, core.Pitch2DMM)
+	cfg := noc.Config{
+		Topo:       topo,
+		Alg:        routing.ForTopology(topo),
+		VCs:        core.VCsPerPort,
+		BufDepth:   core.BufDepth,
+		STLTCycles: 2,
+		Layers:     core.Layers,
+		Policy:     noc.AnyFree,
+		Seed:       1,
+		Mode:       mode,
+	}
+	gen := &traffic.Uniform{Topo: topo, InjectionRate: rate, PacketSize: core.DataPacketFlits}
+	net := noc.NewNetwork(cfg)
+	runStepBench(b, net, gen)
+}
+
+// BenchmarkStepHighRateLargeMesh is BenchmarkStepHighRate on a 16x16
+// mesh — the giant-fabric regime ROADMAP item 1 (sharded stepping)
+// will partition, so its single-threaded cost is the baseline to beat.
+func BenchmarkStepHighRateLargeMesh(b *testing.B) { benchStepLarge(b, 0.3, noc.StepActivity) }
 
 // BenchmarkStepLowRate measures the regime activity tracking targets:
 // at 0.05 flits/node/cycle most routers are idle most cycles, so the

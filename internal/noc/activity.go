@@ -110,11 +110,10 @@ func (r *Router) listRemove(list []int32, f int32) []int32 {
 // setVCState moves the VC at flat index f to state s, keeping the
 // per-stage pending lists, the per-output waiter counts and the
 // network-level active-router sets in sync. Every state assignment in
-// the router goes through here; vc.state is never written directly.
+// the router goes through here; vcState[f] is never written directly.
 func (r *Router) setVCState(f int32, s vcState) {
-	vc := r.flatVCs[f]
 	id := int(r.id)
-	switch vc.state {
+	switch r.vcState[f] {
 	case vcRouting:
 		r.listRC = r.listRemove(r.listRC, f)
 		if len(r.listRC) == 0 {
@@ -122,7 +121,7 @@ func (r *Router) setVCState(f int32, s vcState) {
 		}
 	case vcWaitVC:
 		r.listVA = r.listRemove(r.listVA, f)
-		r.waitersByOut[r.outIndex[vc.outDir]]--
+		r.waitersByOut[r.outIndex[r.vcOutDir[f]]]--
 		if len(r.listVA) == 0 {
 			r.net.actVA.remove(id)
 		}
@@ -132,14 +131,14 @@ func (r *Router) setVCState(f int32, s vcState) {
 			r.net.actSA.remove(id)
 		}
 	}
-	vc.state = s
+	r.vcState[f] = s
 	switch s {
 	case vcRouting:
 		r.listRC = r.listAdd(r.listRC, f)
 		r.net.actRC.add(id)
 	case vcWaitVC:
 		r.listVA = r.listAdd(r.listVA, f)
-		r.waitersByOut[r.outIndex[vc.outDir]]++
+		r.waitersByOut[r.outIndex[r.vcOutDir[f]]]++
 		r.net.actVA.add(id)
 	case vcActive:
 		r.listSA = r.listAdd(r.listSA, f)

@@ -35,61 +35,88 @@ func (n *Network) CheckInvariants() error {
 		dir    topology.Dir
 		vc     int
 	}
-	// Flits and credits currently in flight, per downstream channel.
+	// Flits and credits currently in flight. Flits key by downstream
+	// channel; credits travel as flat credit-array indices, so they key
+	// by the global slot the delivery loop will increment.
 	inFlight := make(map[chanKey]int)
-	credRet := make(map[chanKey]int)
+	credRet := make(map[int32]int)
 	ejecting := 0
 	for _, slot := range n.ring {
 		for _, ev := range slot {
-			switch ev.kind {
-			case evFlit:
-				inFlight[chanKey{ev.router, ev.dir, ev.vc}]++
-			case evEject:
+			if ev < 0 {
 				ejecting++
-			case evCredit:
-				// ev.router is the upstream router; translate to the
-				// downstream channel it describes.
-				up := n.routers[ev.router]
-				oi := up.outIndex[ev.dir]
-				if oi < 0 {
-					return fmt.Errorf("noc: in-flight credit for missing port %v at router %d", ev.dir, ev.router)
-				}
-				link := up.outPorts[oi].link
-				credRet[chanKey{link.Dst, ev.dir.Opposite(), ev.vc}]++
+				continue
 			}
+			if int(ev) >= len(n.soa.ownerOf) {
+				return fmt.Errorf("noc: in-flight arrival word %d out of range", ev)
+			}
+			r := &n.routers[n.soa.ownerOf[ev]]
+			fi := int(ev - r.vcBase)
+			inFlight[chanKey{r.id, r.inPorts[r.portOf[fi]].dir, int(r.vcOf[fi])}]++
+		}
+	}
+	for _, slot := range n.credRing {
+		for _, ci := range slot {
+			if ci < 0 || int(ci) >= len(n.soa.credits) {
+				return fmt.Errorf("noc: in-flight credit slot %d out of range", ci)
+			}
+			credRet[ci]++
 		}
 	}
 
-	for _, r := range n.routers {
-		for pi := range r.inPorts {
-			ip := &r.inPorts[pi]
-			for vi := range ip.vcs {
-				vc := &ip.vcs[vi]
-				if vc.occ() > n.cfg.BufDepth {
-					return fmt.Errorf("noc: router %d %v vc %d holds %d flits (depth %d)",
-						r.id, ip.dir, vi, vc.occ(), n.cfg.BufDepth)
+	for ri := range n.routers {
+		r := &n.routers[ri]
+		for f := range r.vcState {
+			pi, vi := int(r.portOf[f]), int(r.vcOf[f])
+			dir := r.inPorts[pi].dir
+			// Ring-bounds invariant: the fixed-capacity ring (soa.go)
+			// makes occupancy > BufDepth unstorable, but the head/len
+			// cursors are checked anyway so a corrupted cursor is
+			// caught here rather than as a garbled flit downstream.
+			if r.vcHead[f] < 0 || int(r.vcHead[f]) >= r.bufDepth {
+				return fmt.Errorf("noc: router %d %v vc %d ring head %d out of [0,%d)",
+					r.id, dir, vi, r.vcHead[f], r.bufDepth)
+			}
+			if r.vcOcc(f) < 0 || r.vcOcc(f) > n.cfg.BufDepth {
+				return fmt.Errorf("noc: router %d %v vc %d holds %d flits (depth %d)",
+					r.id, dir, vi, r.vcOcc(f), n.cfg.BufDepth)
+			}
+			if r.vcOcc(f) > 0 {
+				if want := r.bufArrived[f*r.bufDepth+int(r.vcHead[f])]; r.vcFrontAt[f] != want {
+					return fmt.Errorf("noc: router %d %v vc %d front-arrival cache %d, ring says %d",
+						r.id, dir, vi, r.vcFrontAt[f], want)
 				}
-				switch vc.state {
-				case vcRouting, vcWaitVC:
-					if f := vc.front(); f == nil || !f.flit.Type.IsHead() {
-						return fmt.Errorf("noc: router %d %v vc %d in %v without head flit",
-							r.id, ip.dir, vi, vc.state)
-					}
-				case vcIdle:
-					if vc.occ() != 0 {
-						return fmt.Errorf("noc: router %d %v vc %d idle with %d buffered flits",
-							r.id, ip.dir, vi, vc.occ())
-					}
-				case vcActive:
-					oi := r.outIndex[vc.outDir]
-					if oi < 0 {
-						return fmt.Errorf("noc: router %d %v vc %d active toward missing port %v",
-							r.id, ip.dir, vi, vc.outDir)
-					}
-					if !r.outPorts[oi].reserved[vc.outVC] {
-						return fmt.Errorf("noc: router %d %v vc %d active but output %v vc %d unreserved",
-							r.id, ip.dir, vi, vc.outDir, vc.outVC)
-					}
+			}
+			// Each in-flight flit occupies a pre-written ring slot
+			// (vcReserveSlot) and has exactly one pending arrival event.
+			if got := inFlight[chanKey{r.id, dir, vi}]; int(r.vcInFly[f]) != got {
+				return fmt.Errorf("noc: router %d %v vc %d records %d in-flight flits, ring holds %d arrival events",
+					r.id, dir, vi, r.vcInFly[f], got)
+			}
+			if r.vcOcc(f)+int(r.vcInFly[f]) > n.cfg.BufDepth {
+				return fmt.Errorf("noc: router %d %v vc %d occupancy %d + in-flight %d exceeds depth %d",
+					r.id, dir, vi, r.vcOcc(f), r.vcInFly[f], n.cfg.BufDepth)
+			}
+			switch r.vcState[f] {
+			case vcRouting, vcWaitVC:
+				if front := r.vcFrontFlit(f); front == nil || !front.Type.IsHead() {
+					return fmt.Errorf("noc: router %d %v vc %d in %v without head flit",
+						r.id, dir, vi, r.vcState[f])
+				}
+			case vcIdle:
+				if r.vcOcc(f) != 0 {
+					return fmt.Errorf("noc: router %d %v vc %d idle with %d buffered flits",
+						r.id, dir, vi, r.vcOcc(f))
+				}
+			case vcActive:
+				oi := r.outIndex[r.vcOutDir[f]]
+				if oi < 0 {
+					return fmt.Errorf("noc: router %d %v vc %d active toward missing port %v",
+						r.id, dir, vi, r.vcOutDir[f])
+				}
+				if !r.outPorts[oi].reserved[r.vcOutVC[f]] {
+					return fmt.Errorf("noc: router %d %v vc %d active but output %v vc %d unreserved",
+						r.id, dir, vi, r.vcOutDir[f], r.vcOutVC[f])
 				}
 			}
 		}
@@ -99,18 +126,19 @@ func (n *Network) CheckInvariants() error {
 			if !op.hasLink {
 				continue
 			}
-			down := n.routers[op.link.Dst]
+			down := &n.routers[op.link.Dst]
 			dpi := down.inIndex[op.dir.Opposite()]
 			if dpi < 0 {
 				return fmt.Errorf("noc: link from %d via %v lands on missing port", r.id, op.dir)
 			}
 			for vi := 0; vi < n.cfg.VCs; vi++ {
 				key := chanKey{op.link.Dst, op.dir.Opposite(), vi}
-				occupied := down.inPorts[dpi].vcs[vi].occ()
-				total := op.credits[vi] + occupied + inFlight[key] + credRet[key]
+				ci := r.credBase + int32(oi*n.cfg.VCs+vi)
+				occupied := down.vcOcc(down.flatVC(int(dpi), vi))
+				total := int(op.credits[vi]) + occupied + inFlight[key] + credRet[ci]
 				if total != n.cfg.BufDepth {
 					return fmt.Errorf("noc: channel %d-%v->%d vc %d: credits %d + occupied %d + inflight %d + credret %d != depth %d",
-						r.id, op.dir, op.link.Dst, vi, op.credits[vi], occupied, inFlight[key], credRet[key], n.cfg.BufDepth)
+						r.id, op.dir, op.link.Dst, vi, op.credits[vi], occupied, inFlight[key], credRet[ci], n.cfg.BufDepth)
 				}
 			}
 		}
@@ -121,10 +149,10 @@ func (n *Network) CheckInvariants() error {
 	var scanQueuedFlits, scanQueuedPkts int64
 	for i := range n.nis {
 		s := &n.nis[i]
-		for _, j := range s.queue {
+		for _, j := range s.pending() {
 			scanQueuedFlits += int64(j.pkt.Size)
 		}
-		scanQueuedPkts += int64(len(s.queue))
+		scanQueuedPkts += int64(len(s.pending()))
 		if s.injecting {
 			scanQueuedFlits += int64(s.cur.pkt.Size - s.curSeq)
 			scanQueuedPkts++
@@ -135,8 +163,8 @@ func (n *Network) CheckInvariants() error {
 			n.queuedFlits, scanQueuedFlits, n.queuedPackets, scanQueuedPkts)
 	}
 	var scanInFlight int64
-	for _, r := range n.routers {
-		scanInFlight += int64(r.occupancy())
+	for ri := range n.routers {
+		scanInFlight += int64(n.routers[ri].occupancy())
 	}
 	for _, c := range inFlight {
 		scanInFlight += int64(c)
@@ -162,31 +190,31 @@ func (n *Network) checkActivity() error {
 			return r.listSA
 		}
 	}
-	for _, r := range n.routers {
+	for ri := range n.routers {
+		r := &n.routers[ri]
 		// Recount VCs per state and waiters per output port.
 		var want [4]int
 		waiters := make([]int32, len(r.outPorts))
-		for pi := range r.inPorts {
-			for vi := range r.inPorts[pi].vcs {
-				vc := &r.inPorts[pi].vcs[vi]
-				f := int32(r.flatVC(pi, vi))
-				want[vc.state]++
-				if vc.state == vcWaitVC {
-					waiters[r.outIndex[vc.outDir]]++
+		for fi := range r.vcState {
+			f := int32(fi)
+			pi, vi := int(r.portOf[fi]), int(r.vcOf[fi])
+			s := r.vcState[fi]
+			want[s]++
+			if s == vcWaitVC {
+				waiters[r.outIndex[r.vcOutDir[fi]]]++
+			}
+			if s == vcIdle {
+				if r.listPos[f] != -1 {
+					return fmt.Errorf("noc: router %d %v vc %d idle but listPos %d",
+						r.id, r.inPorts[pi].dir, vi, r.listPos[f])
 				}
-				if vc.state == vcIdle {
-					if r.listPos[f] != -1 {
-						return fmt.Errorf("noc: router %d %v vc %d idle but listPos %d",
-							r.id, r.inPorts[pi].dir, vi, r.listPos[f])
-					}
-					continue
-				}
-				list := listFor(r, vc.state)
-				p := r.listPos[f]
-				if p < 0 || int(p) >= len(list) || list[p] != f {
-					return fmt.Errorf("noc: router %d %v vc %d in %v but not at list position %d",
-						r.id, r.inPorts[pi].dir, vi, vc.state, p)
-				}
+				continue
+			}
+			list := listFor(r, s)
+			p := r.listPos[f]
+			if p < 0 || int(p) >= len(list) || list[p] != f {
+				return fmt.Errorf("noc: router %d %v vc %d in %v but not at list position %d",
+					r.id, r.inPorts[pi].dir, vi, s, p)
 			}
 		}
 		for _, s := range []vcState{vcRouting, vcWaitVC, vcActive} {
@@ -222,13 +250,13 @@ func (n *Network) checkActivity() error {
 	nActive := 0
 	for i := range n.nis {
 		s := &n.nis[i]
-		work := len(s.queue) > 0 || s.injecting
+		work := len(s.pending()) > 0 || s.injecting
 		if work {
 			nActive++
 		}
 		if n.actNI.has(i) != work {
 			return fmt.Errorf("noc: NI %d activity bit %v with %d queued, injecting %v",
-				i, n.actNI.has(i), len(s.queue), s.injecting)
+				i, n.actNI.has(i), len(s.pending()), s.injecting)
 		}
 	}
 	for _, c := range []struct {

@@ -98,7 +98,7 @@ func TestInvariantsAfterDrain(t *testing.T) {
 				continue
 			}
 			for vi, c := range op.credits {
-				if c != cfg.BufDepth {
+				if int(c) != cfg.BufDepth {
 					t.Fatalf("router %d %v vc %d credits %d != %d after drain",
 						r.id, op.dir, vi, c, cfg.BufDepth)
 				}

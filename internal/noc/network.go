@@ -6,22 +6,24 @@ import (
 	"mira/internal/topology"
 )
 
-type eventKind uint8
+// Scheduled deliveries — a flit landing in a downstream buffer or a
+// flit leaving the network at the NI — travel the event ring as single
+// int32 words. A non-negative word is a link arrival carrying the
+// destination's global flat VC index (the flit body itself was
+// direct-written into that VC's ring slot at send time, so the event
+// needs no payload); a negative word is an ejection, ^word indexing the
+// cycle's ejRing payload slice. Credit returns travel the separate
+// credit ring: they touch only the flat credit array and never emit
+// probe events, so they need neither ordering against deliveries nor a
+// payload. The forward path appends one word per flit per hop, so its
+// size is hot.
+type event = int32
 
-const (
-	evFlit eventKind = iota
-	evCredit
-	evEject
-)
-
-// event is a scheduled delivery: a flit landing in a downstream buffer,
-// a credit returning upstream, or a flit leaving the network at the NI.
-type event struct {
-	kind   eventKind
-	router topology.NodeID
-	dir    topology.Dir
-	vc     int
+// ejEntry is the payload of one ejection event: the flit handed to the
+// NI and the router it left from (for the eject probe).
+type ejEntry struct {
 	flit   Flit
+	router int32 // topology.NodeID
 }
 
 // ringSize bounds the event horizon; all modeled delays (ST+LT <= 2
@@ -31,13 +33,23 @@ const ringSize = 8
 // ni is the network interface at one node: an unbounded source queue and
 // the wormhole injection state of the packet currently entering the
 // router.
+//
+// The queue is a slice with an explicit head cursor rather than a
+// re-sliced FIFO: popping via queue[1:] strands the consumed prefix of
+// the backing array, so under steady traffic every Enqueue append
+// reallocates. With the cursor, the slice resets to its full capacity
+// whenever it drains and steady-state enqueues stay allocation-free.
 type ni struct {
 	queue     []injJob
+	qhead     int
 	cur       injJob
 	injecting bool
 	curVC     int
 	curSeq    int
 }
+
+// pending returns the queued jobs not yet handed to the injector.
+func (s *ni) pending() []injJob { return s.queue[s.qhead:] }
 
 // injJob pairs a packet with its per-flit layer profile.
 type injJob struct {
@@ -49,10 +61,29 @@ type injJob struct {
 // by cycle.
 type Network struct {
 	cfg     Config
-	routers []*Router
+	// routers is a contiguous value slice: the per-router headers (the
+	// window slice descriptors and counters) sit side by side in one
+	// allocation, so event delivery and the stage dispatch loops index
+	// into a dense array instead of chasing per-router heap pointers.
+	routers []Router
 	nis     []ni
 	ring    [ringSize][]event
-	cycle   int64
+	// ejRing holds the payloads of each slot's ejection events (^word
+	// indexes it), so the common link-arrival event stays payload-free.
+	ejRing [ringSize][]ejEntry
+	// credRing schedules credit returns as bare global indices into
+	// soa.credits (precomputed per input port), so the per-hop credit
+	// costs a 4-byte append and its delivery a single increment.
+	credRing [ringSize][]int32
+	cycle    int64
+
+	// soa owns the flattened router-pipeline state; every Router holds
+	// windows (sub-slices) of these arrays. See soa.go.
+	soa soaState
+	// layerFrac[k] precomputes k/Layers (index 0 and out-of-range mean
+	// "all layers active", frac 1), so the per-flit weighted counters
+	// cost a table lookup instead of a float divide.
+	layerFrac []float64
 
 	// inFlightFlits counts flits currently inside the network (buffered
 	// or on a link); queuedFlits counts flits of enqueued packets that
@@ -93,15 +124,69 @@ func NewNetwork(cfg Config) *Network {
 	}
 	n := &Network{cfg: cfg}
 	num := cfg.Topo.NumNodes()
-	n.routers = make([]*Router, num)
+	n.routers = make([]Router, num)
 	n.nis = make([]ni, num)
 	n.actRC = newRouterSet(num)
 	n.actVA = newRouterSet(num)
 	n.actSA = newRouterSet(num)
 	n.actNI = newRouterSet(num)
 	n.actScratch = make([]int32, 0, num)
+	n.layerFrac = make([]float64, cfg.Layers+1)
+	n.layerFrac[0] = 1
+	for k := 1; k <= cfg.Layers; k++ {
+		n.layerFrac[k] = float64(k) / float64(cfg.Layers)
+	}
+	// Two-phase construction: build the port metadata views first (the
+	// flat-array sizes depend on every router's port count), then
+	// allocate the struct-of-arrays state once and hand each router its
+	// windows.
+	totalPorts := 0
 	for i := range n.routers {
-		n.routers[i] = newRouter(n, topology.NodeID(i))
+		initRouter(&n.routers[i], n, topology.NodeID(i))
+		totalPorts += len(n.routers[i].inPorts)
+	}
+	n.soa = newSoAState(&n.cfg, totalPorts*cfg.VCs, totalPorts)
+	vcBase, portBase := 0, 0
+	for i := range n.routers {
+		r := &n.routers[i]
+		r.bind(&n.soa, vcBase, portBase)
+		for k := 0; k < len(r.inPorts)*cfg.VCs; k++ {
+			n.soa.ownerOf[vcBase+k] = int32(i)
+		}
+		portBase += len(r.inPorts)
+		vcBase += len(r.inPorts) * cfg.VCs
+	}
+	// Third pass: precompute each input port's upstream credit slot and
+	// each output port's downstream VC base, which need every router's
+	// credBase/vcBase fixed by bind first.
+	for i := range n.routers {
+		r := &n.routers[i]
+		for pi := range r.inPorts {
+			ip := &r.inPorts[pi]
+			ip.upCredBase = -1
+			if ip.upstream < 0 {
+				continue
+			}
+			up := &n.routers[ip.upstream]
+			oi := up.outIndex[ip.dir.Opposite()]
+			if oi < 0 {
+				panic(fmt.Sprintf("noc: router %d has no return port toward %d", ip.upstream, r.id))
+			}
+			ip.upCredBase = up.credBase + int32(int(oi)*cfg.VCs)
+		}
+		for oi := range r.outPorts {
+			op := &r.outPorts[oi]
+			op.downVCBase = -1
+			if !op.hasLink {
+				continue
+			}
+			down := &n.routers[op.link.Dst]
+			dpi := down.inIndex[op.dir.Opposite()]
+			if dpi < 0 {
+				panic(fmt.Sprintf("noc: link from %d via %v lands on missing port", r.id, op.dir))
+			}
+			op.downVCBase = down.vcBase + int32(int(dpi)*cfg.VCs)
+		}
 	}
 	return n
 }
@@ -113,18 +198,30 @@ func (n *Network) Config() *Config { return &n.cfg }
 func (n *Network) Cycle() int64 { return n.cycle }
 
 // Router returns the router at node id (for tests and instrumentation).
-func (n *Network) Router(id topology.NodeID) *Router { return n.routers[id] }
+func (n *Network) Router(id topology.NodeID) *Router { return &n.routers[id] }
 
 // SetEjectHandler installs the packet-completion callback.
 func (n *Network) SetEjectHandler(fn func(*Packet)) { n.onEject = fn }
 
-func (n *Network) schedule(at int64, ev event) {
-	d := at - n.cycle
-	if d <= 0 || d >= ringSize {
-		panic(fmt.Sprintf("noc: schedule delta %d out of range", d))
+// slotFor validates the delivery cycle and returns the ring slot it
+// lands in. It is small enough to inline (the panic lives in its own
+// function to stay under the budget), so the hot forward path appends
+// events into the ring directly instead of copying each event through
+// a call frame. ringSize is a power of two and cycles are never
+// negative, so the slot index is a mask, not a division.
+func (n *Network) slotFor(at int64) *[]event {
+	if d := at - n.cycle; d <= 0 || d >= ringSize {
+		panic("noc: schedule delta out of range")
 	}
-	slot := at % ringSize
-	n.ring[slot] = append(n.ring[slot], ev)
+	return &n.ring[at&(ringSize-1)]
+}
+
+// credSlotFor is slotFor's counterpart for the credit ring.
+func (n *Network) credSlotFor(at int64) *[]int32 {
+	if d := at - n.cycle; d <= 0 || d >= ringSize {
+		panic("noc: schedule delta out of range")
+	}
+	return &n.credRing[at&(ringSize-1)]
 }
 
 // Enqueue places a packet described by spec into its source NI queue at
@@ -173,36 +270,58 @@ func (n *Network) Idle() bool { return n.queuedPackets == 0 && n.inFlightFlits =
 // Step advances the simulation by one cycle.
 func (n *Network) Step() {
 	n.cycle++
-	slot := n.cycle % ringSize
+	slot := n.cycle & (ringSize - 1)
 
-	// 1. Deliver events scheduled for this cycle.
+	// 1. Deliver events scheduled for this cycle. Credits first: they
+	// only increment flat counters and interact with nothing below, so
+	// their ordering against flit deliveries is unobservable.
+	creds := n.credRing[slot]
+	n.credRing[slot] = creds[:0]
+	depth := int32(n.cfg.BufDepth)
+	for _, ci := range creds {
+		n.soa.credits[ci]++
+		if n.soa.credits[ci] > depth {
+			panic(fmt.Sprintf("noc: credit overflow at flat credit slot %d", ci))
+		}
+	}
 	events := n.ring[slot]
 	n.ring[slot] = events[:0]
+	ownerOf := n.soa.ownerOf
 	for _, ev := range events {
-		switch ev.kind {
-		case evFlit:
-			r := n.routers[ev.router]
-			pi := r.inIndex[ev.dir]
-			if pi < 0 {
-				panic(fmt.Sprintf("noc: flit delivered to missing port %v at router %d", ev.dir, ev.router))
-			}
-			r.acceptFlit(n.cycle, int(pi), ev.vc, ev.flit)
-		case evCredit:
-			n.routers[ev.router].creditReturn(ev.dir, ev.vc)
-		case evEject:
-			n.inFlightFlits--
-			if n.probe != nil {
-				n.probe.ProbeEvent(ProbeEvent{Kind: ProbeEject, Cycle: n.cycle, Router: ev.router, Flit: ev.flit})
-			}
-			if ev.flit.Type.IsTail() {
-				pkt := ev.flit.Pkt
-				pkt.EjectedAt = n.cycle
-				if n.onEject != nil {
-					n.onEject(pkt)
+		if ev >= 0 {
+			// Link arrival: ev is the destination's global flat VC
+			// index. Expose the flit pre-written by the upstream
+			// forward (vcArrive), with exactly the bookkeeping
+			// acceptFlit does for an injected flit.
+			r := &n.routers[ownerOf[ev]]
+			fi := int(ev - r.vcBase)
+			f := r.vcArrive(fi)
+			r.Counters.BufWrites++
+			r.Counters.WBufWrites += r.layerFracN(f.ActiveLayers)
+			if f.Type.IsHead() && r.vcOcc(fi) == 1 {
+				if r.vcState[fi] != vcIdle {
+					r.badArrivalState(fi)
 				}
+				r.startHead(int32(fi), n.cycle)
+			}
+			continue
+		}
+		n.inFlightFlits--
+		e := &n.ejRing[slot][^ev]
+		if n.probe != nil {
+			n.probe.ProbeEvent(ProbeEvent{Kind: ProbeEject, Cycle: n.cycle, Router: topology.NodeID(e.router), Flit: e.flit})
+		}
+		if e.flit.Type.IsTail() {
+			pkt := e.flit.Pkt
+			pkt.EjectedAt = n.cycle
+			if n.onEject != nil {
+				n.onEject(pkt)
 			}
 		}
 	}
+	// New events only ever target future slots (slotFor rejects d <= 0),
+	// so the payload slice is safe to recycle once the loop is done.
+	n.ejRing[slot] = n.ejRing[slot][:0]
 
 	// 2. Inject from NIs (one flit per node per cycle), then the router
 	// pipelines in reverse stage order so a flit advances at most one
@@ -218,14 +337,14 @@ func (n *Network) Step() {
 		for i := range n.nis {
 			n.inject(topology.NodeID(i))
 		}
-		for _, r := range n.routers {
-			r.stepSAFull(n.cycle)
+		for i := range n.routers {
+			n.routers[i].stepSAFull(n.cycle)
 		}
-		for _, r := range n.routers {
-			r.stepVAFull(n.cycle)
+		for i := range n.routers {
+			n.routers[i].stepVAFull(n.cycle)
 		}
-		for _, r := range n.routers {
-			r.stepRCFull(n.cycle)
+		for i := range n.routers {
+			n.routers[i].stepRCFull(n.cycle)
 		}
 		return
 	}
@@ -264,11 +383,11 @@ func (n *Network) CheckedStep() error {
 // inject advances the NI at node id by at most one flit.
 func (n *Network) inject(id topology.NodeID) {
 	s := &n.nis[id]
-	r := n.routers[id]
-	lp := &r.inPorts[r.inIndex[topology.Local]]
+	r := &n.routers[id]
+	lpi := int(r.inIndex[topology.Local])
 
 	if !s.injecting {
-		if len(s.queue) == 0 {
+		if len(s.pending()) == 0 {
 			// Drained NI: drop out of the active set until the next
 			// Enqueue (only reached in full-scan mode; the activity
 			// path removes the NI eagerly when its last packet
@@ -276,24 +395,27 @@ func (n *Network) inject(id topology.NodeID) {
 			n.actNI.remove(int(id))
 			return
 		}
-		job := s.queue[0]
-		vc := n.pickInjectionVC(lp, job.pkt.Class)
+		job := s.queue[s.qhead]
+		vc := n.pickInjectionVC(r, lpi, job.pkt.Class)
 		if vc < 0 {
 			return // all suitable local VCs busy
 		}
-		s.queue = s.queue[1:]
+		s.queue[s.qhead] = injJob{} // release the Packet reference
+		s.qhead++
+		if s.qhead == len(s.queue) {
+			s.queue, s.qhead = s.queue[:0], 0
+		}
 		s.cur = job
 		s.injecting = true
 		s.curVC = vc
 		s.curSeq = 0
 	}
 
-	vc := &lp.vcs[s.curVC]
-	if vc.occ() >= n.cfg.BufDepth {
+	if r.vcOcc(r.flatVC(lpi, s.curVC)) >= n.cfg.BufDepth {
 		return // wait for space
 	}
 	job := s.cur
-	f := Flit{Pkt: job.pkt, Seq: s.curSeq}
+	f := Flit{Pkt: job.pkt, Seq: int32(s.curSeq)}
 	switch {
 	case job.pkt.Size == 1:
 		f.Type = HeadTailFlit
@@ -320,7 +442,7 @@ func (n *Network) inject(id topology.NodeID) {
 			Dir: topology.Local, VC: int8(s.curVC), Flit: f,
 		})
 	}
-	r.acceptFlit(n.cycle, int(r.inIndex[topology.Local]), s.curVC, f)
+	r.acceptFlit(n.cycle, lpi, s.curVC, f)
 	n.inFlightFlits++
 	n.queuedFlits--
 	s.curSeq++
@@ -328,23 +450,25 @@ func (n *Network) inject(id topology.NodeID) {
 		s.cur = injJob{}
 		s.injecting = false
 		n.queuedPackets--
-		if len(s.queue) == 0 {
+		if len(s.pending()) == 0 {
 			n.actNI.remove(int(id))
 		}
 	}
 }
 
-// pickInjectionVC selects an idle local input VC for a new packet, or -1.
-func (n *Network) pickInjectionVC(lp *inputPort, c Class) int {
+// pickInjectionVC selects an idle VC of router r's local input port
+// (index lpi) for a new packet, or -1.
+func (n *Network) pickInjectionVC(r *Router, lpi int, c Class) int {
+	base := r.flatVC(lpi, 0)
 	if n.cfg.Policy == ByClass {
 		v := int(c)
-		if lp.vcs[v].state == vcIdle && lp.vcs[v].occ() == 0 {
+		if r.vcState[base+v] == vcIdle && r.vcLen[base+v] == 0 {
 			return v
 		}
 		return -1
 	}
-	for v := range lp.vcs {
-		if lp.vcs[v].state == vcIdle && lp.vcs[v].occ() == 0 {
+	for v := 0; v < r.vcsPerPort; v++ {
+		if r.vcState[base+v] == vcIdle && r.vcLen[base+v] == 0 {
 			return v
 		}
 	}
@@ -354,8 +478,8 @@ func (n *Network) pickInjectionVC(lp *inputPort, c Class) int {
 // TotalCounters aggregates all router activity counters.
 func (n *Network) TotalCounters() Counters {
 	var total Counters
-	for _, r := range n.routers {
-		total.Add(&r.Counters)
+	for i := range n.routers {
+		total.Add(&n.routers[i].Counters)
 	}
 	return total
 }
@@ -363,8 +487,8 @@ func (n *Network) TotalCounters() Counters {
 // RouterCounters returns per-router counters indexed by node ID (a copy).
 func (n *Network) RouterCounters() []Counters {
 	out := make([]Counters, len(n.routers))
-	for i, r := range n.routers {
-		out[i] = r.Counters
+	for i := range n.routers {
+		out[i] = n.routers[i].Counters
 	}
 	return out
 }
@@ -372,7 +496,8 @@ func (n *Network) RouterCounters() []Counters {
 // ResetCounters zeroes all router counters (called at the end of warm-up
 // so that power reflects the measurement window only).
 func (n *Network) ResetCounters() {
-	for _, r := range n.routers {
+	for i := range n.routers {
+		r := &n.routers[i]
 		r.Counters = Counters{}
 		for oi := range r.outPorts {
 			r.outPorts[oi].flitCount = 0
@@ -393,7 +518,8 @@ type LinkLoad struct {
 // the eastbound channels).
 func (n *Network) LinkLoads() []LinkLoad {
 	var out []LinkLoad
-	for _, r := range n.routers {
+	for i := range n.routers {
+		r := &n.routers[i]
 		for oi := range r.outPorts {
 			op := &r.outPorts[oi]
 			if !op.hasLink {
@@ -408,8 +534,8 @@ func (n *Network) LinkLoads() []LinkLoad {
 // Occupancy returns the total number of buffered flits (diagnostics).
 func (n *Network) Occupancy() int {
 	total := 0
-	for _, r := range n.routers {
-		total += r.occupancy()
+	for i := range n.routers {
+		total += n.routers[i].occupancy()
 	}
 	return total
 }

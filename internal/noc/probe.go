@@ -123,19 +123,17 @@ func (r *Router) ID() topology.NodeID { return r.id }
 func (r *Router) Occupancy() int { return r.occupancy() }
 
 // NumInVCs returns the number of input VCs (ports × VCs per port).
-func (r *Router) NumInVCs() int { return len(r.inPorts) * r.net.cfg.VCs }
+func (r *Router) NumInVCs() int { return len(r.inPorts) * r.vcsPerPort }
 
 // VCOccupancy returns the buffered flits in input VC vi of port pi.
-func (r *Router) VCOccupancy(pi, vi int) int { return r.inPorts[pi].vcs[vi].occ() }
+func (r *Router) VCOccupancy(pi, vi int) int { return r.vcOcc(r.flatVC(pi, vi)) }
 
 // VCOccupancies appends the per-input-VC buffer occupancies (flits) in
 // flat (port, vc) order to dst and returns the extended slice, so a
 // per-window sampler can reuse one backing array.
 func (r *Router) VCOccupancies(dst []int) []int {
-	for pi := range r.inPorts {
-		for vi := range r.inPorts[pi].vcs {
-			dst = append(dst, r.inPorts[pi].vcs[vi].occ())
-		}
+	for _, l := range r.vcLen {
+		dst = append(dst, int(l))
 	}
 	return dst
 }

@@ -151,7 +151,7 @@ func checkPerFlitOrdering(t *testing.T, mutate func(*Config)) {
 	}
 	last := map[key]ProbeEvent{}
 	for _, ev := range events {
-		k := key{ev.Flit.Pkt.ID, ev.Flit.Seq}
+		k := key{ev.Flit.Pkt.ID, int(ev.Flit.Seq)}
 		prev, seen := last[k]
 		if !seen {
 			if ev.Kind != ProbeInject {

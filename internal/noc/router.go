@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"mira/internal/routing"
 	"mira/internal/topology"
 )
 
@@ -33,65 +34,26 @@ func (s vcState) String() string {
 	}
 }
 
-// bufFlit is a buffered flit with its arrival cycle; a flit only becomes
-// eligible for switch allocation the cycle after it was written (buffer
-// write and read cannot overlap for the same flit).
-type bufFlit struct {
-	flit      Flit
-	arrivedAt int64
-}
-
-type inputVC struct {
-	// buf[head:] holds the queued flits, oldest first. Popping advances
-	// head instead of shifting the slice; push compacts once the backing
-	// array (sized 2x the buffer depth) fills, so dequeues are O(1)
-	// amortized instead of a memmove per forwarded flit.
-	buf     []bufFlit
-	head    int
-	state   vcState
-	outDir  topology.Dir
-	outPort int8 // routeHead's cached outIndex[outDir]
-	outVC   int
-	readyAt int64 // earliest cycle for the pending stage (RC/VA/SA)
-}
-
-// occ is the buffer occupancy in flits (what credits account against).
-func (v *inputVC) occ() int { return len(v.buf) - v.head }
-
-func (v *inputVC) front() *bufFlit {
-	if v.head == len(v.buf) {
-		return nil
-	}
-	return &v.buf[v.head]
-}
-
-func (v *inputVC) push(bf bufFlit) {
-	if len(v.buf) == cap(v.buf) && v.head > 0 {
-		n := copy(v.buf, v.buf[v.head:])
-		v.buf = v.buf[:n]
-		v.head = 0
-	}
-	v.buf = append(v.buf, bf)
-}
-
-func (v *inputVC) pop() bufFlit {
-	bf := v.buf[v.head]
-	v.head++
-	if v.head == len(v.buf) {
-		v.buf = v.buf[:0]
-		v.head = 0
-	}
-	return bf
-}
-
+// inputPort is the construction/observability view of one input port.
+// The VC state behind it lives in the network's flat arrays (soa.go);
+// the view carries only the topology metadata the hot loops read per
+// forwarded flit.
 type inputPort struct {
 	dir topology.Dir
-	vcs []inputVC
 	// upstream is the neighbouring router feeding this port, or -1 for
 	// the local NI; credits for popped flits return to it.
 	upstream topology.NodeID
+	// upCredBase is the global index (into the network's flat credits
+	// array) of the upstream router's credit counter for this channel's
+	// vc 0, precomputed so the forward path schedules a credit return as
+	// a single int32. -1 for the local port.
+	upCredBase int32
 }
 
+// outputPort is the construction/observability view of one output port.
+// reserved and credits are sub-slices of the network's flat arrays —
+// they alias, not copy, the state the stage loops index directly, so
+// the view can never diverge from the arrays.
 type outputPort struct {
 	dir     topology.Dir
 	link    topology.Link // zero unless dir != Local
@@ -99,18 +61,23 @@ type outputPort struct {
 	// reserved marks output VCs currently owned by an in-flight packet;
 	// credits counts free buffer slots in the downstream input VC.
 	reserved []bool
-	credits  []int
-	// saArb arbitrates the switch among all input VCs; vaArbs[ov]
-	// arbitrates output VC ov among competing head flits (the per-VC
-	// PV:1 arbiters of the VA2 stage, §3.2.5).
-	saArb  Arbiter
-	vaArbs []Arbiter
+	credits  []int32
 	// flitCount tallies flits sent over this port's link, for the
 	// per-link utilization report.
 	flitCount int64
+	// downVCBase is the global flat VC index of the downstream input
+	// channel's vc 0 (the port this link lands on), precomputed so the
+	// forward path reserves the destination slot and schedules the
+	// arrival event from a single add. -1 for the local port.
+	downVCBase int32
 }
 
-// Router is one network router instance.
+// Router is one network router instance: the per-router view over the
+// network's struct-of-arrays state. Every slice below whose comment
+// says "window" is a sub-slice of the corresponding flat array in
+// Network.soa covering exactly this router's slots, indexed by the
+// local flat VC index f = pi*VCs + vi (or by port index); see soa.go
+// for the layout and ownership rules.
 type Router struct {
 	id       topology.NodeID
 	net      *Network
@@ -118,50 +85,100 @@ type Router struct {
 	outPorts []outputPort
 	inIndex  [topology.NumDirs]int8 // dir -> port index, -1 if absent
 	outIndex [topology.NumDirs]int8
+	// linkMask has bit oi set when output port oi drives a link (every
+	// port except Local); the SA credit check tests the bit instead of
+	// loading outputPort.hasLink.
+	linkMask uint32
+	// algXY is set when Config.Alg is plain dimension-ordered routing,
+	// letting routeHead call it directly instead of through the
+	// interface (the per-head dispatch is measurable at high load).
+	algXY bool
 	Counters Counters
 
-	// Per-cycle switch occupancy, shared between the non-speculative
-	// switch allocator and speculative forwards issued during VA.
-	inBusy    []bool
-	outBusy   []bool
-	busyCycle int64
+	// vcsPerPort/bufDepth cache Config.VCs and Config.BufDepth;
+	// vcBase is the router's global base slot in the per-VC arrays and
+	// credBase its base in the flat per-(output port, VC) credit array.
+	vcsPerPort int
+	bufDepth   int
+	vcBase     int32
+	credBase   int32
+
+	// Per-VC control state (windows; see soaState for field meanings).
+	vcState   []vcState
+	vcHead    []int32
+	vcLen     []int32
+	vcReadyAt []int64
+	vcFrontAt []int64
+	vcOutDir  []topology.Dir
+	vcOutPort []int8
+	vcOutVC   []int8
+	vcClass   []Class
+	vcInFly   []int8
+
+	// VC ring storage (windows, BufDepth slots per VC).
+	bufFlit    []Flit
+	bufArrived []int64
+
+	// Output flow control (windows, indexed oi*VCs+ov) and arbiter
+	// state (window, indexed oi*(1+VCs) for SA, +1+ov for VA).
+	reserved []bool
+	credits  []int32
+	arbs     []arbState
+
+	// Per-cycle switch occupancy (windows), shared between the
+	// non-speculative switch allocator and speculative forwards issued
+	// during VA. Each entry holds the cycle the port was last claimed,
+	// so a port is busy iff its entry equals the current cycle and no
+	// per-cycle clearing pass is needed.
+	inBusy  []int64
+	outBusy []int64
 	// reqScratch, eligibleOut and saRank are reusable per-cycle scratch
-	// vectors over flattened input-VC indices (pi*VCs + vi), avoiding
-	// allocation in the hot switch-allocation loop. The activity-driven
-	// stage functions keep reqScratch all-false between uses and only
-	// touch the indices on their pending lists.
+	// vectors (windows) over flat input-VC indices, avoiding allocation
+	// in the hot switch-allocation loop. The activity-driven stage
+	// functions keep reqScratch all-false between uses and only touch
+	// the indices on their pending lists.
 	reqScratch  []bool
 	eligibleOut []int8
 	saRank      []int8
-	// eligScratch holds the flat indices found switch-eligible this
-	// cycle, so the SA grant loop walks only those instead of the whole
-	// pending list per output port. saCount/saLast (indexed by output
-	// port, reset lazily per cycle) let the grant loop take a direct
-	// GrantSingle path when a port has exactly one candidate — the
-	// common case off saturation.
-	eligScratch []int32
-	saCount     []int8
-	saLast      []int32
+	// arbMask is set when the router's flat VC count fits a uint64, so
+	// the allocation stages hand the arbiters request bitmasks instead
+	// of filling (and re-clearing) reqScratch. Every shipped config
+	// qualifies; the []bool path remains for wider ones.
+	arbMask bool
+	// The eligibility pass threads each cycle's switch-eligible VCs into
+	// per-output-port chains: saHead[oi]/saLast[oi] bound the chain and
+	// eligNext[f] links it (windows, reset lazily per cycle via
+	// saCount), so the grant loop walks exactly one port's candidates
+	// instead of filtering a shared list per port. saCount/saLast also
+	// feed the direct grantSingle path when a port has exactly one
+	// candidate — the common case off saturation.
+	eligNext []int32
+	saHead   []int32
+	saCount  []int8
+	saLast   []int32
 
-	// flatVCs maps the flattened index to the VC for O(1) access from
-	// the pending lists (inPorts never grows after construction);
-	// portOf/vcOf invert flatVC without the divisions.
-	flatVCs []*inputVC
-	portOf  []int8
-	vcOf    []int8
+	// portOf/vcOf invert the flat VC index without divisions (windows).
+	portOf []int8
+	vcOf   []int8
 	// listRC, listVA and listSA hold the flat indices of VCs currently
-	// in vcRouting, vcWaitVC and vcActive; listPos[f] is f's position in
-	// its state's list (-1 when idle). Maintained by setVCState; see
-	// activity.go for the determinism argument.
+	// in vcRouting, vcWaitVC and vcActive; they are zero-length
+	// fixed-capacity windows, so appends write in place. listPos[f] is
+	// f's position in its state's list (-1 when idle). Maintained by
+	// setVCState; see activity.go for the determinism argument.
 	listRC, listVA, listSA []int32
 	listPos                []int32
 	// waitersByOut[oi] counts VCs in vcWaitVC routed to output port oi,
-	// letting stepVA skip output ports nobody bids for.
+	// letting stepVA skip output ports nobody bids for (window).
 	waitersByOut []int32
 }
 
-func newRouter(net *Network, id topology.NodeID) *Router {
-	r := &Router{id: id, net: net}
+// initRouter builds the port metadata view for node id in place (the
+// routers live in the network's contiguous value slice). The flat state
+// windows are attached afterwards by bind, once the network has sized
+// its arrays across all routers.
+func initRouter(r *Router, net *Network, id topology.NodeID) {
+	r.id, r.net = id, net
+	r.vcsPerPort, r.bufDepth = net.cfg.VCs, net.cfg.BufDepth
 	for i := range r.inIndex {
 		r.inIndex[i] = -1
 		r.outIndex[i] = -1
@@ -169,11 +186,7 @@ func newRouter(net *Network, id topology.NodeID) *Router {
 	cfg := &net.cfg
 	for _, d := range cfg.Topo.Ports(id) {
 		// Output side.
-		op := outputPort{
-			dir:      d,
-			reserved: make([]bool, cfg.VCs),
-			credits:  make([]int, cfg.VCs),
-		}
+		op := outputPort{dir: d}
 		if d != topology.Local {
 			l, ok := cfg.Topo.OutLink(id, d)
 			if !ok {
@@ -181,19 +194,13 @@ func newRouter(net *Network, id topology.NodeID) *Router {
 			}
 			op.link = l
 			op.hasLink = true
-			for v := range op.credits {
-				op.credits[v] = cfg.BufDepth
-			}
 		}
 		r.outIndex[d] = int8(len(r.outPorts))
 		r.outPorts = append(r.outPorts, op)
 
 		// Input side (topologies are symmetric: every output direction
 		// has a matching input).
-		ip := inputPort{dir: d, vcs: make([]inputVC, cfg.VCs), upstream: -1}
-		for v := range ip.vcs {
-			ip.vcs[v].buf = make([]bufFlit, 0, 2*cfg.BufDepth)
-		}
+		ip := inputPort{dir: d, upstream: -1}
 		if d != topology.Local {
 			l, ok := cfg.Topo.OutLink(id, d)
 			if !ok {
@@ -204,61 +211,88 @@ func newRouter(net *Network, id topology.NodeID) *Router {
 		r.inIndex[d] = int8(len(r.inPorts))
 		r.inPorts = append(r.inPorts, ip)
 	}
-	r.inBusy = make([]bool, len(r.inPorts))
-	r.outBusy = make([]bool, len(r.outPorts))
-	r.busyCycle = -1
-	nInVCs := len(r.inPorts) * cfg.VCs
-	r.reqScratch = make([]bool, nInVCs)
-	r.eligibleOut = make([]int8, nInVCs)
-	r.saRank = make([]int8, nInVCs)
-	r.eligScratch = make([]int32, 0, nInVCs)
-	r.saCount = make([]int8, len(r.outPorts))
-	r.saLast = make([]int32, len(r.outPorts))
-	r.flatVCs = make([]*inputVC, nInVCs)
-	r.portOf = make([]int8, nInVCs)
-	r.vcOf = make([]int8, nInVCs)
-	for pi := range r.inPorts {
-		for vi := range r.inPorts[pi].vcs {
-			f := r.flatVC(pi, vi)
-			r.flatVCs[f] = &r.inPorts[pi].vcs[vi]
-			r.portOf[f] = int8(pi)
-			r.vcOf[f] = int8(vi)
-		}
+}
+
+// bind attaches the router's windows of the network's flat arrays
+// (vcBase/portBase are its first slots in the per-VC and per-port
+// arrays) and initializes its slice of the state: credits, arbiters,
+// list positions and the flat-index inverse maps.
+func (r *Router) bind(st *soaState, vcBase, portBase int) {
+	cfg := &r.net.cfg
+	nP := len(r.inPorts)
+	nVC := nP * cfg.VCs
+	r.vcBase = int32(vcBase)
+
+	r.vcState = st.vcState[vcBase : vcBase+nVC]
+	r.vcHead = st.vcHead[vcBase : vcBase+nVC]
+	r.vcLen = st.vcLen[vcBase : vcBase+nVC]
+	r.vcReadyAt = st.vcReadyAt[vcBase : vcBase+nVC]
+	r.vcFrontAt = st.vcFrontAt[vcBase : vcBase+nVC]
+	r.vcOutDir = st.vcOutDir[vcBase : vcBase+nVC]
+	r.vcOutPort = st.vcOutPort[vcBase : vcBase+nVC]
+	r.vcOutVC = st.vcOutVC[vcBase : vcBase+nVC]
+	r.vcClass = st.vcClass[vcBase : vcBase+nVC]
+	r.vcInFly = st.vcInFly[vcBase : vcBase+nVC]
+	r.bufFlit = st.bufFlit[vcBase*cfg.BufDepth : (vcBase+nVC)*cfg.BufDepth]
+	r.bufArrived = st.bufArrived[vcBase*cfg.BufDepth : (vcBase+nVC)*cfg.BufDepth]
+
+	pv := portBase * cfg.VCs
+	r.credBase = int32(pv)
+	r.reserved = st.reserved[pv : pv+nVC]
+	r.credits = st.credits[pv : pv+nVC]
+	r.arbs = st.arbs[portBase*(1+cfg.VCs) : (portBase+nP)*(1+cfg.VCs)]
+	r.inBusy = st.inBusy[portBase : portBase+nP]
+	r.outBusy = st.outBusy[portBase : portBase+nP]
+
+	r.reqScratch = st.reqScratch[vcBase : vcBase+nVC]
+	r.arbMask = nVC <= 64
+	_, r.algXY = cfg.Alg.(routing.XY)
+	r.eligibleOut = st.eligibleOut[vcBase : vcBase+nVC]
+	r.saRank = st.saRank[vcBase : vcBase+nVC]
+	r.eligNext = st.eligStore[vcBase : vcBase+nVC]
+	r.saHead = st.saHead[portBase : portBase+nP]
+	r.saCount = st.saCount[portBase : portBase+nP]
+	r.saLast = st.saLast[portBase : portBase+nP]
+	r.portOf = st.portOf[vcBase : vcBase+nVC]
+	r.vcOf = st.vcOf[vcBase : vcBase+nVC]
+	r.listRC = st.listRC[vcBase : vcBase : vcBase+nVC]
+	r.listVA = st.listVA[vcBase : vcBase : vcBase+nVC]
+	r.listSA = st.listSA[vcBase : vcBase : vcBase+nVC]
+	r.listPos = st.listPos[vcBase : vcBase+nVC]
+	r.waitersByOut = st.waitersByOut[portBase : portBase+nP]
+
+	for f := 0; f < nVC; f++ {
+		r.listPos[f] = -1
+		r.vcOutPort[f] = -1
+		r.portOf[f] = int8(f / cfg.VCs)
+		r.vcOf[f] = int8(f % cfg.VCs)
 	}
-	r.listRC = make([]int32, 0, nInVCs)
-	r.listVA = make([]int32, 0, nInVCs)
-	r.listSA = make([]int32, 0, nInVCs)
-	r.listPos = make([]int32, nInVCs)
-	for i := range r.listPos {
-		r.listPos[i] = -1
-	}
-	r.waitersByOut = make([]int32, len(r.outPorts))
 	for oi := range r.outPorts {
 		op := &r.outPorts[oi]
-		op.saArb = cfg.Arb.newArbiter(nInVCs)
-		op.vaArbs = make([]Arbiter, cfg.VCs)
-		for v := range op.vaArbs {
-			op.vaArbs[v] = cfg.Arb.newArbiter(nInVCs)
+		base := oi * cfg.VCs
+		op.reserved = r.reserved[base : base+cfg.VCs]
+		op.credits = r.credits[base : base+cfg.VCs]
+		if op.hasLink {
+			r.linkMask |= 1 << uint(oi)
+			for v := 0; v < cfg.VCs; v++ {
+				r.credits[base+v] = int32(cfg.BufDepth)
+			}
+		}
+		r.saArb(oi).init(cfg.Arb, nVC)
+		for ov := 0; ov < cfg.VCs; ov++ {
+			r.vaArb(oi, ov).init(cfg.Arb, nVC)
 		}
 	}
-	return r
 }
 
 // flatVC maps (input port, vc) to the flattened request index.
-func (r *Router) flatVC(pi, vi int) int { return pi*r.net.cfg.VCs + vi }
+func (r *Router) flatVC(pi, vi int) int { return pi*r.vcsPerPort + vi }
 
-// switchMasks returns the cycle's input/output occupancy masks, clearing
-// them on the first touch of a new cycle.
-func (r *Router) switchMasks(cycle int64) (in, out []bool) {
-	if r.busyCycle != cycle {
-		for i := range r.inBusy {
-			r.inBusy[i] = false
-		}
-		for i := range r.outBusy {
-			r.outBusy[i] = false
-		}
-		r.busyCycle = cycle
-	}
+// switchMasks returns the per-port claim stamps; a port is occupied
+// this cycle iff its entry equals cycle (claim a port by storing the
+// cycle). Stale stamps from earlier cycles never compare equal, so no
+// clearing pass is needed.
+func (r *Router) switchMasks(cycle int64) (in, out []int64) {
 	return r.inBusy, r.outBusy
 }
 
@@ -267,64 +301,78 @@ func (r *Router) switchMasks(cycle int64) (in, out []bool) {
 // when the flit arrives (it was computed at the upstream router), so
 // the RC stage disappears from the critical path.
 func (r *Router) startHead(f int32, cycle int64) {
-	vc := r.flatVCs[f]
 	if r.net.cfg.LookaheadRC {
-		r.routeHead(vc)
+		r.routeHead(int(f))
 		r.setVCState(f, vcWaitVC)
 	} else {
 		r.setVCState(f, vcRouting)
 	}
-	vc.readyAt = cycle + 1
+	r.vcReadyAt[f] = cycle + 1
 }
 
 // routeHead computes and stores the output direction for the head flit
-// at the front of vc.
-func (r *Router) routeHead(vc *inputVC) {
-	pkt := vc.front().flit.Pkt
+// at the front of VC f, caching its message class for the VA scans.
+func (r *Router) routeHead(f int) {
+	flit := r.vcFrontFlit(f)
+	pkt := flit.Pkt
+	var d topology.Dir
 	if pkt.Dst == r.id {
-		vc.outDir = topology.Local
+		d = topology.Local
+	} else if r.algXY {
+		d = routing.XY{}.NextPort(r.net.cfg.Topo, r.id, pkt.Dst)
 	} else {
-		vc.outDir = r.net.cfg.Alg.NextPort(r.net.cfg.Topo, r.id, pkt.Dst)
+		d = r.net.cfg.Alg.NextPort(r.net.cfg.Topo, r.id, pkt.Dst)
 	}
-	vc.outPort = r.outIndex[vc.outDir]
-	if vc.outPort < 0 {
-		panic(fmt.Sprintf("noc: router %d routed to missing port %v", r.id, vc.outDir))
+	oi := r.outIndex[d]
+	if oi < 0 {
+		panic(fmt.Sprintf("noc: router %d routed to missing port %v", r.id, d))
 	}
+	r.vcOutDir[f] = d
+	r.vcOutPort[f] = oi
+	r.vcClass[f] = pkt.Class
 	r.Counters.RCOps++
 	if r.net.probe != nil {
 		r.net.probe.ProbeEvent(ProbeEvent{
-			Kind: ProbeRoute, Cycle: r.net.cycle, Router: r.id, Dir: vc.outDir, Flit: vc.front().flit,
+			Kind: ProbeRoute, Cycle: r.net.cycle, Router: r.id, Dir: d, Flit: *flit,
 		})
 	}
 }
 
-// layerFrac returns the fraction of datapath layers a flit keeps active.
-func (r *Router) layerFrac(f Flit) float64 {
-	L := r.net.cfg.Layers
-	al := int(f.ActiveLayers)
-	if al <= 0 || al > L {
-		al = L
+// layerFrac returns the fraction of datapath layers a flit keeps active
+// (a table lookup; the ratios are precomputed in NewNetwork).
+func (r *Router) layerFrac(f Flit) float64 { return r.layerFracN(f.ActiveLayers) }
+
+func (r *Router) layerFracN(active uint8) float64 {
+	lut := r.net.layerFrac
+	if int(active) >= len(lut) {
+		return 1
 	}
-	return float64(al) / float64(L)
+	return lut[active]
 }
 
-// acceptFlit writes an arriving flit into an input VC buffer. It panics
-// on buffer overflow, which would indicate a credit accounting bug.
+// acceptFlit writes an arriving flit into an input VC buffer (the NI
+// injection path; link arrivals come through acceptArrival). The ring
+// push panics on buffer overflow, which would indicate a credit
+// accounting bug.
 func (r *Router) acceptFlit(cycle int64, portIdx, vc int, f Flit) {
-	ip := &r.inPorts[portIdx]
-	ivc := &ip.vcs[vc]
-	if ivc.occ() >= r.net.cfg.BufDepth {
-		panic(fmt.Sprintf("noc: router %d port %v vc %d buffer overflow (credit bug)", r.id, ip.dir, vc))
-	}
-	ivc.push(bufFlit{flit: f, arrivedAt: cycle})
+	fi := r.flatVC(portIdx, vc)
+	r.vcPush(fi, f, cycle)
 	r.Counters.BufWrites++
 	r.Counters.WBufWrites += r.layerFrac(f)
-	if f.Type.IsHead() && ivc.occ() == 1 {
-		if ivc.state != vcIdle {
-			panic(fmt.Sprintf("noc: router %d port %v vc %d head arrives in state %v", r.id, ip.dir, vc, ivc.state))
+	if f.Type.IsHead() && r.vcOcc(fi) == 1 {
+		if r.vcState[fi] != vcIdle {
+			panic(fmt.Sprintf("noc: router %d port %v vc %d head arrives in state %v",
+				r.id, r.inPorts[portIdx].dir, vc, r.vcState[fi]))
 		}
-		r.startHead(int32(r.flatVC(portIdx, vc)), cycle)
+		r.startHead(int32(fi), cycle)
 	}
+}
+
+// badArrivalState reports a head flit landing on a VC that is not
+// idle; the happy path of arrival delivery is inlined in Step.
+func (r *Router) badArrivalState(fi int) {
+	panic(fmt.Sprintf("noc: router %d port %v vc %d head arrives in state %v",
+		r.id, r.inPorts[r.portOf[fi]].dir, r.vcOf[fi], r.vcState[fi]))
 }
 
 // stepRC performs route computation for head flits that reached the
@@ -334,38 +382,34 @@ func (r *Router) acceptFlit(cycle int64, portIdx, vc int, f Flit) {
 func (r *Router) stepRC(cycle int64) {
 	for i := 0; i < len(r.listRC); {
 		f := r.listRC[i]
-		vc := r.flatVCs[f]
-		if cycle < vc.readyAt {
+		if cycle < r.vcReadyAt[f] {
 			i++
 			continue
 		}
-		front := vc.front()
-		if front == nil || !front.flit.Type.IsHead() {
+		front := r.vcFrontFlit(int(f))
+		if front == nil || !front.Type.IsHead() {
 			panic(fmt.Sprintf("noc: router %d RC on non-head", r.id))
 		}
-		r.routeHead(vc)
+		r.routeHead(int(f))
 		r.setVCState(f, vcWaitVC) // swap-removes listRC[i]
-		vc.readyAt = cycle + 1
+		r.vcReadyAt[f] = cycle + 1
 	}
 }
 
 // stepRCFull is the reference full scan over every port and VC
 // (StepFullScan mode); it must stay behaviourally identical to stepRC.
 func (r *Router) stepRCFull(cycle int64) {
-	for pi := range r.inPorts {
-		for vi := range r.inPorts[pi].vcs {
-			vc := &r.inPorts[pi].vcs[vi]
-			if vc.state != vcRouting || cycle < vc.readyAt {
-				continue
-			}
-			front := vc.front()
-			if front == nil || !front.flit.Type.IsHead() {
-				panic(fmt.Sprintf("noc: router %d RC on non-head", r.id))
-			}
-			r.routeHead(vc)
-			r.setVCState(int32(r.flatVC(pi, vi)), vcWaitVC)
-			vc.readyAt = cycle + 1
+	for f := range r.vcState {
+		if r.vcState[f] != vcRouting || cycle < r.vcReadyAt[f] {
+			continue
 		}
+		front := r.vcFrontFlit(f)
+		if front == nil || !front.Type.IsHead() {
+			panic(fmt.Sprintf("noc: router %d RC on non-head", r.id))
+		}
+		r.routeHead(f)
+		r.setVCState(int32(f), vcWaitVC)
+		r.vcReadyAt[f] = cycle + 1
 	}
 }
 
@@ -388,34 +432,77 @@ func (r *Router) vaCandidate(ov int, c Class) bool {
 // exactly the (oi, ov) pairs the full scan would have found requester-
 // less, so the arbiters receive the identical Grant sequence.
 func (r *Router) stepVA(cycle int64) {
+	readyAt := r.vcReadyAt
+	outPort := r.vcOutPort
+	// Thread the ready waiters into per-output-port chains, reusing the
+	// SA chain scratch (stepSA ran earlier this cycle and has consumed
+	// its chains). One pass replaces the per-(oi, ov) rescans of the
+	// wait list; chain order is list order, but nothing below depends on
+	// it (request vectors are order-independent and the single-candidate
+	// fast path has exactly one match), so the arbiters receive the
+	// identical Grant sequence.
+	saCount, saLast, saHead, next := r.saCount, r.saLast, r.saHead, r.eligNext
+	var outMask uint32
 	nReady := 0
 	for _, f := range r.listVA {
-		if cycle >= r.flatVCs[f].readyAt {
-			nReady++
+		if cycle < readyAt[f] {
+			continue
 		}
+		nReady++
+		oi := int(outPort[f])
+		bit := uint32(1) << uint(oi)
+		if outMask&bit == 0 {
+			saCount[oi] = 0
+			saHead[oi] = f
+			outMask |= bit
+		} else {
+			next[saLast[oi]] = f
+		}
+		saCount[oi]++
+		saLast[oi] = f
 	}
 	r.Counters.VAReqs += int64(nReady)
 	if nReady == 0 {
 		return
 	}
-	for oi := range r.outPorts {
-		if r.waitersByOut[oi] == 0 {
-			continue
-		}
-		op := &r.outPorts[oi]
-		for ov := 0; ov < r.net.cfg.VCs; ov++ {
-			if op.reserved[ov] {
+	vcs := r.vcsPerPort
+	state, class := r.vcState, r.vcClass
+	byClass := r.net.cfg.Policy == ByClass
+	// Ascending port order, as the full scan visits them. A chain entry
+	// granted for an earlier output VC left the wait state (grantVC), so
+	// the state filter reproduces "still on the wait list" exactly.
+	for m := outMask; m != 0; m &= m - 1 {
+		oi := bits.TrailingZeros32(m)
+		head, tail := saHead[oi], saLast[oi]
+		for ov := 0; ov < vcs; ov++ {
+			if r.reserved[oi*vcs+ov] {
 				continue
 			}
-			// First pass only counts; the request vector is built (and
-			// the arbiter's full Grant paid) only under contention.
+			// First pass counts (and, on the mask path, collects the
+			// request bits); the arbiter's full grant is paid only
+			// under contention.
 			count, last := 0, int32(-1)
-			for _, f := range r.listVA {
-				vc := r.flatVCs[f]
-				if cycle >= vc.readyAt && vc.outPort == int8(oi) &&
-					r.vaCandidate(ov, vc.front().flit.Pkt.Class) {
-					count++
-					last = f
+			var mask uint64
+			if r.arbMask {
+				for f := head; ; f = next[f] {
+					if state[f] == vcWaitVC && (!byClass || ov == int(class[f])) {
+						count++
+						last = f
+						mask |= 1 << uint(f)
+					}
+					if f == tail {
+						break
+					}
+				}
+			} else {
+				for f := head; ; f = next[f] {
+					if state[f] == vcWaitVC && (!byClass || ov == int(class[f])) {
+						count++
+						last = f
+					}
+					if f == tail {
+						break
+					}
 				}
 			}
 			if count == 0 {
@@ -423,43 +510,58 @@ func (r *Router) stepVA(cycle int64) {
 			}
 			var g int
 			if count == 1 {
-				op.vaArbs[ov].GrantSingle(int(last))
+				r.vaArb(oi, ov).grantSingle(int(last))
 				g = int(last)
+			} else if r.arbMask {
+				if g = r.vaArb(oi, ov).grantMask(mask, r.reqScratch); g < 0 {
+					continue
+				}
 			} else {
 				reqs := r.reqScratch // all-false between uses
-				for _, f := range r.listVA {
-					vc := r.flatVCs[f]
-					if cycle >= vc.readyAt && vc.outPort == int8(oi) &&
-						r.vaCandidate(ov, vc.front().flit.Pkt.Class) {
+				for f := head; ; f = next[f] {
+					if state[f] == vcWaitVC && (!byClass || ov == int(class[f])) {
 						reqs[f] = true
 					}
+					if f == tail {
+						break
+					}
 				}
-				g = op.vaArbs[ov].Grant(reqs)
+				g = r.vaArb(oi, ov).grant(reqs)
 				// Restore the all-false invariant before any transition
 				// can remove a set index from the list.
-				for _, f := range r.listVA {
+				for f := head; ; f = next[f] {
 					reqs[f] = false
+					if f == tail {
+						break
+					}
 				}
 				if g < 0 {
 					continue
 				}
 			}
-			pi, vi := int(r.portOf[g]), int(r.vcOf[g])
-			vc := &r.inPorts[pi].vcs[vi]
-			op.reserved[ov] = true
-			vc.outVC = ov
-			r.setVCState(int32(g), vcActive)
-			vc.readyAt = cycle + 1
-			r.Counters.VAGrants++
-			if r.net.probe != nil {
-				r.net.probe.ProbeEvent(ProbeEvent{
-					Kind: ProbeVCAlloc, Cycle: cycle, Router: r.id, Dir: op.dir, VC: int8(ov), Flit: vc.front().flit,
-				})
-			}
-			if r.net.cfg.SpecSA {
-				r.trySpeculativeForward(cycle, pi, vi, oi)
-			}
+			r.grantVC(cycle, g, oi, ov)
 		}
+	}
+}
+
+// grantVC commits a VA grant: reserve the output VC, activate the input
+// VC and (under SpecSA) attempt the speculative same-cycle forward. It
+// is the shared tail of stepVA and stepVAFull, so the probe event and
+// state transitions are emitted identically by both.
+func (r *Router) grantVC(cycle int64, g, oi, ov int) {
+	r.reserved[oi*r.vcsPerPort+ov] = true
+	r.vcOutVC[g] = int8(ov)
+	r.setVCState(int32(g), vcActive)
+	r.vcReadyAt[g] = cycle + 1
+	r.Counters.VAGrants++
+	if r.net.probe != nil {
+		r.net.probe.ProbeEvent(ProbeEvent{
+			Kind: ProbeVCAlloc, Cycle: cycle, Router: r.id,
+			Dir: r.outPorts[oi].dir, VC: int8(ov), Flit: *r.vcFrontFlit(g),
+		})
+	}
+	if r.net.cfg.SpecSA {
+		r.trySpeculativeForward(cycle, g, oi)
 	}
 }
 
@@ -467,68 +569,52 @@ func (r *Router) stepVA(cycle int64) {
 // stay behaviourally identical to stepVA.
 func (r *Router) stepVAFull(cycle int64) {
 	any := false
-	for pi := range r.inPorts {
-		for vi := range r.inPorts[pi].vcs {
-			vc := &r.inPorts[pi].vcs[vi]
-			if vc.state == vcWaitVC && cycle >= vc.readyAt {
-				any = true
-				r.Counters.VAReqs++
-			}
+	for f := range r.vcState {
+		if r.vcState[f] == vcWaitVC && cycle >= r.vcReadyAt[f] {
+			any = true
+			r.Counters.VAReqs++
 		}
 	}
 	if !any {
 		return
 	}
+	vcs := r.vcsPerPort
 	for oi := range r.outPorts {
-		op := &r.outPorts[oi]
-		for ov := 0; ov < r.net.cfg.VCs; ov++ {
-			if op.reserved[ov] {
+		for ov := 0; ov < vcs; ov++ {
+			if r.reserved[oi*vcs+ov] {
 				continue
 			}
 			reqs := r.reqScratch
 			found := false
-			for pi := range r.inPorts {
-				for vi := range r.inPorts[pi].vcs {
-					vc := &r.inPorts[pi].vcs[vi]
-					ok := vc.state == vcWaitVC && cycle >= vc.readyAt &&
-						vc.outDir == op.dir &&
-						r.vaCandidate(ov, vc.front().flit.Pkt.Class)
-					reqs[r.flatVC(pi, vi)] = ok
-					found = found || ok
-				}
+			for f := range r.vcState {
+				ok := r.vcState[f] == vcWaitVC && cycle >= r.vcReadyAt[f] &&
+					r.vcOutPort[f] == int8(oi) &&
+					r.vaCandidate(ov, r.vcClass[f])
+				reqs[f] = ok
+				found = found || ok
 			}
 			if !found {
 				continue
 			}
-			g := op.vaArbs[ov].Grant(reqs)
+			g := r.vaArb(oi, ov).grant(reqs)
 			if g < 0 {
 				continue
 			}
-			pi, vi := int(r.portOf[g]), int(r.vcOf[g])
-			vc := &r.inPorts[pi].vcs[vi]
-			op.reserved[ov] = true
-			vc.outVC = ov
-			r.setVCState(int32(g), vcActive)
-			vc.readyAt = cycle + 1
-			r.Counters.VAGrants++
-			if r.net.probe != nil {
-				r.net.probe.ProbeEvent(ProbeEvent{
-					Kind: ProbeVCAlloc, Cycle: cycle, Router: r.id, Dir: op.dir, VC: int8(ov), Flit: vc.front().flit,
-				})
-			}
-			if r.net.cfg.SpecSA {
-				r.trySpeculativeForward(cycle, pi, vi, oi)
-			}
+			r.grantVC(cycle, g, oi, ov)
 		}
 	}
 }
 
-// saEligibility computes the QoS rank of an eligible front flit:
+// saRankOf computes the QoS rank of the eligible front flit of VC f:
 // 0 = in-flight body/tail (always highest, so packets cannot be starved
 // mid-stream), 1 = control head, 2 = data head. Without QoSPriority all
-// flits rank 0.
-func (r *Router) saRankOf(cycle int64, front *bufFlit) int8 {
-	if !r.net.cfg.QoSPriority || front.flit.Pkt.Class == Control {
+// flits rank 0 (and the buffered flit is never touched).
+func (r *Router) saRankOf(cycle int64, f int) int8 {
+	if !r.net.cfg.QoSPriority {
+		return 0
+	}
+	front := r.vcFrontFlit(f)
+	if front.Pkt.Class == Control {
 		return 0
 	}
 	// Data flits rank below control: in-flight body/tail at tier 1, new
@@ -536,10 +622,10 @@ func (r *Router) saRankOf(cycle int64, front *bufFlit) int8 {
 	// cycles so continuous control storms cannot starve data
 	// indefinitely.
 	rank := int8(1)
-	if front.flit.Type.IsHead() {
+	if front.Type.IsHead() {
 		rank = 2
 	}
-	rank -= int8((cycle - front.arrivedAt) / 16)
+	rank -= int8((cycle - r.vcFrontArrived(f)) / 16)
 	if rank < 0 {
 		rank = 0
 	}
@@ -558,105 +644,192 @@ func (r *Router) saRankOf(cycle int64, front *bufFlit) int8 {
 // the same VC through the inBusy mask.
 func (r *Router) stepSA(cycle int64) {
 	nOut := len(r.outPorts)
-	eligibleOut, saRank := r.eligibleOut, r.saRank
-	elig := r.eligScratch[:0]
+	saRank := r.saRank
+	readyAt, vcLen, frontAt := r.vcReadyAt, r.vcLen, r.vcFrontAt
+	saCount, saLast, saHead, eligNext := r.saCount, r.saLast, r.saHead, r.eligNext
+	// Hoisted like the scratch above: the chain stores below keep the
+	// compiler from proving these headers loop-invariant on its own.
+	outPort, outVC, credits, linkMask := r.vcOutPort, r.vcOutVC, r.credits, r.linkMask
 	var outMask uint32 // output ports with at least one eligible VC
+	vcs := r.vcsPerPort
+	qos := r.net.cfg.QoSPriority
 	for _, f := range r.listSA {
-		vc := r.flatVCs[f]
-		if cycle < vc.readyAt {
+		if cycle < readyAt[f] {
 			continue
 		}
-		front := vc.front()
-		if front == nil || front.arrivedAt >= cycle {
+		if vcLen[f] == 0 || frontAt[f] >= cycle {
 			continue
 		}
-		oi := int(vc.outPort)
-		op := &r.outPorts[oi]
-		if op.hasLink && op.credits[vc.outVC] <= 0 {
+		oi := int(outPort[f])
+		if linkMask>>uint(oi)&1 != 0 && credits[oi*vcs+int(outVC[f])] <= 0 {
 			r.Counters.CreditStalls++
 			continue // no downstream buffer space
 		}
+		// Thread f onto output port oi's candidate chain (list order,
+		// so the chain is the pending-list scan restricted to oi).
 		bit := uint32(1) << uint(oi)
 		if outMask&bit == 0 {
-			r.saCount[oi] = 0
+			saCount[oi] = 0
+			saHead[oi] = f
 			outMask |= bit
+		} else {
+			eligNext[saLast[oi]] = f
 		}
-		r.saCount[oi]++
-		r.saLast[oi] = f
-		eligibleOut[f] = int8(oi)
-		saRank[f] = r.saRankOf(cycle, front)
+		saCount[oi]++
+		saLast[oi] = f
+		if qos {
+			saRank[f] = r.saRankOf(cycle, int(f))
+		} else {
+			saRank[f] = 0
+		}
 		r.Counters.SAReqs++
-		elig = append(elig, f)
 	}
-	r.eligScratch = elig
 	if outMask == 0 {
 		return
 	}
 	inBusy, outBusy := r.switchMasks(cycle)
+	if outMask&(outMask-1) == 0 {
+		// One eligible output port: the rotation cannot matter, so skip
+		// the modulo entirely.
+		r.saGrantPort(cycle, bits.TrailingZeros32(outMask), inBusy, outBusy)
+		return
+	}
 	// Visit eligible output ports in rotated priority order (start,
 	// start+1, ..., wrap-around), extracting set mask bits instead of
 	// testing every port.
-	start := int(cycle) % nOut
+	start := int(uint64(cycle) % uint64(nOut))
 	for m := outMask >> uint(start); m != 0; m &= m - 1 {
-		r.saGrantPort(cycle, start+bits.TrailingZeros32(m), elig, inBusy, outBusy)
+		r.saGrantPort(cycle, start+bits.TrailingZeros32(m), inBusy, outBusy)
 	}
 	for m := outMask & (1<<uint(start) - 1); m != 0; m &= m - 1 {
-		r.saGrantPort(cycle, bits.TrailingZeros32(m), elig, inBusy, outBusy)
+		r.saGrantPort(cycle, bits.TrailingZeros32(m), inBusy, outBusy)
 	}
 }
 
 // saGrantPort arbitrates one output port among the cycle's eligible VCs
-// and forwards the winner. The elig snapshot is walked rather than the
-// live pending list: a VC forwarded earlier this cycle (tail release
-// drops it from listSA) stays in the snapshot, but its input port is
-// marked busy, so it can never be granted twice — the same exclusion
-// the full scan gets from its inBusy mask.
-func (r *Router) saGrantPort(cycle int64, oi int, elig []int32, inBusy, outBusy []bool) {
-	if outBusy[oi] {
+// and forwards the winner. The port's candidate chain (snapshotted by
+// stepSA) is walked rather than the live pending list: a VC forwarded
+// earlier this cycle (tail release drops it from listSA) stays in the
+// chain, but its input port is marked busy, so it can never be granted
+// twice — the same exclusion the full scan gets from its inBusy mask.
+func (r *Router) saGrantPort(cycle int64, oi int, inBusy, outBusy []int64) {
+	if outBusy[oi] == cycle {
 		return
 	}
-	op := &r.outPorts[oi]
 	var g int
 	if r.saCount[oi] == 1 {
-		// Sole candidate: skip the request-vector build. GrantSingle
-		// advances the arbiter exactly like Grant with one bit set.
+		// Sole candidate: skip the request-vector build. grantSingle
+		// advances the arbiter exactly like grant with one bit set.
 		f := r.saLast[oi]
-		if inBusy[r.portOf[f]] {
+		if inBusy[r.portOf[f]] == cycle {
 			return
 		}
-		op.saArb.GrantSingle(int(f))
+		r.saArb(oi).grantSingle(int(f))
 		g = int(f)
-	} else {
-		eligibleOut, saRank := r.eligibleOut, r.saRank
-		// Restrict candidates to the best QoS tier present.
-		best := int8(127)
-		for _, f := range elig {
-			if eligibleOut[f] == int8(oi) && !inBusy[r.portOf[f]] && saRank[f] < best {
-				best = saRank[f]
+	} else if r.arbMask {
+		portOf, next := r.portOf, r.eligNext
+		head, tail := r.saHead[oi], r.saLast[oi]
+		var mask uint64
+		if r.net.cfg.QoSPriority {
+			// Restrict candidates to the best QoS tier present.
+			saRank := r.saRank
+			best := int8(127)
+			for f := head; ; f = next[f] {
+				if inBusy[portOf[f]] != cycle && saRank[f] < best {
+					best = saRank[f]
+				}
+				if f == tail {
+					break
+				}
+			}
+			if best == 127 {
+				return
+			}
+			for f := head; ; f = next[f] {
+				if inBusy[portOf[f]] != cycle && saRank[f] == best {
+					mask |= 1 << uint(f)
+				}
+				if f == tail {
+					break
+				}
+			}
+		} else {
+			for f := head; ; f = next[f] {
+				if inBusy[portOf[f]] != cycle {
+					mask |= 1 << uint(f)
+				}
+				if f == tail {
+					break
+				}
 			}
 		}
-		if best == 127 {
+		if mask == 0 {
 			return
 		}
+		if g = r.saArb(oi).grantMask(mask, r.reqScratch); g < 0 {
+			return
+		}
+	} else {
+		portOf, next := r.portOf, r.eligNext
+		head, tail := r.saHead[oi], r.saLast[oi]
 		reqs := r.reqScratch // all-false between uses
-		for _, f := range elig {
-			if eligibleOut[f] == int8(oi) && !inBusy[r.portOf[f]] && saRank[f] == best {
-				reqs[f] = true
+		found := false
+		if r.net.cfg.QoSPriority {
+			// Restrict candidates to the best QoS tier present.
+			saRank := r.saRank
+			best := int8(127)
+			for f := head; ; f = next[f] {
+				if inBusy[portOf[f]] != cycle && saRank[f] < best {
+					best = saRank[f]
+				}
+				if f == tail {
+					break
+				}
+			}
+			if best == 127 {
+				return
+			}
+			for f := head; ; f = next[f] {
+				if inBusy[portOf[f]] != cycle && saRank[f] == best {
+					reqs[f] = true
+					found = true
+				}
+				if f == tail {
+					break
+				}
+			}
+		} else {
+			// Without QoS every rank is 0 (stepSA wrote them), so the
+			// best-tier prescan collapses into the request build.
+			for f := head; ; f = next[f] {
+				if inBusy[portOf[f]] != cycle {
+					reqs[f] = true
+					found = true
+				}
+				if f == tail {
+					break
+				}
 			}
 		}
-		g = op.saArb.Grant(reqs)
+		if !found {
+			return // nothing was set; reqs still all-false
+		}
+		g = r.saArb(oi).grant(reqs)
 		// Restore the all-false invariant before the next stage runs.
-		for _, f := range elig {
+		for f := head; ; f = next[f] {
 			reqs[f] = false
+			if f == tail {
+				break
+			}
 		}
 		if g < 0 {
 			return
 		}
 	}
-	pi, vi := int(r.portOf[g]), int(r.vcOf[g])
-	r.forward(cycle, pi, vi, oi)
-	inBusy[pi] = true
-	outBusy[oi] = true
+	pi := int(r.portOf[g])
+	r.forward(cycle, g, oi)
+	inBusy[pi] = cycle
+	outBusy[oi] = cycle
 	r.Counters.SAGrants++
 }
 
@@ -665,46 +838,43 @@ func (r *Router) saGrantPort(cycle int64, oi int, elig []int32, inBusy, outBusy 
 func (r *Router) stepSAFull(cycle int64) {
 	nOut := len(r.outPorts)
 	eligibleOut, saRank := r.eligibleOut, r.saRank
+	vcs := r.vcsPerPort
 	any := false
-	for pi := range r.inPorts {
-		for vi := range r.inPorts[pi].vcs {
-			f := r.flatVC(pi, vi)
-			eligibleOut[f] = -1
-			vc := &r.inPorts[pi].vcs[vi]
-			if vc.state != vcActive || cycle < vc.readyAt {
-				continue
-			}
-			front := vc.front()
-			if front == nil || front.arrivedAt >= cycle {
-				continue
-			}
-			oi := r.outIndex[vc.outDir]
-			op := &r.outPorts[oi]
-			if op.hasLink && op.credits[vc.outVC] <= 0 {
-				r.Counters.CreditStalls++
-				continue // no downstream buffer space
-			}
-			eligibleOut[f] = oi
-			saRank[f] = r.saRankOf(cycle, front)
-			r.Counters.SAReqs++
-			any = true
+	for f := range r.vcState {
+		eligibleOut[f] = -1
+		if r.vcState[f] != vcActive || cycle < r.vcReadyAt[f] {
+			continue
 		}
+		if r.vcLen[f] == 0 || r.vcFrontArrived(f) >= cycle {
+			continue
+		}
+		oi := r.outIndex[r.vcOutDir[f]]
+		if r.linkMask>>uint(oi)&1 != 0 && r.credits[int(oi)*vcs+int(r.vcOutVC[f])] <= 0 {
+			r.Counters.CreditStalls++
+			continue // no downstream buffer space
+		}
+		eligibleOut[f] = oi
+		saRank[f] = r.saRankOf(cycle, f)
+		r.Counters.SAReqs++
+		any = true
 	}
 	if !any {
 		return
 	}
 	inBusy, outBusy := r.switchMasks(cycle)
-	start := int(cycle) % nOut // rotate output priority
+	start := int(uint64(cycle) % uint64(nOut)) // rotate output priority
 	for k := 0; k < nOut; k++ {
-		oi := (start + k) % nOut
-		op := &r.outPorts[oi]
-		if outBusy[oi] {
+		oi := start + k
+		if oi >= nOut {
+			oi -= nOut
+		}
+		if outBusy[oi] == cycle {
 			continue
 		}
 		// Restrict candidates to the best QoS tier present.
 		best := int8(127)
 		for f := range r.reqScratch {
-			if eligibleOut[f] == int8(oi) && !inBusy[f/r.net.cfg.VCs] && saRank[f] < best {
+			if eligibleOut[f] == int8(oi) && inBusy[r.portOf[f]] != cycle && saRank[f] < best {
 				best = saRank[f]
 			}
 		}
@@ -713,56 +883,56 @@ func (r *Router) stepSAFull(cycle int64) {
 		}
 		reqs := r.reqScratch
 		for f := range reqs {
-			reqs[f] = eligibleOut[f] == int8(oi) && !inBusy[f/r.net.cfg.VCs] && saRank[f] == best
+			reqs[f] = eligibleOut[f] == int8(oi) && inBusy[r.portOf[f]] != cycle && saRank[f] == best
 		}
-		g := op.saArb.Grant(reqs)
+		g := r.saArb(oi).grant(reqs)
 		if g < 0 {
 			continue
 		}
-		pi, vi := g/r.net.cfg.VCs, g%r.net.cfg.VCs
-		r.forward(cycle, pi, vi, oi)
-		inBusy[pi] = true
-		outBusy[oi] = true
+		pi := int(r.portOf[g])
+		r.forward(cycle, g, oi)
+		inBusy[pi] = cycle
+		outBusy[oi] = cycle
 		r.Counters.SAGrants++
 	}
 }
 
-// trySpeculativeForward attempts to move a freshly VC-allocated head
-// flit through the crossbar in the same cycle as its VA grant
+// trySpeculativeForward attempts to move the freshly VC-allocated head
+// flit of VC f through the crossbar in the same cycle as its VA grant
 // (speculative switch allocation, Figure 8 (b)). Non-speculative grants
 // made earlier this cycle keep their ports; speculation only uses
 // leftover switch slots.
-func (r *Router) trySpeculativeForward(cycle int64, pi, vi, oi int) {
+func (r *Router) trySpeculativeForward(cycle int64, f, oi int) {
 	inBusy, outBusy := r.switchMasks(cycle)
-	if inBusy[pi] || outBusy[oi] {
+	pi := int(r.portOf[f])
+	if inBusy[pi] == cycle || outBusy[oi] == cycle {
 		return
 	}
-	vc := &r.inPorts[pi].vcs[vi]
-	front := vc.front()
-	if front == nil || front.arrivedAt >= cycle {
+	if r.vcLen[f] == 0 || r.vcFrontArrived(f) >= cycle {
 		return
 	}
-	op := &r.outPorts[oi]
-	if op.hasLink && op.credits[vc.outVC] <= 0 {
+	if r.linkMask>>uint(oi)&1 != 0 && r.credits[oi*r.vcsPerPort+int(r.vcOutVC[f])] <= 0 {
 		return
 	}
 	r.Counters.SAReqs++
 	r.Counters.SAGrants++
-	r.forward(cycle, pi, vi, oi)
-	inBusy[pi] = true
-	outBusy[oi] = true
+	r.forward(cycle, f, oi)
+	inBusy[pi] = cycle
+	outBusy[oi] = cycle
 }
 
-// forward pops the front flit of input VC (pi, vi) and sends it through
-// output port oi.
-func (r *Router) forward(cycle int64, pi, vi, oi int) {
+// forward sends the front flit of input VC fi through output port oi.
+// The flit is read and mutated (hop count) in its ring slot and copied
+// out exactly once — into the downstream ring (vcReserveSlot) or the
+// ejection event — then dropped without a pop copy.
+func (r *Router) forward(cycle int64, fi, oi int) {
 	cfg := &r.net.cfg
+	pi := int(r.portOf[fi])
 	ip := &r.inPorts[pi]
-	vc := &ip.vcs[vi]
 	op := &r.outPorts[oi]
-	bf := vc.pop()
-	f := bf.flit
-	frac := r.layerFrac(f)
+	f := &r.bufFlit[fi*r.bufDepth+int(r.vcHead[fi])]
+	frac := r.layerFracN(f.ActiveLayers)
+	outVC := int(r.vcOutVC[fi])
 
 	r.Counters.BufReads++
 	r.Counters.WBufReads += frac
@@ -770,34 +940,41 @@ func (r *Router) forward(cycle int64, pi, vi, oi int) {
 	r.Counters.WXbarFlits += frac
 	if r.net.probe != nil {
 		r.net.probe.ProbeEvent(ProbeEvent{
-			Kind: ProbeSAGrant, Cycle: cycle, Router: r.id, Dir: op.dir, VC: int8(vc.outVC), Flit: f,
+			Kind: ProbeSAGrant, Cycle: cycle, Router: r.id, Dir: op.dir, VC: int8(outVC), Flit: *f,
 		})
 	}
 
 	// Credit back to the upstream router (the NI checks space directly).
-	if ip.upstream >= 0 {
-		r.net.schedule(cycle+1, event{kind: evCredit, router: ip.upstream, dir: ip.dir.Opposite(), vc: vi})
+	if ip.upCredBase >= 0 {
+		cs := r.net.credSlotFor(cycle + 1)
+		*cs = append(*cs, ip.upCredBase+int32(r.vcOf[fi]))
 	}
 
 	if f.Type.IsHead() && op.dir != topology.Local {
 		f.Pkt.Hops++
 	}
+	isTail := f.Type.IsTail()
 
 	if op.dir == topology.Local {
 		// Ejection: ST (and wire to the NI) still takes the configured
 		// cycles; the sink always accepts.
-		r.net.schedule(cycle+int64(cfg.STLTCycles), event{kind: evEject, router: r.id, flit: f})
+		at := cycle + int64(cfg.STLTCycles)
+		s := r.net.slotFor(at)
+		ej := &r.net.ejRing[at&(ringSize-1)]
+		*s = append(*s, ^event(len(*ej)))
+		*ej = append(*ej, ejEntry{flit: *f, router: int32(r.id)})
 	} else {
-		op.credits[vc.outVC]--
-		if op.credits[vc.outVC] < 0 {
-			panic(fmt.Sprintf("noc: router %d negative credits on %v vc %d", r.id, op.dir, vc.outVC))
+		ci := oi*r.vcsPerPort + outVC
+		r.credits[ci]--
+		if r.credits[ci] < 0 {
+			panic(fmt.Sprintf("noc: router %d negative credits on %v vc %d", r.id, op.dir, outVC))
 		}
 		r.Counters.LinkFlits++
 		r.Counters.WLinkFlits += frac
 		op.flitCount++
 		if r.net.probe != nil {
 			r.net.probe.ProbeEvent(ProbeEvent{
-				Kind: ProbeLink, Cycle: cycle, Router: r.id, Dir: op.dir, VC: int8(vc.outVC), Flit: f,
+				Kind: ProbeLink, Cycle: cycle, Router: r.id, Dir: op.dir, VC: int8(outVC), Flit: *f,
 			})
 		}
 		r.Counters.LinkMMFlits += op.link.LengthMM
@@ -808,35 +985,43 @@ func (r *Router) forward(cycle int64, pi, vi, oi int) {
 		if op.dir.IsVertical() {
 			r.Counters.VertFlits++
 		}
-		r.net.schedule(cycle+int64(cfg.STLTCycles), event{
-			kind: evFlit, router: op.link.Dst, dir: op.dir.Opposite(), vc: vc.outVC, flit: f,
-		})
+		// The flit body goes straight into its future slot of the
+		// downstream VC ring (single copy); the event word is the
+		// destination's global flat VC index — the arrival notice that
+		// exposes the flit at the delivery cycle. This is
+		// vcReserveGlobal (soa.go) spelled out: the compiler won't
+		// inline it and the call sits on the busiest line of the
+		// simulator.
+		at := cycle + int64(cfg.STLTCycles)
+		gi := op.downVCBase + event(outVC)
+		st := &r.net.soa
+		depth := r.bufDepth
+		occ := int(st.vcLen[gi]) + int(st.vcInFly[gi])
+		if occ >= depth {
+			r.net.reserveOverflow(gi)
+		}
+		slot := int(st.vcHead[gi]) + occ
+		if slot >= depth {
+			slot -= depth
+		}
+		st.bufFlit[int(gi)*depth+slot] = *f
+		st.bufArrived[int(gi)*depth+slot] = at
+		st.vcInFly[gi]++
+		s := r.net.slotFor(at)
+		*s = append(*s, gi)
 	}
+	r.vcDrop(fi)
 
-	if f.Type.IsTail() {
-		op.reserved[vc.outVC] = false
-		fi := int32(r.flatVC(pi, vi))
-		if next := vc.front(); next != nil {
-			if !next.flit.Type.IsHead() {
+	if isTail {
+		r.reserved[oi*r.vcsPerPort+outVC] = false
+		if next := r.vcFrontFlit(fi); next != nil {
+			if !next.Type.IsHead() {
 				panic(fmt.Sprintf("noc: router %d flit after tail is not a head", r.id))
 			}
-			r.startHead(fi, cycle)
+			r.startHead(int32(fi), cycle)
 		} else {
-			r.setVCState(fi, vcIdle)
+			r.setVCState(int32(fi), vcIdle)
 		}
-	}
-}
-
-// creditReturn restores one credit for (dir, vc).
-func (r *Router) creditReturn(dir topology.Dir, vc int) {
-	oi := r.outIndex[dir]
-	if oi < 0 {
-		panic(fmt.Sprintf("noc: router %d credit for missing port %v", r.id, dir))
-	}
-	op := &r.outPorts[oi]
-	op.credits[vc]++
-	if op.credits[vc] > r.net.cfg.BufDepth {
-		panic(fmt.Sprintf("noc: router %d credit overflow on %v vc %d", r.id, dir, vc))
 	}
 }
 
@@ -844,10 +1029,8 @@ func (r *Router) creditReturn(dir topology.Dir, vc int) {
 // diagnostics).
 func (r *Router) occupancy() int {
 	n := 0
-	for pi := range r.inPorts {
-		for vi := range r.inPorts[pi].vcs {
-			n += r.inPorts[pi].vcs[vi].occ()
-		}
+	for _, l := range r.vcLen {
+		n += int(l)
 	}
 	return n
 }

@@ -1,0 +1,399 @@
+package noc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mira/internal/topology"
+)
+
+// Struct-of-arrays router state. The router pipeline's hot state — VC
+// ring buffers, VC control scalars (state, head/length, route, ready
+// cycle), output credits and reservations, arbiter rotors, pending-list
+// storage and per-cycle scratch — lives in contiguous per-Network
+// arrays, one allocation per kind, indexed by flat (router, port, vc).
+// Stage loops therefore walk dense typed slices instead of chasing
+// pointers across per-router/per-port/per-VC heap objects, which is
+// what dominated per-cycle cost at high injection rates once
+// allocations (PR 1) and idle work (PR 2) were gone.
+//
+// # Index math
+//
+// Routers may have different port counts (mesh edges, express and
+// vertical links), so each router r is assigned two base offsets at
+// construction time:
+//
+//	vcBase(r)   — r's first slot in every per-VC array
+//	portBase(r) — r's first slot in every per-port array
+//
+// Within a router, input and output ports share indices (topologies are
+// symmetric), and the local flat VC index is f = pi*VCs + vi, exactly
+// the request index the VA/SA arbiters have always used. The global
+// slots are then vcBase(r)+f for per-VC arrays, portBase(r)+oi for
+// per-port arrays, and (portBase(r)+oi)*VCs+ov for per-(output
+// port, VC) arrays. VC f's ring storage is the fixed-size window
+// bufs[(vcBase(r)+f)*BufDepth : ...+BufDepth].
+//
+// # Ownership: arrays are the state, the object graph is a view
+//
+// Network.soa owns the backing arrays. Each Router holds sub-slices of
+// them covering exactly its own window (bound once in NewNetwork), so
+// router code keeps indexing by local f with no base arithmetic, and
+// the per-router views alias — not copy — the flat state. inputPort
+// and outputPort survive as construction/observability views carrying
+// only topology metadata (direction, link, upstream) plus, on the
+// output side, credit/reserved sub-slices that alias the same backing
+// arrays. The two representations cannot diverge because there is only
+// one storage location per datum; TestSoAViewAliasing pins this by
+// mutating through one representation and reading through the other.
+//
+// # Why bit-identity holds
+//
+// The flattening moves bytes, not decisions: every stage loop visits
+// the same (router, port, vc) tuples in the same order as before, the
+// arbiters receive identical request vectors over identical flat
+// indices (arbState reimplements the round-robin rotor verbatim and
+// delegates to the same Matrix state otherwise), and cross-router
+// interaction still flows exclusively through the event ring. The VC
+// ring buffer replaces the old append/compact slice but preserves
+// FIFO order and the arrived-cycle tags, so eligibility tests see the
+// same values. The checked step mode and the golden determinism tests
+// verify the result streams are byte-identical across all step modes,
+// pipeline variants and worker counts.
+type soaState struct {
+	// Per-VC control scalars, indexed by vcBase(r) + pi*VCs + vi.
+	vcState   []vcState
+	vcHead    []int32 // ring read position, in [0, BufDepth)
+	vcLen     []int32 // ring occupancy, in [0, BufDepth]
+	vcReadyAt []int64 // earliest cycle for the pending stage
+	// vcFrontAt caches the arrival cycle of each VC's front flit (valid
+	// while occupancy > 0, maintained by vcPush/vcPop), so the SA
+	// eligibility scan reads one dense lane instead of chasing into the
+	// ring storage; CheckInvariants cross-checks it against the ring.
+	vcFrontAt []int64
+	vcOutDir  []topology.Dir
+	vcOutPort []int8 // routed output port index, -1 until RC
+	vcOutVC   []int8 // allocated output VC, valid while active
+	// vcClass caches the front head flit's message class from RC until
+	// the packet releases the channel, so the VA candidate scans read a
+	// dense array instead of dereferencing the buffered flit.
+	vcClass []Class
+	// vcInFly counts flits already written into the VC's ring slots by
+	// an upstream forward but not yet delivered (the event ring holds
+	// their arrival notices). Occupancy-wise they are invisible until
+	// delivery; the count positions the next upstream write.
+	vcInFly []int8
+
+	// Ring storage: BufDepth slots per VC, flits and arrival cycles in
+	// parallel arrays so eligibility scans touch only the int64 lane.
+	bufFlit    []Flit
+	bufArrived []int64
+
+	// Per-(output port, VC) flow control, indexed by
+	// (portBase(r)+oi)*VCs + ov.
+	reserved []bool
+	credits  []int32
+
+	// Arbiter state, indexed by (portBase(r)+oi)*(1+VCs): the SA
+	// arbiter first, then the VCs' VA arbiters. Round-robin rotors live
+	// inline; matrix arbiters hang off a pointer (their n x n priority
+	// state has no fixed-size slot).
+	arbs []arbState
+
+	// Per-port switch occupancy, indexed by portBase(r) + pi/oi. Each
+	// entry stores the cycle the port was last claimed in, so "busy this
+	// cycle" is a comparison and no per-cycle clearing pass is needed.
+	inBusy  []int64
+	outBusy []int64
+
+	// Pending-list storage: each router's listRC/listVA/listSA is a
+	// zero-length, fixed-capacity sub-slice of these (capacity = its VC
+	// count, the upper bound since a VC is in at most one list), so
+	// appends stay in place and never allocate. listPos, the per-cycle
+	// scratch (reqScratch/eligibleOut/saRank/eligStore) and the
+	// per-output aggregates (waiters/saCount/saLast) follow the same
+	// windowing.
+	listRC, listVA, listSA []int32
+	listPos                []int32
+	portOf, vcOf           []int8
+	// ownerOf maps a global flat VC index back to its router's index,
+	// so event delivery decodes an int32 arrival word without any
+	// per-event metadata.
+	ownerOf      []int32
+	reqScratch   []bool
+	eligibleOut  []int8
+	saRank       []int8
+	eligStore    []int32
+	waitersByOut []int32
+	saHead       []int32
+	saCount      []int8
+	saLast       []int32
+}
+
+// newSoAState allocates the flat arrays for totalVCs flat VC slots and
+// totalPorts ports under the given configuration.
+func newSoAState(cfg *Config, totalVCs, totalPorts int) soaState {
+	pv := totalPorts * cfg.VCs
+	st := soaState{
+		vcState:      make([]vcState, totalVCs),
+		vcHead:       make([]int32, totalVCs),
+		vcLen:        make([]int32, totalVCs),
+		vcReadyAt:    make([]int64, totalVCs),
+		vcFrontAt:    make([]int64, totalVCs),
+		vcOutDir:     make([]topology.Dir, totalVCs),
+		vcOutPort:    make([]int8, totalVCs),
+		vcOutVC:      make([]int8, totalVCs),
+		vcClass:      make([]Class, totalVCs),
+		vcInFly:      make([]int8, totalVCs),
+		bufFlit:      make([]Flit, totalVCs*cfg.BufDepth),
+		bufArrived:   make([]int64, totalVCs*cfg.BufDepth),
+		reserved:     make([]bool, pv),
+		credits:      make([]int32, pv),
+		arbs:         make([]arbState, totalPorts*(1+cfg.VCs)),
+		inBusy:       make([]int64, totalPorts),
+		outBusy:      make([]int64, totalPorts),
+		listRC:       make([]int32, totalVCs),
+		listVA:       make([]int32, totalVCs),
+		listSA:       make([]int32, totalVCs),
+		listPos:      make([]int32, totalVCs),
+		portOf:       make([]int8, totalVCs),
+		vcOf:         make([]int8, totalVCs),
+		ownerOf:      make([]int32, totalVCs),
+		reqScratch:   make([]bool, totalVCs),
+		eligibleOut:  make([]int8, totalVCs),
+		saRank:       make([]int8, totalVCs),
+		eligStore:    make([]int32, totalVCs),
+		waitersByOut: make([]int32, totalPorts),
+		saHead:       make([]int32, totalPorts),
+		saCount:      make([]int8, totalPorts),
+		saLast:       make([]int32, totalPorts),
+	}
+	return st
+}
+
+// arbState is one allocator arbiter flattened into the per-network
+// array. Under ArbRoundRobin the whole state is the rotor; under
+// ArbMatrix it delegates to the shared Matrix implementation. Both
+// reproduce the exported Arbiter implementations decision for
+// decision, which the cross-policy equivalence test pins.
+type arbState struct {
+	next int32
+	n    int32 // request-vector length (wrap point of the rotor)
+	m    *Matrix
+}
+
+func (a *arbState) init(p ArbPolicy, n int) {
+	a.n = int32(n)
+	if p == ArbMatrix {
+		a.m = NewMatrix(n)
+	}
+}
+
+// grant returns the winning index among the set bits of reqs, or -1.
+// The round-robin path is RoundRobin.Grant with the rotor inline: two
+// linear passes, no modulo.
+func (a *arbState) grant(reqs []bool) int {
+	if a.m != nil {
+		return a.m.Grant(reqs)
+	}
+	for i := int(a.next); i < len(reqs); i++ {
+		if reqs[i] {
+			a.next = int32(i + 1)
+			if int(a.next) == len(reqs) {
+				a.next = 0
+			}
+			return i
+		}
+	}
+	for i := 0; i < int(a.next) && i < len(reqs); i++ {
+		if reqs[i] {
+			a.next = int32(i + 1)
+			return i
+		}
+	}
+	return -1
+}
+
+// grantMask is grant with the request vector as a bitmask over flat VC
+// indices; callers use it only when the router has at most 64 flat VCs
+// (Router.arbMask). Bit-for-bit it makes the same decision as grant on
+// the equivalent []bool: the rotor scan becomes a shift plus a
+// trailing-zeros count. The matrix policy has no mask form, so reqs (the
+// all-false scratch) is materialized around the delegated call.
+func (a *arbState) grantMask(mask uint64, reqs []bool) int {
+	if a.m != nil {
+		for m := mask; m != 0; m &= m - 1 {
+			reqs[bits.TrailingZeros64(m)] = true
+		}
+		g := a.m.Grant(reqs)
+		for m := mask; m != 0; m &= m - 1 {
+			reqs[bits.TrailingZeros64(m)] = false
+		}
+		return g
+	}
+	if m := mask >> uint(a.next); m != 0 {
+		// First pass of grant: lowest set bit at index >= next.
+		i := int(a.next) + bits.TrailingZeros64(m)
+		a.next = int32(i + 1)
+		if a.next == a.n {
+			a.next = 0
+		}
+		return i
+	}
+	if mask == 0 {
+		return -1
+	}
+	// Wrap-around pass: every remaining set bit is below next. As in
+	// grant's second loop, the rotor is not wrapped here.
+	i := bits.TrailingZeros64(mask)
+	a.next = int32(i + 1)
+	return i
+}
+
+// grantSingle records a grant to the sole requester i, advancing the
+// state exactly like grant with only bit i set.
+func (a *arbState) grantSingle(i int) {
+	if a.m != nil {
+		a.m.GrantSingle(i)
+		return
+	}
+	a.next = int32(i + 1)
+}
+
+// saArb returns the switch arbiter of output port oi.
+func (r *Router) saArb(oi int) *arbState { return &r.arbs[oi*(1+r.vcsPerPort)] }
+
+// vaArb returns the VA arbiter of output VC ov on port oi.
+func (r *Router) vaArb(oi, ov int) *arbState { return &r.arbs[oi*(1+r.vcsPerPort)+1+ov] }
+
+// VC ring-buffer operations. Each VC owns a fixed window of BufDepth
+// slots; head/len advance modulo the depth (written as compare-and-
+// subtract — no division). Fixed capacity is itself an invariant: the
+// old slice-backed buffers were allocated at 2x depth and relied on
+// credit accounting alone to stay within depth, whereas the ring makes
+// an overflow physically impossible to store, so vcPush panics with
+// the exact (router, port, vc) coordinates on any credit bug.
+
+// vcOcc returns the buffer occupancy in flits of local flat VC f (what
+// credits account against).
+func (r *Router) vcOcc(f int) int { return int(r.vcLen[f]) }
+
+// vcFrontFlit returns a pointer to the oldest buffered flit of VC f,
+// or nil when empty.
+func (r *Router) vcFrontFlit(f int) *Flit {
+	if r.vcLen[f] == 0 {
+		return nil
+	}
+	return &r.bufFlit[f*r.bufDepth+int(r.vcHead[f])]
+}
+
+// vcFrontArrived returns the arrival cycle of the oldest buffered flit
+// of VC f; the caller guarantees occupancy. It reads the dense front
+// cache rather than the ring storage.
+func (r *Router) vcFrontArrived(f int) int64 {
+	return r.vcFrontAt[f]
+}
+
+// vcPush appends a flit to VC f's ring. Overflow means a credit
+// accounting bug upstream; the panic names the exact buffer. Only the
+// NI injection path pushes, and only into local-port VCs, which never
+// carry link traffic — so vcLen alone positions the slot and can never
+// collide with a vcReserveSlot reservation.
+func (r *Router) vcPush(f int, flit Flit, arrivedAt int64) {
+	if int(r.vcLen[f]) >= r.bufDepth {
+		pi, vi := f/r.vcsPerPort, f%r.vcsPerPort
+		panic(fmt.Sprintf("noc: router %d port %d (%v) vc %d buffer overflow (credit bug)",
+			r.id, pi, r.inPorts[pi].dir, vi))
+	}
+	slot := int(r.vcHead[f]) + int(r.vcLen[f])
+	if slot >= r.bufDepth {
+		slot -= r.bufDepth
+	}
+	r.bufFlit[f*r.bufDepth+slot] = flit
+	r.bufArrived[f*r.bufDepth+slot] = arrivedAt
+	if r.vcLen[f] == 0 {
+		r.vcFrontAt[f] = arrivedAt
+	}
+	r.vcLen[f]++
+}
+
+// vcReserveGlobal writes a flit in flight over a link directly into its
+// future ring slot of the VC with global flat index gi, arriving at
+// cycle arriveAt. Deliveries are FIFO per VC (one flit per link per
+// cycle) and pops leave head+len invariant, so the slot computed here —
+// after the buffered flits and the earlier in-flight ones — is exactly
+// where the matching arrival event (vcArrive) will expose it. The flit
+// therefore crosses the network with a single copy instead of bouncing
+// through the event ring. It addresses the flat arrays by the global
+// index the sender precomputed (outputPort.downVCBase), so the forward
+// path never touches the downstream router header at all. Overflow
+// means a credit accounting bug upstream, as in vcPush.
+//
+// forward (router.go) repeats this body inline — the compiler's budget
+// won't inline it and the call sits on the simulator's busiest line —
+// so changes here must be mirrored there. Tests exercise this copy.
+func (n *Network) vcReserveGlobal(gi int32, flit *Flit, arriveAt int64) {
+	st := &n.soa
+	depth := n.cfg.BufDepth
+	occ := int(st.vcLen[gi]) + int(st.vcInFly[gi])
+	if occ >= depth {
+		n.reserveOverflow(gi)
+	}
+	slot := int(st.vcHead[gi]) + occ
+	if slot >= depth {
+		slot -= depth
+	}
+	st.bufFlit[int(gi)*depth+slot] = *flit
+	st.bufArrived[int(gi)*depth+slot] = arriveAt
+	st.vcInFly[gi]++
+}
+
+// reserveOverflow reconstructs the (router, port, vc) coordinates of
+// the overflowing global VC slot and panics, matching vcPush's message.
+// It lives outside vcReserveGlobal to keep the hot path inlinable.
+func (n *Network) reserveOverflow(gi int32) {
+	r := &n.routers[n.soa.ownerOf[gi]]
+	fi := int(gi - r.vcBase)
+	pi, vi := fi/r.vcsPerPort, fi%r.vcsPerPort
+	panic(fmt.Sprintf("noc: router %d port %d (%v) vc %d buffer overflow (credit bug)",
+		r.id, pi, r.inPorts[pi].dir, vi))
+}
+
+// vcArrive exposes the oldest in-flight flit of VC f (written earlier
+// by vcReserveSlot) as buffered, returning a pointer to it. The caller
+// is the evFlit delivery in Step, at exactly the cycle vcReserveSlot
+// stamped as its arrival.
+func (r *Router) vcArrive(f int) *Flit {
+	slot := int(r.vcHead[f]) + int(r.vcLen[f])
+	if slot >= r.bufDepth {
+		slot -= r.bufDepth
+	}
+	r.vcInFly[f]--
+	if r.vcLen[f] == 0 {
+		r.vcFrontAt[f] = r.bufArrived[f*r.bufDepth+slot]
+	}
+	r.vcLen[f]++
+	return &r.bufFlit[f*r.bufDepth+slot]
+}
+
+// vcPop removes and returns the oldest buffered flit of VC f; the
+// caller guarantees occupancy.
+func (r *Router) vcPop(f int) Flit {
+	flit := r.bufFlit[f*r.bufDepth+int(r.vcHead[f])]
+	r.vcDrop(f)
+	return flit
+}
+
+// vcDrop removes the front flit of VC f without copying it out; the
+// forward path reads it in place (vcFrontFlit) first.
+func (r *Router) vcDrop(f int) {
+	head := int(r.vcHead[f]) + 1
+	if head == r.bufDepth {
+		head = 0
+	}
+	r.vcHead[f] = int32(head)
+	r.vcLen[f]--
+	if r.vcLen[f] > 0 {
+		r.vcFrontAt[f] = r.bufArrived[f*r.bufDepth+head]
+	}
+}

@@ -1,0 +1,213 @@
+package noc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mira/internal/topology"
+)
+
+// TestSoAViewAliasing pins the ownership contract of soa.go: the flat
+// per-network arrays are the state and every per-router (and per-port)
+// slice is a window over them, so a mutation through either
+// representation is immediately visible through the other. If a refactor
+// ever turns a window into a copy, the two representations can drift and
+// this test fails before any simulation-level symptom appears.
+func TestSoAViewAliasing(t *testing.T) {
+	net := NewNetwork(cfg2D(1))
+	// A middle router, so every direction has ports; nonzero bases.
+	r := &net.routers[7]
+	if r.vcBase == 0 {
+		t.Fatalf("router 7 has vcBase 0; want a nonzero base for the aliasing check")
+	}
+	pi := int(r.inIndex[topology.East])
+	vi := 1
+	f := r.flatVC(pi, vi)
+	gi := int(r.vcBase) + f
+
+	// Flat write -> router-view read, across a few representative lanes.
+	net.soa.vcReadyAt[gi] = 12345
+	if got := r.vcReadyAt[f]; got != 12345 {
+		t.Errorf("vcReadyAt window read %d after flat write, want 12345", got)
+	}
+	net.soa.vcOutVC[gi] = 3
+	if got := r.vcOutVC[f]; got != 3 {
+		t.Errorf("vcOutVC window read %d after flat write, want 3", got)
+	}
+
+	// Router-view write -> flat read.
+	r.vcState[f] = vcRouting
+	if got := net.soa.vcState[gi]; got != vcRouting {
+		t.Errorf("flat vcState read %v after window write, want %v", got, vcRouting)
+	}
+	r.vcState[f] = vcIdle
+
+	// Ring storage: a push through the router view must land in the
+	// network-owned backing array at the global slot.
+	pkt := &Packet{ID: 99, Src: 0, Dst: 1, Size: 1}
+	r.vcPush(f, Flit{Pkt: pkt, Type: HeadTailFlit}, 7)
+	if got := net.soa.bufFlit[gi*net.cfg.BufDepth]; got.Pkt != pkt {
+		t.Errorf("flat bufFlit slot holds %+v after window push, want packet 99", got)
+	}
+	if got := net.soa.bufArrived[gi*net.cfg.BufDepth]; got != 7 {
+		t.Errorf("flat bufArrived slot %d after window push, want 7", got)
+	}
+	// And the reverse: mutate the flit in place through the flat array,
+	// read it through the router accessor.
+	net.soa.bufFlit[gi*net.cfg.BufDepth].Seq = 42
+	if got := r.vcFrontFlit(f); got == nil || got.Seq != 42 {
+		t.Errorf("vcFrontFlit = %+v after flat mutation, want Seq 42", got)
+	}
+	r.vcDrop(f)
+
+	// Output-port views: outputPort.credits/reserved alias the same
+	// backing arrays as Router.credits/reserved and the flat state.
+	oi := int(r.outIndex[topology.West])
+	op := &r.outPorts[oi]
+	ci := oi*r.vcsPerPort + vi
+	gc := int(r.credBase) + ci
+	op.credits[vi]--
+	if got := net.soa.credits[gc]; got != r.credits[ci] || got != op.credits[vi] {
+		t.Errorf("credit views diverged: flat %d, router %d, port %d",
+			net.soa.credits[gc], r.credits[ci], op.credits[vi])
+	}
+	op.credits[vi]++
+	net.soa.reserved[gc] = true
+	if !op.reserved[vi] || !r.reserved[ci] {
+		t.Errorf("reserved views diverged: flat true, router %v, port %v",
+			r.reserved[ci], op.reserved[vi])
+	}
+	net.soa.reserved[gc] = false
+
+	// The windows really are views, so the network must still pass a
+	// full consistency check after the round-trips above.
+	if err := net.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after aliasing round-trips: %v", err)
+	}
+}
+
+// TestVCOverflowPanics pins the fixed-capacity ring contract: occupancy
+// beyond BufDepth is physically unstorable, and both write paths — the
+// NI-side vcPush and the link-side reserve (vcReserveGlobal, whose body
+// forward repeats inline) — panic naming the exact router, port and VC,
+// so a credit bug reports where it happened rather than corrupting
+// state.
+func TestVCOverflowPanics(t *testing.T) {
+	mustPanic := func(t *testing.T, wantSub []string, fn func()) {
+		t.Helper()
+		defer func() {
+			msg, ok := recover().(string)
+			if !ok {
+				t.Fatalf("no panic; want buffer-overflow panic")
+			}
+			for _, sub := range wantSub {
+				if !strings.Contains(msg, sub) {
+					t.Errorf("panic %q does not name %q", msg, sub)
+				}
+			}
+		}()
+		fn()
+	}
+
+	t.Run("push", func(t *testing.T) {
+		net := NewNetwork(cfg2D(1))
+		r := &net.routers[0]
+		lpi := int(r.inIndex[topology.Local])
+		f := r.flatVC(lpi, 0)
+		pkt := &Packet{Src: 0, Dst: 1, Size: 1}
+		for i := 0; i < net.cfg.BufDepth; i++ {
+			r.vcPush(f, Flit{Pkt: pkt, Type: BodyFlit}, int64(i))
+		}
+		mustPanic(t, []string{
+			"router 0", fmt.Sprintf("port %d", lpi), "(local)", "vc 0", "overflow",
+		}, func() {
+			r.vcPush(f, Flit{Pkt: pkt, Type: BodyFlit}, 99)
+		})
+	})
+
+	t.Run("reserve", func(t *testing.T) {
+		net := NewNetwork(cfg2D(1))
+		r := &net.routers[7] // interior: every direction present
+		pi := int(r.inIndex[topology.East])
+		vi := 1
+		gi := r.vcBase + int32(r.flatVC(pi, vi))
+		pkt := &Packet{Src: 0, Dst: 1, Size: 1}
+		flit := Flit{Pkt: pkt, Type: BodyFlit}
+		for i := 0; i < net.cfg.BufDepth; i++ {
+			net.vcReserveGlobal(gi, &flit, int64(i+1))
+		}
+		mustPanic(t, []string{
+			"router 7", fmt.Sprintf("port %d", pi), "(east)", fmt.Sprintf("vc %d", vi), "overflow",
+		}, func() {
+			net.vcReserveGlobal(gi, &flit, 99)
+		})
+	})
+
+	// Reserved-but-undelivered flits count against the depth too: a VC
+	// with buffered flits and in-flight reservations summing to the
+	// depth must reject another reservation.
+	t.Run("mixed", func(t *testing.T) {
+		net := NewNetwork(cfg2D(1))
+		r := &net.routers[7]
+		pi := int(r.inIndex[topology.West])
+		f := r.flatVC(pi, 0)
+		gi := r.vcBase + int32(f)
+		pkt := &Packet{Src: 0, Dst: 1, Size: 1}
+		flit := Flit{Pkt: pkt, Type: BodyFlit}
+		for i := 0; i < net.cfg.BufDepth/2; i++ {
+			r.vcPush(f, flit, int64(i))
+		}
+		for i := net.cfg.BufDepth / 2; i < net.cfg.BufDepth; i++ {
+			net.vcReserveGlobal(gi, &flit, int64(i+1))
+		}
+		mustPanic(t, []string{"router 7", "vc 0", "overflow"}, func() {
+			net.vcReserveGlobal(gi, &flit, 99)
+		})
+	})
+}
+
+// TestGrantMaskEquivalence drives two identically seeded arbiters — one
+// through the []bool grant path, one through the bitmask fast path the
+// allocation stages use for routers with at most 64 flat VCs — with the
+// same random request streams and requires decision-for-decision
+// agreement, for both arbiter policies.
+func TestGrantMaskEquivalence(t *testing.T) {
+	for _, policy := range []ArbPolicy{ArbRoundRobin, ArbMatrix} {
+		t.Run(policy.String(), func(t *testing.T) {
+			const n = 20
+			var ab, am arbState
+			ab.init(policy, n)
+			am.init(policy, n)
+			reqs := make([]bool, n)
+			scratch := make([]bool, n)
+			rng := rand.New(rand.NewSource(3))
+			for round := 0; round < 2000; round++ {
+				var mask uint64
+				for i := range reqs {
+					reqs[i] = rng.Intn(3) == 0
+					if reqs[i] {
+						mask |= 1 << uint(i)
+					}
+				}
+				gb := ab.grant(reqs)
+				gm := am.grantMask(mask, scratch)
+				if gb != gm {
+					t.Fatalf("round %d: grant = %d, grantMask = %d (mask %#x)", round, gb, gm, mask)
+				}
+				for _, v := range scratch {
+					if v {
+						t.Fatalf("round %d: grantMask left scratch dirty", round)
+					}
+				}
+				// Interleave single-requester grants so the rotor/matrix
+				// state is exercised from every position.
+				if gb >= 0 && rng.Intn(4) == 0 {
+					ab.grantSingle(gb)
+					am.grantSingle(gb)
+				}
+			}
+		})
+	}
+}

@@ -157,7 +157,7 @@ func (a *latencyAcc) feedLive(ev noc.ProbeEvent) {
 	if ev.Kind != noc.ProbeInject && ev.Kind != noc.ProbeEject {
 		return
 	}
-	a.feed(ev.Kind.String(), ev.Cycle, ev.Flit.Pkt.ID, ev.Flit.Seq,
+	a.feed(ev.Kind.String(), ev.Cycle, ev.Flit.Pkt.ID, int(ev.Flit.Seq),
 		ev.Flit.Type.IsTail(), ev.Flit.Pkt.Class.String(), ev.Flit.Pkt.CreatedAt)
 }
 

@@ -47,7 +47,7 @@ func eventOf(ev noc.ProbeEvent) Event {
 		Router: int(ev.Router),
 		VC:     int(ev.VC),
 		Pkt:    ev.Flit.Pkt.ID,
-		Seq:    ev.Flit.Seq,
+		Seq:    int(ev.Flit.Seq),
 		Type:   flitTypeName(ev.Flit.Type),
 		Class:  ev.Flit.Pkt.Class.String(),
 		Src:    int(ev.Flit.Pkt.Src),

@@ -1,0 +1,51 @@
+#!/bin/sh
+# benchguard.sh - benchstat-style regression guard for the engine
+# micro-benchmarks. Runs the guarded benchmarks a few times, takes the
+# minimum ns/op per benchmark (the noise-robust estimator), and compares
+# it against the recorded baseline in BENCH_sweep.json
+# (soa_router_core.Step*_after_ns).
+#
+# CI runners are not the machine that recorded the baseline, so the
+# default mode warns when a benchmark lands more than WARN_PCT above
+# baseline and fails only beyond FAIL_RATIO (a regression that big is an
+# algorithmic break, not runner variance). Set BENCHGUARD_STRICT=1 to
+# fail at the warn threshold too, for runs on the baseline hardware.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+WARN_PCT="${BENCHGUARD_WARN_PCT:-15}"
+FAIL_RATIO="${BENCHGUARD_FAIL_RATIO:-2.5}"
+COUNT="${BENCHGUARD_COUNT:-3}"
+BENCHES='BenchmarkStepLowRate$|BenchmarkStepHighRate$'
+
+command -v jq >/dev/null || { echo "benchguard: jq not found" >&2; exit 1; }
+
+out=$(go test -run '^$' -bench "$BENCHES" -benchtime 1s -count "$COUNT" .)
+echo "$out"
+
+status=0
+for name in StepLowRate StepHighRate; do
+    base=$(jq -r ".soa_router_core.${name}_after_ns" BENCH_sweep.json)
+    [ "$base" = null ] && { echo "benchguard: no baseline for $name" >&2; exit 1; }
+    cur=$(echo "$out" | awk -v b="Benchmark${name} " \
+        'index($0, b) == 1 { if (min == "" || $3 < min) min = $3 } END { print min }')
+    [ -n "$cur" ] || { echo "benchguard: Benchmark${name} produced no result" >&2; exit 1; }
+    verdict=$(awk -v c="$cur" -v b="$base" -v w="$WARN_PCT" -v f="$FAIL_RATIO" 'BEGIN {
+        pct = (c / b - 1) * 100
+        printf "Benchmark%s: %.0f ns/op vs baseline %.0f (%+.1f%%)\n", "'"$name"'", c, b, pct
+        if (c > b * f) print "FAIL"
+        else if (pct > w) print "WARN"
+        else print "OK"
+    }')
+    echo "$verdict" | head -1
+    case "$verdict" in
+        *FAIL)
+            echo "benchguard: Benchmark${name} regressed past ${FAIL_RATIO}x baseline" >&2
+            status=1 ;;
+        *WARN)
+            echo "benchguard: Benchmark${name} more than ${WARN_PCT}% over baseline" >&2
+            [ "${BENCHGUARD_STRICT:-0}" = 1 ] && status=1 ;;
+    esac
+done
+exit $status
