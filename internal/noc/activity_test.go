@@ -47,9 +47,10 @@ type ejection struct {
 	hops     int
 }
 
-// runModal drives cfg under gen for the given cycles, recording the
-// ejection stream, and returns it with the final counters.
-func runModal(t *testing.T, cfg Config, mode StepMode, rate float64, cycles int64) ([]ejection, Counters, *Network) {
+// runModal drives cfg under Bernoulli traffic of size-flit packets for
+// the given cycles, recording the ejection stream, and returns it with
+// the final counters.
+func runModal(t *testing.T, cfg Config, mode StepMode, rate float64, size int, cycles int64) ([]ejection, Counters, *Network) {
 	t.Helper()
 	cfg.Mode = mode
 	net := NewNetwork(cfg)
@@ -57,7 +58,7 @@ func runModal(t *testing.T, cfg Config, mode StepMode, rate float64, cycles int6
 	net.SetEjectHandler(func(p *Packet) {
 		stream = append(stream, ejection{id: p.ID, ejected: p.EjectedAt, injected: p.InjectedAt, hops: p.Hops})
 	})
-	gen := bernoulli(cfg.Topo, rate, 4, Data)
+	gen := bernoulli(cfg.Topo, rate, size, Data)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	for cycle := int64(0); cycle < cycles; cycle++ {
 		for _, spec := range gen.Generate(cycle, rng, nil) {
@@ -96,8 +97,8 @@ func TestActivityMatchesFullScan(t *testing.T) {
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
 			c.cfg.Seed = 11
-			full, fullCnt, fullNet := runModal(t, c.cfg, StepFullScan, c.rate, 1200)
-			act, actCnt, actNet := runModal(t, c.cfg, StepActivity, c.rate, 1200)
+			full, fullCnt, fullNet := runModal(t, c.cfg, StepFullScan, c.rate, 4, 1200)
+			act, actCnt, actNet := runModal(t, c.cfg, StepActivity, c.rate, 4, 1200)
 			if len(full) == 0 {
 				t.Fatal("no traffic delivered; test is vacuous")
 			}
@@ -119,6 +120,47 @@ func TestActivityMatchesFullScan(t *testing.T) {
 				t.Fatalf("fullscan invariants: %v", err)
 			}
 		})
+	}
+}
+
+// TestSpecLookaheadSingleFlitChainReentry is the regression for the
+// stepVA chain-walk guards. Under SpecSA+LookaheadRC a single-flit
+// (HeadTail) packet granted early in stepVA can speculatively forward,
+// release its channel and route the next buffered head straight back
+// into vcWaitVC within the same stage — with readyAt = cycle+1 and
+// possibly a different output port. The stale per-port chain still
+// lists that VC, so the walk must re-check readiness and output port,
+// not just the wait state; otherwise later (oi, ov) rounds grant it a
+// cycle early on its old port, leaking the reservation when the new
+// head routes elsewhere. Saturated single-flit traffic keeps a queued
+// head behind every tail, the shape that triggers the re-entry; several
+// seeds are swept because one arbiter history may not expose it.
+func TestSpecLookaheadSingleFlitChainReentry(t *testing.T) {
+	for _, seed := range []int64{3, 11, 42, 1234} {
+		cfg := cfg2D(1)
+		cfg.SpecSA = true
+		cfg.LookaheadRC = true
+		cfg.BufDepth = 4
+		cfg.Seed = seed
+		full, fullCnt, _ := runModal(t, cfg, StepFullScan, 0.8, 1, 1500)
+		act, actCnt, actNet := runModal(t, cfg, StepActivity, 0.8, 1, 1500)
+		if len(full) == 0 {
+			t.Fatal("no traffic delivered; test is vacuous")
+		}
+		if len(full) != len(act) {
+			t.Fatalf("seed %d: ejection streams diverge: %d vs %d packets", seed, len(full), len(act))
+		}
+		for i := range full {
+			if full[i] != act[i] {
+				t.Fatalf("seed %d: ejection %d diverges: fullscan %+v, activity %+v", seed, i, full[i], act[i])
+			}
+		}
+		if fullCnt != actCnt {
+			t.Fatalf("seed %d: counters diverge:\nfullscan %+v\nactivity %+v", seed, fullCnt, actCnt)
+		}
+		if err := actNet.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: activity invariants: %v", seed, err)
+		}
 	}
 }
 

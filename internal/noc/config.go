@@ -170,6 +170,17 @@ func (c *Config) Validate() error {
 	if c.BufDepth < 1 {
 		return fmt.Errorf("noc: BufDepth = %d, need >= 1", c.BufDepth)
 	}
+	// The flat router state (soa.go) keeps occupancy counters (vcInFly,
+	// saCount) and flat VC indices (portOf/vcOf/vcOutVC/eligibleOut) in
+	// int8 lanes; bound the config here so an oversized network fails
+	// loudly at validation instead of silently overflowing them.
+	if c.BufDepth > 127 {
+		return fmt.Errorf("noc: BufDepth = %d, need <= 127 (int8 occupancy counters)", c.BufDepth)
+	}
+	if fv := c.Topo.MaxPorts() * c.VCs; fv > 127 {
+		return fmt.Errorf("noc: %d ports x %d VCs = %d flat VCs per router, need <= 127 (int8 flat indices)",
+			c.Topo.MaxPorts(), c.VCs, fv)
+	}
 	if c.STLTCycles < 1 || c.STLTCycles > 2 {
 		return fmt.Errorf("noc: STLTCycles = %d, need 1 or 2", c.STLTCycles)
 	}

@@ -60,7 +60,7 @@ type injJob struct {
 // Network instantiates routers over a topology and advances them cycle
 // by cycle.
 type Network struct {
-	cfg     Config
+	cfg Config
 	// routers is a contiguous value slice: the per-router headers (the
 	// window slice descriptors and counters) sit side by side in one
 	// allocation, so event delivery and the stage dispatch loops index

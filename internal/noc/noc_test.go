@@ -350,6 +350,8 @@ func TestConfigValidate(t *testing.T) {
 		func(c *Config) { c.STLTCycles = 3 },
 		func(c *Config) { c.Layers = 0 },
 		func(c *Config) { c.VCs = 1; c.Policy = ByClass },
+		func(c *Config) { c.BufDepth = 128 }, // int8 occupancy counters
+		func(c *Config) { c.VCs = 30 },       // 5 ports x 30 VCs > 127 flat indices
 	}
 	for i, mutate := range bad {
 		c := cfg2D(2)

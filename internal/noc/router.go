@@ -92,7 +92,7 @@ type Router struct {
 	// algXY is set when Config.Alg is plain dimension-ordered routing,
 	// letting routeHead call it directly instead of through the
 	// interface (the per-head dispatch is measurable at high load).
-	algXY bool
+	algXY    bool
 	Counters Counters
 
 	// vcsPerPort/bufDepth cache Config.VCs and Config.BufDepth;
@@ -468,9 +468,16 @@ func (r *Router) stepVA(cycle int64) {
 	vcs := r.vcsPerPort
 	state, class := r.vcState, r.vcClass
 	byClass := r.net.cfg.Policy == ByClass
-	// Ascending port order, as the full scan visits them. A chain entry
-	// granted for an earlier output VC left the wait state (grantVC), so
-	// the state filter reproduces "still on the wait list" exactly.
+	// Ascending port order, as the full scan visits them. The walk
+	// re-checks the full candidate predicate — state, readiness and
+	// output port — not just the state: a chain entry granted for an
+	// earlier (oi, ov) normally leaves the wait state (grantVC), but
+	// under SpecSA+LookaheadRC its speculative forward can release the
+	// channel (single-flit packet) and route the next buffered head
+	// straight back into vcWaitVC, with readyAt = cycle+1 and possibly a
+	// different output port. The stale chain still lists it, so only the
+	// readyAt and outPort guards keep it out of later (oi, ov) rounds,
+	// exactly as stepVAFull's rescan would.
 	for m := outMask; m != 0; m &= m - 1 {
 		oi := bits.TrailingZeros32(m)
 		head, tail := saHead[oi], saLast[oi]
@@ -485,7 +492,8 @@ func (r *Router) stepVA(cycle int64) {
 			var mask uint64
 			if r.arbMask {
 				for f := head; ; f = next[f] {
-					if state[f] == vcWaitVC && (!byClass || ov == int(class[f])) {
+					if state[f] == vcWaitVC && cycle >= readyAt[f] &&
+						int(outPort[f]) == oi && (!byClass || ov == int(class[f])) {
 						count++
 						last = f
 						mask |= 1 << uint(f)
@@ -496,7 +504,8 @@ func (r *Router) stepVA(cycle int64) {
 				}
 			} else {
 				for f := head; ; f = next[f] {
-					if state[f] == vcWaitVC && (!byClass || ov == int(class[f])) {
+					if state[f] == vcWaitVC && cycle >= readyAt[f] &&
+						int(outPort[f]) == oi && (!byClass || ov == int(class[f])) {
 						count++
 						last = f
 					}
@@ -519,7 +528,8 @@ func (r *Router) stepVA(cycle int64) {
 			} else {
 				reqs := r.reqScratch // all-false between uses
 				for f := head; ; f = next[f] {
-					if state[f] == vcWaitVC && (!byClass || ov == int(class[f])) {
+					if state[f] == vcWaitVC && cycle >= readyAt[f] &&
+						int(outPort[f]) == oi && (!byClass || ov == int(class[f])) {
 						reqs[f] = true
 					}
 					if f == tail {

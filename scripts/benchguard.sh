@@ -28,8 +28,12 @@ status=0
 for name in StepLowRate StepHighRate; do
     base=$(jq -r ".soa_router_core.${name}_after_ns" BENCH_sweep.json)
     [ "$base" = null ] && { echo "benchguard: no baseline for $name" >&2; exit 1; }
-    cur=$(echo "$out" | awk -v b="Benchmark${name} " \
-        'index($0, b) == 1 { if (min == "" || $3 < min) min = $3 } END { print min }')
+    # go test names the benchmark "BenchmarkX-<GOMAXPROCS>" on multi-core
+    # machines and plain "BenchmarkX" only when GOMAXPROCS=1; accept both
+    # (exact match on field 1, so StepHighRate never picks up
+    # StepHighRateLargeMesh).
+    cur=$(echo "$out" | awk -v b="Benchmark${name}" \
+        '$1 == b || index($1, b "-") == 1 { if (min == "" || $3 + 0 < min + 0) min = $3 } END { print min }')
     [ -n "$cur" ] || { echo "benchguard: Benchmark${name} produced no result" >&2; exit 1; }
     verdict=$(awk -v c="$cur" -v b="$base" -v w="$WARN_PCT" -v f="$FAIL_RATIO" 'BEGIN {
         pct = (c / b - 1) * 100
