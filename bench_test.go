@@ -478,8 +478,9 @@ func BenchmarkStepHighRateFullScan(b *testing.B) { benchStep(b, 0.3, noc.StepFul
 
 // benchStepLarge is benchStep on a 16x16 mesh (256 routers, ~7x the
 // 6x6 fabric), pinning that per-cycle cost stays proportional to
-// traffic as the flat state arrays grow.
-func benchStepLarge(b *testing.B, rate float64, mode noc.StepMode) {
+// traffic as the flat state arrays grow. shards > 1 partitions the
+// mesh into concurrently stepped router-ID ranges (noc/shard.go).
+func benchStepLarge(b *testing.B, rate float64, mode noc.StepMode, shards int) {
 	b.Helper()
 	topo := topology.NewMesh2D(16, 16, core.Pitch2DMM)
 	cfg := noc.Config{
@@ -492,6 +493,7 @@ func benchStepLarge(b *testing.B, rate float64, mode noc.StepMode) {
 		Policy:     noc.AnyFree,
 		Seed:       1,
 		Mode:       mode,
+		Shards:     shards,
 	}
 	gen := &traffic.Uniform{Topo: topo, InjectionRate: rate, PacketSize: core.DataPacketFlits}
 	net := noc.NewNetwork(cfg)
@@ -499,9 +501,24 @@ func benchStepLarge(b *testing.B, rate float64, mode noc.StepMode) {
 }
 
 // BenchmarkStepHighRateLargeMesh is BenchmarkStepHighRate on a 16x16
-// mesh — the giant-fabric regime ROADMAP item 1 (sharded stepping)
-// will partition, so its single-threaded cost is the baseline to beat.
-func BenchmarkStepHighRateLargeMesh(b *testing.B) { benchStepLarge(b, 0.3, noc.StepActivity) }
+// mesh — the giant-fabric regime sharded stepping partitions, so its
+// single-threaded cost is the baseline the shard sweep is read against.
+func BenchmarkStepHighRateLargeMesh(b *testing.B) { benchStepLarge(b, 0.3, noc.StepActivity, 1) }
+
+// BenchmarkStepSharded sweeps shard counts over the high-load 16x16
+// mesh of BenchmarkStepHighRateLargeMesh. Results are bit-identical at
+// every shard count (pinned by noc's TestShardDeterminism); what the
+// sweep measures is wall-clock scaling: on a multicore host the 4-shard
+// case targets >= 2x over 1 shard, while on a single hardware thread
+// the sharded cases only pay the goroutine fan-out tax, bounding the
+// protocol's overhead.
+func BenchmarkStepSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run("shards="+strconv.Itoa(shards), func(b *testing.B) {
+			benchStepLarge(b, 0.3, noc.StepActivity, shards)
+		})
+	}
+}
 
 // BenchmarkStepLowRate measures the regime activity tracking targets:
 // at 0.05 flits/node/cycle most routers are idle most cycles, so the

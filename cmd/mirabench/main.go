@@ -4,13 +4,17 @@
 //
 // Usage:
 //
-//	mirabench [-quick] [-csv] [-svg DIR] [-seed N] [-workers N] [-stepmode MODE] [-progress] [-timing FILE] [-cpuprofile FILE] [-memprofile FILE] [-obs] [-obswindow N] <experiment>...
+//	mirabench [-quick] [-csv] [-svg DIR] [-seed N] [-workers N] [-shards N] [-stepmode MODE] [-progress] [-timing FILE] [-cpuprofile FILE] [-memprofile FILE] [-obs] [-obswindow N] <experiment>...
 //	mirabench all
 //	mirabench list
 //	mirabench -obs
 //
 // Sweep points fan out across -workers goroutines (default: all CPUs);
-// tables are bit-identical for any worker count. -progress logs a
+// tables are bit-identical for any worker count. -shards N additionally
+// partitions each simulated mesh into N contiguous router-ID ranges
+// stepped concurrently inside every cycle; tables are bit-identical for
+// any shard count, and the two knobs compose (workers parallelize
+// across sweep points, shards inside each simulation). -progress logs a
 // per-point timing line to stderr; -timing records per-experiment
 // wall-clock times as JSON.
 //
@@ -111,6 +115,7 @@ func main() {
 	svgDir := flag.String("svg", "", "also write an SVG figure per experiment into this directory")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	workers := flag.Int("workers", 0, "sweep-point worker goroutines (0 = all CPUs); results are identical for any value")
+	shards := flag.Int("shards", 0, "concurrent router shards inside each simulation (0 or 1 = sequential); results are identical for any value")
 	progress := flag.Bool("progress", false, "log a per-point progress/timing line to stderr")
 	timingFile := flag.String("timing", "", "write per-experiment wall-clock times to this JSON file")
 	stepMode := flag.String("stepmode", "activity", "cycle-loop strategy: activity, fullscan or checked; tables are identical for every mode")
@@ -145,6 +150,7 @@ func main() {
 	}
 	opts.Seed = *seed
 	opts.Workers = *workers
+	opts.Shards = *shards
 	opts.ObserveWindow = *obsWindow
 	mode, err := noc.ParseStepMode(*stepMode)
 	if err != nil {
@@ -315,7 +321,7 @@ func writeSVG(dir string, tb exp.Table) error {
 func usage() {
 	fmt.Fprintf(os.Stderr, `mirabench regenerates the MIRA paper's tables and figures.
 
-usage: mirabench [-quick] [-seed N] [-workers N] [-stepmode MODE] [-progress] [-timing FILE] [-cpuprofile FILE] [-memprofile FILE] [-obs] [-obswindow N] <experiment>... | all | list
+usage: mirabench [-quick] [-seed N] [-workers N] [-shards N] [-stepmode MODE] [-progress] [-timing FILE] [-cpuprofile FILE] [-memprofile FILE] [-obs] [-obswindow N] <experiment>... | all | list
 `)
 	flag.PrintDefaults()
 }

@@ -78,6 +78,7 @@ func main() {
 	measure := flag.Int64("measure", 20000, "measurement cycles")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	stepMode := flag.String("stepmode", "activity", "cycle-loop strategy: activity, fullscan or checked")
+	shards := flag.Int("shards", 0, "concurrent router shards inside the simulation (0 or 1 = sequential); results are identical for any value")
 	shutdown := flag.Bool("shutdown", true, "apply layer-shutdown power accounting")
 	qos := flag.Bool("qos", false, "control-over-data switch priority")
 	spec := flag.Bool("spec", false, "speculative switch allocation (Figure 8 (b))")
@@ -113,6 +114,7 @@ func main() {
 			Drain:       2 * *measure,
 			Seed:        *seed,
 			StepMode:    *stepMode,
+			Shards:      *shards,
 			QoSPriority: *qos,
 			SpecSA:      *spec,
 			LookaheadRC: *lookahead,

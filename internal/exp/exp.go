@@ -39,6 +39,12 @@ type Options struct {
 	// modes; fullscan/checked exist for determinism diffs and
 	// debugging (mirabench -stepmode).
 	StepMode noc.StepMode
+	// Shards partitions each simulated mesh into contiguous router-ID
+	// ranges stepped concurrently inside every cycle (noc.Config.Shards;
+	// mirabench/mirasim -shards). Results are bit-identical at any
+	// value. Composes with Workers: Workers parallelizes across sweep
+	// points, Shards parallelizes inside each simulation.
+	Shards int
 	// ObserveWindow, when positive, adds an Observe block with this
 	// sample window (cycles) to every scenario the options produce, so
 	// each sweep point runs with an observability collector attached
@@ -71,6 +77,7 @@ func (o Options) Scenario(a core.Arch) scenario.Scenario {
 		Drain:    o.Drain,
 		Seed:     o.Seed,
 		StepMode: o.StepMode.String(),
+		Shards:   o.Shards,
 	}
 	if o.ObserveWindow > 0 {
 		sc.Observe = &scenario.Observe{Window: o.ObserveWindow}

@@ -127,6 +127,13 @@ type Config struct {
 	// Mode selects the stepping strategy (activity-driven by default);
 	// results are identical across modes, only host cost differs.
 	Mode StepMode
+
+	// Shards partitions the routers into contiguous ID ranges stepped
+	// concurrently inside each cycle (shard.go). 0 or 1 steps
+	// sequentially; the count is clamped to the router count. Results
+	// are bit-identical for any value — shards trade memory and
+	// per-cycle synchronization for multicore scaling on large meshes.
+	Shards int
 }
 
 // ArbPolicy selects the arbiter used in the VA and SA allocators.
@@ -192,6 +199,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Mode > StepChecked {
 		return fmt.Errorf("noc: unknown step mode %d", c.Mode)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("noc: Shards = %d, need >= 0", c.Shards)
 	}
 	return nil
 }

@@ -23,12 +23,21 @@ import (
 //     (outDir, outVC) target is actually reserved.
 //  5. The incrementally maintained backlog counters (queued flits,
 //     queued packets, in-flight flits) agree with a full rescan of the
-//     NI queues, router buffers and event ring — the debug cross-check
+//     NI queues, router buffers and event rings — the debug cross-check
 //     for the O(1) backlog the simulator's drain loop relies on.
 //  6. The activity-tracking state the cycle loop skips idle work by
 //     (per-router pending lists, list position index, per-output waiter
-//     counts, and the network-level active-router and active-NI sets)
+//     counts, and the per-shard active-router and active-NI sets)
 //     agrees with a fresh full scan of the VC states and NI queues.
+//
+// In-flight traffic is scanned across every shard's own rings (both
+// send-phase segments) and every boundary mailbox. Ring arrivals were
+// direct-written into their destination slots at send time and are
+// counted against vcInFly; mailbox arrivals carry their flit with them
+// and are counted separately (a channel fed from another shard must
+// have vcInFly == 0, which the per-VC check enforces since ring
+// arrivals for it can't exist). Both kinds occupy downstream credit,
+// so the conservation check sums them.
 func (n *Network) CheckInvariants() error {
 	type chanKey struct {
 		router topology.NodeID
@@ -38,29 +47,66 @@ func (n *Network) CheckInvariants() error {
 	// Flits and credits currently in flight. Flits key by downstream
 	// channel; credits travel as flat credit-array indices, so they key
 	// by the global slot the delivery loop will increment.
-	inFlight := make(map[chanKey]int)
+	inFlight := make(map[chanKey]int)   // ring arrivals (direct-written)
+	mailFlight := make(map[chanKey]int) // mailbox arrivals (flit-carrying)
 	credRet := make(map[int32]int)
 	ejecting := 0
-	for _, slot := range n.ring {
-		for _, ev := range slot {
-			if ev < 0 {
-				ejecting++
-				continue
+	keyOf := func(gi int32) (chanKey, error) {
+		if gi < 0 || int(gi) >= len(n.soa.ownerOf) {
+			return chanKey{}, fmt.Errorf("noc: in-flight arrival word %d out of range", gi)
+		}
+		r := &n.routers[n.soa.ownerOf[gi]]
+		fi := int(gi - r.vcBase)
+		return chanKey{r.id, r.inPorts[r.portOf[fi]].dir, int(r.vcOf[fi])}, nil
+	}
+	for si := range n.shards {
+		sh := &n.shards[si]
+		for p := 0; p < 2; p++ {
+			for _, slot := range sh.ev[p] {
+				for _, ev := range slot {
+					if ev < 0 {
+						ejecting++
+						continue
+					}
+					k, err := keyOf(ev)
+					if err != nil {
+						return err
+					}
+					inFlight[k]++
+				}
 			}
-			if int(ev) >= len(n.soa.ownerOf) {
-				return fmt.Errorf("noc: in-flight arrival word %d out of range", ev)
+		}
+		for _, slot := range sh.cred {
+			for _, ci := range slot {
+				if ci < 0 || int(ci) >= len(n.soa.credits) {
+					return fmt.Errorf("noc: in-flight credit slot %d out of range", ci)
+				}
+				credRet[ci]++
 			}
-			r := &n.routers[n.soa.ownerOf[ev]]
-			fi := int(ev - r.vcBase)
-			inFlight[chanKey{r.id, r.inPorts[r.portOf[fi]].dir, int(r.vcOf[fi])}]++
 		}
 	}
-	for _, slot := range n.credRing {
-		for _, ci := range slot {
-			if ci < 0 || int(ci) >= len(n.soa.credits) {
-				return fmt.Errorf("noc: in-flight credit slot %d out of range", ci)
+	for src := range n.mail {
+		for dst := range n.mail[src] {
+			m := &n.mail[src][dst]
+			for p := 0; p < 2; p++ {
+				for _, slot := range m.ev[p] {
+					for i := range slot {
+						k, err := keyOf(slot[i].gi)
+						if err != nil {
+							return err
+						}
+						mailFlight[k]++
+					}
+				}
 			}
-			credRet[ci]++
+			for _, slot := range m.cred {
+				for _, ci := range slot {
+					if ci < 0 || int(ci) >= len(n.soa.credits) {
+						return fmt.Errorf("noc: in-flight credit slot %d out of range", ci)
+					}
+					credRet[ci]++
+				}
+			}
 		}
 	}
 
@@ -87,15 +133,17 @@ func (n *Network) CheckInvariants() error {
 						r.id, dir, vi, r.vcFrontAt[f], want)
 				}
 			}
-			// Each in-flight flit occupies a pre-written ring slot
-			// (vcReserveSlot) and has exactly one pending arrival event.
+			// Each ring-borne in-flight flit occupies a pre-written ring
+			// slot (vcReserveGlobal) and has exactly one pending arrival
+			// event; mailbox-borne flits carry their body and leave
+			// vcInFly untouched.
 			if got := inFlight[chanKey{r.id, dir, vi}]; int(r.vcInFly[f]) != got {
-				return fmt.Errorf("noc: router %d %v vc %d records %d in-flight flits, ring holds %d arrival events",
+				return fmt.Errorf("noc: router %d %v vc %d records %d in-flight flits, rings hold %d arrival events",
 					r.id, dir, vi, r.vcInFly[f], got)
 			}
-			if r.vcOcc(f)+int(r.vcInFly[f]) > n.cfg.BufDepth {
-				return fmt.Errorf("noc: router %d %v vc %d occupancy %d + in-flight %d exceeds depth %d",
-					r.id, dir, vi, r.vcOcc(f), r.vcInFly[f], n.cfg.BufDepth)
+			if r.vcOcc(f)+int(r.vcInFly[f])+mailFlight[chanKey{r.id, dir, vi}] > n.cfg.BufDepth {
+				return fmt.Errorf("noc: router %d %v vc %d occupancy %d + in-flight %d + mailbox %d exceeds depth %d",
+					r.id, dir, vi, r.vcOcc(f), r.vcInFly[f], mailFlight[chanKey{r.id, dir, vi}], n.cfg.BufDepth)
 			}
 			switch r.vcState[f] {
 			case vcRouting, vcWaitVC:
@@ -135,17 +183,18 @@ func (n *Network) CheckInvariants() error {
 				key := chanKey{op.link.Dst, op.dir.Opposite(), vi}
 				ci := r.credBase + int32(oi*n.cfg.VCs+vi)
 				occupied := down.vcOcc(down.flatVC(int(dpi), vi))
-				total := int(op.credits[vi]) + occupied + inFlight[key] + credRet[ci]
+				total := int(op.credits[vi]) + occupied + inFlight[key] + mailFlight[key] + credRet[ci]
 				if total != n.cfg.BufDepth {
-					return fmt.Errorf("noc: channel %d-%v->%d vc %d: credits %d + occupied %d + inflight %d + credret %d != depth %d",
-						r.id, op.dir, op.link.Dst, vi, op.credits[vi], occupied, inFlight[key], credRet[ci], n.cfg.BufDepth)
+					return fmt.Errorf("noc: channel %d-%v->%d vc %d: credits %d + occupied %d + inflight %d + mailbox %d + credret %d != depth %d",
+						r.id, op.dir, op.link.Dst, vi, op.credits[vi], occupied, inFlight[key], mailFlight[key], credRet[ci], n.cfg.BufDepth)
 				}
 			}
 		}
 	}
 
 	// Backlog counter conservation (property 5): recompute the scanned
-	// truth the counters replaced and require exact agreement.
+	// truth the counters replaced and require exact agreement with the
+	// merged per-shard values.
 	var scanQueuedFlits, scanQueuedPkts int64
 	for i := range n.nis {
 		s := &n.nis[i]
@@ -158,9 +207,9 @@ func (n *Network) CheckInvariants() error {
 			scanQueuedPkts++
 		}
 	}
-	if scanQueuedFlits != n.queuedFlits || scanQueuedPkts != n.queuedPackets {
+	if scanQueuedFlits != n.QueuedFlits() || scanQueuedPkts != n.QueuedPackets() {
 		return fmt.Errorf("noc: queued counters drifted: flits %d (scan %d), packets %d (scan %d)",
-			n.queuedFlits, scanQueuedFlits, n.queuedPackets, scanQueuedPkts)
+			n.QueuedFlits(), scanQueuedFlits, n.QueuedPackets(), scanQueuedPkts)
 	}
 	var scanInFlight int64
 	for ri := range n.routers {
@@ -169,16 +218,21 @@ func (n *Network) CheckInvariants() error {
 	for _, c := range inFlight {
 		scanInFlight += int64(c)
 	}
+	for _, c := range mailFlight {
+		scanInFlight += int64(c)
+	}
 	scanInFlight += int64(ejecting)
-	if scanInFlight != n.inFlightFlits {
-		return fmt.Errorf("noc: in-flight counter drifted: %d, scan %d", n.inFlightFlits, scanInFlight)
+	if scanInFlight != n.InFlightFlits() {
+		return fmt.Errorf("noc: in-flight counter drifted: %d, scan %d", n.InFlightFlits(), scanInFlight)
 	}
 
 	return n.checkActivity()
 }
 
 // checkActivity validates property 6: every piece of incrementally
-// maintained activity state matches a fresh full scan.
+// maintained activity state matches a fresh full scan. The bitsets live
+// on the shard owning each router, so membership is checked against
+// r.sh and populations per shard.
 func (n *Network) checkActivity() error {
 	listFor := func(r *Router, s vcState) []int32 {
 		switch s {
@@ -229,16 +283,26 @@ func (n *Network) checkActivity() error {
 					r.id, r.outPorts[oi].dir, r.waitersByOut[oi], w)
 			}
 		}
-		// Network-level stage sets must mirror list emptiness.
+		// Shard-level stage sets must mirror list emptiness, and a
+		// router's bits may only live on its own shard's sets.
 		id := int(r.id)
+		for si := range n.shards {
+			osh := &n.shards[si]
+			if osh == r.sh {
+				continue
+			}
+			if osh.actRC.has(id) || osh.actVA.has(id) || osh.actSA.has(id) || osh.actNI.has(id) {
+				return fmt.Errorf("noc: router %d has activity bits on foreign shard %d", r.id, si)
+			}
+		}
 		for _, c := range []struct {
 			name string
 			set  *routerSet
 			list []int32
 		}{
-			{"RC", &n.actRC, r.listRC},
-			{"VA", &n.actVA, r.listVA},
-			{"SA", &n.actSA, r.listSA},
+			{"RC", &r.sh.actRC, r.listRC},
+			{"VA", &r.sh.actVA, r.listVA},
+			{"SA", &r.sh.actSA, r.listSA},
 		} {
 			if c.set.has(id) != (len(c.list) > 0) {
 				return fmt.Errorf("noc: router %d %s activity bit %v but %d pending VCs",
@@ -246,33 +310,38 @@ func (n *Network) checkActivity() error {
 			}
 		}
 	}
-	// Active-NI set: exactly the NIs with queued or in-flight packets.
-	nActive := 0
+	// Active-NI sets: exactly the NIs with queued or in-flight packets,
+	// each on its own shard's set.
+	nActive := make([]int, len(n.shards))
 	for i := range n.nis {
 		s := &n.nis[i]
+		sh := n.routers[i].sh
 		work := len(s.pending()) > 0 || s.injecting
 		if work {
-			nActive++
+			nActive[sh.idx]++
 		}
-		if n.actNI.has(i) != work {
+		if sh.actNI.has(i) != work {
 			return fmt.Errorf("noc: NI %d activity bit %v with %d queued, injecting %v",
-				i, n.actNI.has(i), len(s.pending()), s.injecting)
+				i, sh.actNI.has(i), len(s.pending()), s.injecting)
 		}
 	}
-	for _, c := range []struct {
-		name string
-		set  *routerSet
-	}{{"RC", &n.actRC}, {"VA", &n.actVA}, {"SA", &n.actSA}, {"NI", &n.actNI}} {
-		count := 0
-		for _, w := range c.set.words {
-			count += bits.OnesCount64(w)
+	for si := range n.shards {
+		sh := &n.shards[si]
+		for _, c := range []struct {
+			name string
+			set  *routerSet
+		}{{"RC", &sh.actRC}, {"VA", &sh.actVA}, {"SA", &sh.actSA}, {"NI", &sh.actNI}} {
+			count := 0
+			for _, w := range c.set.words {
+				count += bits.OnesCount64(w)
+			}
+			if count != c.set.n {
+				return fmt.Errorf("noc: shard %d %s set population %d, bits say %d", si, c.name, c.set.n, count)
+			}
 		}
-		if count != c.set.n {
-			return fmt.Errorf("noc: %s set population %d, bits say %d", c.name, c.set.n, count)
+		if sh.actNI.n != nActive[si] {
+			return fmt.Errorf("noc: shard %d NI set population %d, scan finds %d", si, sh.actNI.n, nActive[si])
 		}
-	}
-	if n.actNI.n != nActive {
-		return fmt.Errorf("noc: NI set population %d, scan finds %d", n.actNI.n, nActive)
 	}
 	return nil
 }

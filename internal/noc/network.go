@@ -17,6 +17,12 @@ import (
 // probe events, so they need neither ordering against deliveries nor a
 // payload. The forward path appends one word per flit per hop, so its
 // size is hot.
+//
+// The rings live per shard (shard.go): each shard schedules and
+// delivers its own traffic, and the per-(source, destination) boundary
+// mailboxes carry the cross-shard remainder. With Shards <= 1 the
+// single shard's rings are the network's rings and nothing crosses a
+// boundary.
 type event = int32
 
 // ejEntry is the payload of one ejection event: the flit handed to the
@@ -67,15 +73,20 @@ type Network struct {
 	// into a dense array instead of chasing per-router heap pointers.
 	routers []Router
 	nis     []ni
-	ring    [ringSize][]event
-	// ejRing holds the payloads of each slot's ejection events (^word
-	// indexes it), so the common link-arrival event stays payload-free.
-	ejRing [ringSize][]ejEntry
-	// credRing schedules credit returns as bare global indices into
-	// soa.credits (precomputed per input port), so the per-hop credit
-	// costs a 4-byte append and its delivery a single increment.
-	credRing [ringSize][]int32
-	cycle    int64
+	cycle   int64
+
+	// shards partitions the routers/NIs into contiguous ID ranges that
+	// step concurrently (shard.go); each shard owns the event/credit/
+	// ejection rings and activity sets for its range. hot holds the
+	// cache-line-padded per-shard backlog counters the accessors below
+	// merge on read. mail is the S x S boundary-mailbox matrix
+	// (mail[src][dst]), allocated only when S > 1.
+	shards []shardState
+	hot    []shardHot
+	mail   [][]shardMail
+	// probeScratch is the reusable epilogue buffer the sharded step
+	// merges per-shard probe events into (drainShardOutputs).
+	probeScratch []keyedProbeEvent
 
 	// soa owns the flattened router-pipeline state; every Router holds
 	// windows (sub-slices) of these arrays. See soa.go.
@@ -85,34 +96,16 @@ type Network struct {
 	// cost a table lookup instead of a float divide.
 	layerFrac []float64
 
-	// inFlightFlits counts flits currently inside the network (buffered
-	// or on a link); queuedFlits counts flits of enqueued packets that
-	// have not yet entered a router. Both are maintained incrementally
-	// at enqueue/inject/eject so the simulator's per-cycle backlog and
-	// drain checks are O(1) instead of rescanning every NI queue
-	// (CheckInvariants cross-checks them against a full scan).
-	inFlightFlits int64
-	queuedFlits   int64
-	queuedPackets int64
-	nextPacketID  int64
-
-	// actRC/actVA/actSA hold the routers with at least one VC pending
-	// in the corresponding pipeline stage; actNI holds the NIs with a
-	// queued or partially injected packet. Maintained incrementally
-	// (Router.setVCState, Enqueue, inject) so Step only visits work
-	// that exists; actScratch is the reusable per-stage snapshot.
-	// Iteration is in ascending ID order, which keeps event-ring append
-	// order — and therefore every result — bit-identical to the full
-	// scan (see activity.go).
-	actRC, actVA, actSA, actNI routerSet
-	actScratch                 []int32
+	nextPacketID int64
 
 	// onEject is invoked when a packet's tail flit leaves the network.
 	onEject func(*Packet)
 
 	// probe, when non-nil, observes every pipeline event (see probe.go).
 	// Emission sites nil-check it so an unobserved network pays one
-	// branch per site and nothing else.
+	// branch per site and nothing else. Under sharded stepping the
+	// emission sites go through the per-shard buffering sinks instead;
+	// SetProbe keeps both in sync.
 	probe Probe
 }
 
@@ -126,11 +119,6 @@ func NewNetwork(cfg Config) *Network {
 	num := cfg.Topo.NumNodes()
 	n.routers = make([]Router, num)
 	n.nis = make([]ni, num)
-	n.actRC = newRouterSet(num)
-	n.actVA = newRouterSet(num)
-	n.actSA = newRouterSet(num)
-	n.actNI = newRouterSet(num)
-	n.actScratch = make([]int32, 0, num)
 	n.layerFrac = make([]float64, cfg.Layers+1)
 	n.layerFrac[0] = 1
 	for k := 1; k <= cfg.Layers; k++ {
@@ -156,14 +144,53 @@ func NewNetwork(cfg Config) *Network {
 		portBase += len(r.inPorts)
 		vcBase += len(r.inPorts) * cfg.VCs
 	}
+	// Shard setup: contiguous router-ID ranges, as equal as integer
+	// division allows. Shards = 0 (the default) means one shard —
+	// sequential stepping; the count is clamped to the router count.
+	// This must precede the third pass below, which bakes each port's
+	// upstream/downstream shard into the port views.
+	S := cfg.Shards
+	if S < 1 {
+		S = 1
+	}
+	if S > num {
+		S = num
+	}
+	n.shards = make([]shardState, S)
+	n.hot = make([]shardHot, S)
+	if S > 1 {
+		n.mail = make([][]shardMail, S)
+		for i := range n.mail {
+			n.mail[i] = make([]shardMail, S)
+		}
+	}
+	for i := 0; i < S; i++ {
+		sh := &n.shards[i]
+		sh.idx = int32(i)
+		sh.lo = int32(i * num / S)
+		sh.hi = int32((i + 1) * num / S)
+		sh.net = n
+		sh.hot = &n.hot[i]
+		sh.actRC = newRouterSet(num)
+		sh.actVA = newRouterSet(num)
+		sh.actSA = newRouterSet(num)
+		sh.actNI = newRouterSet(num)
+		sh.actScratch = make([]int32, 0, sh.hi-sh.lo)
+		for ri := sh.lo; ri < sh.hi; ri++ {
+			n.routers[ri].sh = sh
+			n.routers[ri].shard = int32(i)
+		}
+	}
 	// Third pass: precompute each input port's upstream credit slot and
-	// each output port's downstream VC base, which need every router's
-	// credBase/vcBase fixed by bind first.
+	// shard and each output port's downstream VC base and shard, which
+	// need every router's credBase/vcBase (bind) and shard assignment
+	// fixed first.
 	for i := range n.routers {
 		r := &n.routers[i]
 		for pi := range r.inPorts {
 			ip := &r.inPorts[pi]
 			ip.upCredBase = -1
+			ip.upShard = r.shard
 			if ip.upstream < 0 {
 				continue
 			}
@@ -173,10 +200,12 @@ func NewNetwork(cfg Config) *Network {
 				panic(fmt.Sprintf("noc: router %d has no return port toward %d", ip.upstream, r.id))
 			}
 			ip.upCredBase = up.credBase + int32(int(oi)*cfg.VCs)
+			ip.upShard = up.shard
 		}
 		for oi := range r.outPorts {
 			op := &r.outPorts[oi]
 			op.downVCBase = -1
+			op.downShard = r.shard
 			if !op.hasLink {
 				continue
 			}
@@ -186,6 +215,7 @@ func NewNetwork(cfg Config) *Network {
 				panic(fmt.Sprintf("noc: link from %d via %v lands on missing port", r.id, op.dir))
 			}
 			op.downVCBase = down.vcBase + int32(int(dpi)*cfg.VCs)
+			op.downShard = down.shard
 		}
 	}
 	return n
@@ -200,29 +230,11 @@ func (n *Network) Cycle() int64 { return n.cycle }
 // Router returns the router at node id (for tests and instrumentation).
 func (n *Network) Router(id topology.NodeID) *Router { return &n.routers[id] }
 
+// Shards returns the effective shard count (>= 1; see Config.Shards).
+func (n *Network) Shards() int { return len(n.shards) }
+
 // SetEjectHandler installs the packet-completion callback.
 func (n *Network) SetEjectHandler(fn func(*Packet)) { n.onEject = fn }
-
-// slotFor validates the delivery cycle and returns the ring slot it
-// lands in. It is small enough to inline (the panic lives in its own
-// function to stay under the budget), so the hot forward path appends
-// events into the ring directly instead of copying each event through
-// a call frame. ringSize is a power of two and cycles are never
-// negative, so the slot index is a mask, not a division.
-func (n *Network) slotFor(at int64) *[]event {
-	if d := at - n.cycle; d <= 0 || d >= ringSize {
-		panic("noc: schedule delta out of range")
-	}
-	return &n.ring[at&(ringSize-1)]
-}
-
-// credSlotFor is slotFor's counterpart for the credit ring.
-func (n *Network) credSlotFor(at int64) *[]int32 {
-	if d := at - n.cycle; d <= 0 || d >= ringSize {
-		panic("noc: schedule delta out of range")
-	}
-	return &n.credRing[at&(ringSize-1)]
-}
 
 // Enqueue places a packet described by spec into its source NI queue at
 // the current cycle. The returned packet can be inspected after
@@ -241,42 +253,92 @@ func (n *Network) Enqueue(spec Spec) (*Packet, error) {
 		CreatedAt: n.cycle,
 	}
 	n.nis[spec.Src].queue = append(n.nis[spec.Src].queue, injJob{pkt: pkt, layers: spec.LayersPerFlit})
-	n.queuedPackets++
-	n.queuedFlits += int64(pkt.Size)
-	n.actNI.add(int(spec.Src))
+	sh := n.routers[spec.Src].sh
+	sh.hot.queuedPackets++
+	sh.hot.queuedFlits += int64(pkt.Size)
+	sh.actNI.add(int(spec.Src))
 	return pkt, nil
 }
 
 // QueuedPackets returns packets waiting in, or currently entering
-// through, source NIs.
-func (n *Network) QueuedPackets() int64 { return n.queuedPackets }
+// through, source NIs (merged over the per-shard counters).
+func (n *Network) QueuedPackets() int64 {
+	var t int64
+	for i := range n.hot {
+		t += n.hot[i].queuedPackets
+	}
+	return t
+}
 
 // InFlightFlits returns flits buffered in routers or on links.
-func (n *Network) InFlightFlits() int64 { return n.inFlightFlits }
+func (n *Network) InFlightFlits() int64 {
+	var t int64
+	for i := range n.hot {
+		t += n.hot[i].inFlightFlits
+	}
+	return t
+}
 
 // QueuedFlits returns flits of enqueued packets that have not yet been
 // injected into a router.
-func (n *Network) QueuedFlits() int64 { return n.queuedFlits }
+func (n *Network) QueuedFlits() int64 {
+	var t int64
+	for i := range n.hot {
+		t += n.hot[i].queuedFlits
+	}
+	return t
+}
 
 // BacklogFlits returns the total network backlog: flits waiting in NI
-// queues plus flits buffered in routers or on links. It is maintained
-// incrementally and therefore O(1); the simulator samples it every
-// drain cycle for saturation and deadlock detection.
-func (n *Network) BacklogFlits() int64 { return n.queuedFlits + n.inFlightFlits }
+// queues plus flits buffered in routers or on links. It merges the
+// per-shard incremental counters and is therefore O(Shards); the
+// simulator samples it every drain cycle for saturation and deadlock
+// detection.
+func (n *Network) BacklogFlits() int64 {
+	var t int64
+	for i := range n.hot {
+		t += n.hot[i].queuedFlits + n.hot[i].inFlightFlits
+	}
+	return t
+}
 
 // Idle reports whether no traffic remains anywhere in the network.
-func (n *Network) Idle() bool { return n.queuedPackets == 0 && n.inFlightFlits == 0 }
+func (n *Network) Idle() bool {
+	for i := range n.hot {
+		if n.hot[i].queuedPackets != 0 || n.hot[i].inFlightFlits != 0 {
+			return false
+		}
+	}
+	return true
+}
 
-// Step advances the simulation by one cycle.
+// Step advances the simulation by one cycle: sequentially with a single
+// shard, concurrently across shards otherwise (shard.go). The two paths
+// are bit-identical for any shard count.
 func (n *Network) Step() {
 	n.cycle++
+	if len(n.shards) > 1 {
+		n.stepSharded()
+		return
+	}
+	n.stepSeq()
+}
+
+// stepSeq is the single-shard cycle — the sequential reference path the
+// sharded step is checked against. It runs on shard 0's rings and
+// activity sets (with Shards <= 1 they are the network's only ones);
+// the shard's send phase stays pinned to 0, so every append shares one
+// ring segment and the delivery loop sees the historical single-ring
+// order at the historical cost.
+func (n *Network) stepSeq() {
+	sh := &n.shards[0]
 	slot := n.cycle & (ringSize - 1)
 
 	// 1. Deliver events scheduled for this cycle. Credits first: they
 	// only increment flat counters and interact with nothing below, so
 	// their ordering against flit deliveries is unobservable.
-	creds := n.credRing[slot]
-	n.credRing[slot] = creds[:0]
+	creds := sh.cred[slot]
+	sh.cred[slot] = creds[:0]
 	depth := int32(n.cfg.BufDepth)
 	for _, ci := range creds {
 		n.soa.credits[ci]++
@@ -284,8 +346,8 @@ func (n *Network) Step() {
 			panic(fmt.Sprintf("noc: credit overflow at flat credit slot %d", ci))
 		}
 	}
-	events := n.ring[slot]
-	n.ring[slot] = events[:0]
+	events := sh.ev[0][slot]
+	sh.ev[0][slot] = events[:0]
 	ownerOf := n.soa.ownerOf
 	for _, ev := range events {
 		if ev >= 0 {
@@ -306,8 +368,8 @@ func (n *Network) Step() {
 			}
 			continue
 		}
-		n.inFlightFlits--
-		e := &n.ejRing[slot][^ev]
+		sh.hot.inFlightFlits--
+		e := &sh.ejRing[slot][^ev]
 		if n.probe != nil {
 			n.probe.ProbeEvent(ProbeEvent{Kind: ProbeEject, Cycle: n.cycle, Router: topology.NodeID(e.router), Flit: e.flit})
 		}
@@ -319,9 +381,9 @@ func (n *Network) Step() {
 			}
 		}
 	}
-	// New events only ever target future slots (slotFor rejects d <= 0),
+	// New events only ever target future slots (evSlot rejects d <= 0),
 	// so the payload slice is safe to recycle once the loop is done.
-	n.ejRing[slot] = n.ejRing[slot][:0]
+	sh.ejRing[slot] = sh.ejRing[slot][:0]
 
 	// 2. Inject from NIs (one flit per node per cycle), then the router
 	// pipelines in reverse stage order so a flit advances at most one
@@ -348,20 +410,20 @@ func (n *Network) Step() {
 		}
 		return
 	}
-	n.actScratch = n.actNI.appendMembers(n.actScratch[:0])
-	for _, id := range n.actScratch {
+	sh.actScratch = sh.actNI.appendMembers(sh.actScratch[:0])
+	for _, id := range sh.actScratch {
 		n.inject(topology.NodeID(id))
 	}
-	n.actScratch = n.actSA.appendMembers(n.actScratch[:0])
-	for _, id := range n.actScratch {
+	sh.actScratch = sh.actSA.appendMembers(sh.actScratch[:0])
+	for _, id := range sh.actScratch {
 		n.routers[id].stepSA(n.cycle)
 	}
-	n.actScratch = n.actVA.appendMembers(n.actScratch[:0])
-	for _, id := range n.actScratch {
+	sh.actScratch = sh.actVA.appendMembers(sh.actScratch[:0])
+	for _, id := range sh.actScratch {
 		n.routers[id].stepVA(n.cycle)
 	}
-	n.actScratch = n.actRC.appendMembers(n.actScratch[:0])
-	for _, id := range n.actScratch {
+	sh.actScratch = sh.actRC.appendMembers(sh.actScratch[:0])
+	for _, id := range sh.actScratch {
 		n.routers[id].stepRC(n.cycle)
 	}
 	if n.cfg.Mode == StepChecked {
@@ -380,10 +442,13 @@ func (n *Network) CheckedStep() error {
 	return n.CheckInvariants()
 }
 
-// inject advances the NI at node id by at most one flit.
+// inject advances the NI at node id by at most one flit. It touches
+// only state of id's shard (the NI, the router's local port, the
+// shard's hot counters and NI set), so shards inject concurrently.
 func (n *Network) inject(id topology.NodeID) {
 	s := &n.nis[id]
 	r := &n.routers[id]
+	sh := r.sh
 	lpi := int(r.inIndex[topology.Local])
 
 	if !s.injecting {
@@ -392,7 +457,7 @@ func (n *Network) inject(id topology.NodeID) {
 			// Enqueue (only reached in full-scan mode; the activity
 			// path removes the NI eagerly when its last packet
 			// completes).
-			n.actNI.remove(int(id))
+			sh.actNI.remove(int(id))
 			return
 		}
 		job := s.queue[s.qhead]
@@ -436,22 +501,22 @@ func (n *Network) inject(id topology.NodeID) {
 	// acceptFlit computes the route and emits the flit's first route
 	// event, and the trace contract promises inject precedes every later
 	// event of the same flit (obs.Replay enforces it).
-	if n.probe != nil {
-		n.probe.ProbeEvent(ProbeEvent{
+	if sh.probe != nil {
+		sh.probe.ProbeEvent(ProbeEvent{
 			Kind: ProbeInject, Cycle: n.cycle, Router: id,
 			Dir: topology.Local, VC: int8(s.curVC), Flit: f,
 		})
 	}
 	r.acceptFlit(n.cycle, lpi, s.curVC, f)
-	n.inFlightFlits++
-	n.queuedFlits--
+	sh.hot.inFlightFlits++
+	sh.hot.queuedFlits--
 	s.curSeq++
 	if s.curSeq == job.pkt.Size {
 		s.cur = injJob{}
 		s.injecting = false
-		n.queuedPackets--
+		sh.hot.queuedPackets--
 		if len(s.pending()) == 0 {
-			n.actNI.remove(int(id))
+			sh.actNI.remove(int(id))
 		}
 	}
 }

@@ -48,6 +48,10 @@ type inputPort struct {
 	// vc 0, precomputed so the forward path schedules a credit return as
 	// a single int32. -1 for the local port.
 	upCredBase int32
+	// upShard is the shard owning the upstream router (this router's
+	// own shard for the local port); credit returns that cross it go
+	// through the boundary mailbox instead of the shard's own ring.
+	upShard int32
 }
 
 // outputPort is the construction/observability view of one output port.
@@ -70,6 +74,12 @@ type outputPort struct {
 	// forward path reserves the destination slot and schedules the
 	// arrival event from a single add. -1 for the local port.
 	downVCBase int32
+	// downShard is the shard owning the downstream router (this
+	// router's own shard for the local port). Forwards staying inside
+	// the shard direct-write the flit into the downstream ring slot;
+	// forwards that cross it carry the flit through the boundary
+	// mailbox (shard.go).
+	downShard int32
 }
 
 // Router is one network router instance: the per-router view over the
@@ -79,8 +89,14 @@ type outputPort struct {
 // local flat VC index f = pi*VCs + vi (or by port index); see soa.go
 // for the layout and ownership rules.
 type Router struct {
-	id       topology.NodeID
-	net      *Network
+	id  topology.NodeID
+	net *Network
+	// sh is the shard stepping this router (shard 0 under sequential
+	// stepping); the forward path schedules into its rings and the
+	// probe emission sites go through its sink. shard caches sh.idx
+	// for the same-shard test per forwarded flit.
+	sh       *shardState
+	shard    int32
 	inPorts  []inputPort
 	outPorts []outputPort
 	inIndex  [topology.NumDirs]int8 // dir -> port index, -1 if absent
@@ -331,8 +347,8 @@ func (r *Router) routeHead(f int) {
 	r.vcOutPort[f] = oi
 	r.vcClass[f] = pkt.Class
 	r.Counters.RCOps++
-	if r.net.probe != nil {
-		r.net.probe.ProbeEvent(ProbeEvent{
+	if r.sh.probe != nil {
+		r.sh.probe.ProbeEvent(ProbeEvent{
 			Kind: ProbeRoute, Cycle: r.net.cycle, Router: r.id, Dir: d, Flit: *flit,
 		})
 	}
@@ -564,8 +580,8 @@ func (r *Router) grantVC(cycle int64, g, oi, ov int) {
 	r.setVCState(int32(g), vcActive)
 	r.vcReadyAt[g] = cycle + 1
 	r.Counters.VAGrants++
-	if r.net.probe != nil {
-		r.net.probe.ProbeEvent(ProbeEvent{
+	if r.sh.probe != nil {
+		r.sh.probe.ProbeEvent(ProbeEvent{
 			Kind: ProbeVCAlloc, Cycle: cycle, Router: r.id,
 			Dir: r.outPorts[oi].dir, VC: int8(ov), Flit: *r.vcFrontFlit(g),
 		})
@@ -948,16 +964,25 @@ func (r *Router) forward(cycle int64, fi, oi int) {
 	r.Counters.WBufReads += frac
 	r.Counters.XbarFlits++
 	r.Counters.WXbarFlits += frac
-	if r.net.probe != nil {
-		r.net.probe.ProbeEvent(ProbeEvent{
+	sh := r.sh
+	if sh.probe != nil {
+		sh.probe.ProbeEvent(ProbeEvent{
 			Kind: ProbeSAGrant, Cycle: cycle, Router: r.id, Dir: op.dir, VC: int8(outVC), Flit: *f,
 		})
 	}
 
-	// Credit back to the upstream router (the NI checks space directly).
+	// Credit back to the upstream router (the NI checks space directly);
+	// a credit crossing the shard boundary rides the mailbox's credit
+	// lane instead of the shard's own ring.
 	if ip.upCredBase >= 0 {
-		cs := r.net.credSlotFor(cycle + 1)
-		*cs = append(*cs, ip.upCredBase+int32(r.vcOf[fi]))
+		ci := ip.upCredBase + int32(r.vcOf[fi])
+		if ip.upShard == r.shard {
+			cs := sh.credSlot(cycle, cycle+1)
+			*cs = append(*cs, ci)
+		} else {
+			cs := r.net.mailCredSlot(sh, ip.upShard, cycle+1)
+			*cs = append(*cs, ci)
+		}
 	}
 
 	if f.Type.IsHead() && op.dir != topology.Local {
@@ -967,12 +992,19 @@ func (r *Router) forward(cycle int64, fi, oi int) {
 
 	if op.dir == topology.Local {
 		// Ejection: ST (and wire to the NI) still takes the configured
-		// cycles; the sink always accepts.
+		// cycles; the sink always accepts. Ejections never cross a
+		// shard boundary (the local port has no downstream router), so
+		// the payload goes into the shard's own ejection ring.
 		at := cycle + int64(cfg.STLTCycles)
-		s := r.net.slotFor(at)
-		ej := &r.net.ejRing[at&(ringSize-1)]
+		s := sh.evSlot(cycle, at)
+		ej := &sh.ejRing[at&(ringSize-1)]
 		*s = append(*s, ^event(len(*ej)))
 		*ej = append(*ej, ejEntry{flit: *f, router: int32(r.id)})
+		if sh.stamp {
+			idx := &sh.evIdx[sh.phase][at&(ringSize-1)]
+			*idx = append(*idx, sh.hot.seq)
+			sh.hot.seq++
+		}
 	} else {
 		ci := oi*r.vcsPerPort + outVC
 		r.credits[ci]--
@@ -982,8 +1014,8 @@ func (r *Router) forward(cycle int64, fi, oi int) {
 		r.Counters.LinkFlits++
 		r.Counters.WLinkFlits += frac
 		op.flitCount++
-		if r.net.probe != nil {
-			r.net.probe.ProbeEvent(ProbeEvent{
+		if sh.probe != nil {
+			sh.probe.ProbeEvent(ProbeEvent{
 				Kind: ProbeLink, Cycle: cycle, Router: r.id, Dir: op.dir, VC: int8(outVC), Flit: *f,
 			})
 		}
@@ -995,30 +1027,50 @@ func (r *Router) forward(cycle int64, fi, oi int) {
 		if op.dir.IsVertical() {
 			r.Counters.VertFlits++
 		}
-		// The flit body goes straight into its future slot of the
-		// downstream VC ring (single copy); the event word is the
-		// destination's global flat VC index — the arrival notice that
-		// exposes the flit at the delivery cycle. This is
-		// vcReserveGlobal (soa.go) spelled out: the compiler won't
-		// inline it and the call sits on the busiest line of the
-		// simulator.
 		at := cycle + int64(cfg.STLTCycles)
 		gi := op.downVCBase + event(outVC)
-		st := &r.net.soa
-		depth := r.bufDepth
-		occ := int(st.vcLen[gi]) + int(st.vcInFly[gi])
-		if occ >= depth {
-			r.net.reserveOverflow(gi)
+		if op.downShard == r.shard {
+			// The flit body goes straight into its future slot of the
+			// downstream VC ring (single copy); the event word is the
+			// destination's global flat VC index — the arrival notice
+			// that exposes the flit at the delivery cycle. This is
+			// vcReserveGlobal (soa.go) spelled out: the compiler won't
+			// inline it and the call sits on the busiest line of the
+			// simulator.
+			st := &r.net.soa
+			depth := r.bufDepth
+			occ := int(st.vcLen[gi]) + int(st.vcInFly[gi])
+			if occ >= depth {
+				r.net.reserveOverflow(gi)
+			}
+			slot := int(st.vcHead[gi]) + occ
+			if slot >= depth {
+				slot -= depth
+			}
+			st.bufFlit[int(gi)*depth+slot] = *f
+			st.bufArrived[int(gi)*depth+slot] = at
+			st.vcInFly[gi]++
+			s := sh.evSlot(cycle, at)
+			*s = append(*s, gi)
+			if sh.stamp {
+				idx := &sh.evIdx[sh.phase][at&(ringSize-1)]
+				*idx = append(*idx, sh.hot.seq)
+				sh.hot.seq++
+			}
+		} else {
+			// Cross-shard forward: the downstream arrays belong to a
+			// shard that may be mid-cycle, so the flit body rides the
+			// boundary mailbox and is pushed into the destination ring
+			// at delivery time (deliverMailArrival). The credit check
+			// above already guaranteed the space.
+			var seq int32
+			if sh.stamp {
+				seq = sh.hot.seq
+				sh.hot.seq++
+			}
+			ms := r.net.mailEvSlot(sh, op.downShard, at)
+			*ms = append(*ms, xEvent{gi: gi, idx: seq, flit: *f})
 		}
-		slot := int(st.vcHead[gi]) + occ
-		if slot >= depth {
-			slot -= depth
-		}
-		st.bufFlit[int(gi)*depth+slot] = *f
-		st.bufArrived[int(gi)*depth+slot] = at
-		st.vcInFly[gi]++
-		s := r.net.slotFor(at)
-		*s = append(*s, gi)
 	}
 	r.vcDrop(fi)
 

@@ -108,6 +108,12 @@ type Scenario struct {
 	// also ""), "fullscan" or "checked". All modes simulate
 	// identically; they differ only in host cost.
 	StepMode string `json:"step_mode,omitempty"`
+	// Shards partitions the mesh into contiguous router-ID ranges
+	// stepped concurrently inside each cycle. 0 or 1 steps
+	// sequentially; results are bit-identical at any value (the knob
+	// trades host cores for wall clock, composing with per-experiment
+	// -workers parallelism).
+	Shards int `json:"shards,omitempty"`
 
 	// VCs/BufDepth override the input-buffer geometry for design-space
 	// ablations; 0 keeps the architecture's 2 VCs x 8 flits.
@@ -178,6 +184,9 @@ func (s Scenario) validateCore() error {
 	}
 	if _, err := noc.ParseStepMode(s.StepMode); err != nil {
 		return err
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("scenario: shards = %d, need >= 0", s.Shards)
 	}
 	if s.VCs < 0 || s.BufDepth < 0 {
 		return fmt.Errorf("scenario: negative buffer geometry vcs=%d buf_depth=%d", s.VCs, s.BufDepth)

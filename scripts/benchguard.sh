@@ -17,7 +17,12 @@ cd "$(dirname "$0")/.."
 WARN_PCT="${BENCHGUARD_WARN_PCT:-15}"
 FAIL_RATIO="${BENCHGUARD_FAIL_RATIO:-2.5}"
 COUNT="${BENCHGUARD_COUNT:-3}"
-BENCHES='BenchmarkStepLowRate$|BenchmarkStepHighRate$'
+# The sub-benchmark pattern after the slash selects only the sharded
+# sweep's 1- and 4-shard points; the guarded baselines were recorded on
+# one hardware thread, so on any multicore runner the sharded cases can
+# only come in at or under baseline (they parallelize), never falsely
+# fail.
+BENCHES='BenchmarkStepLowRate$|BenchmarkStepHighRate$|BenchmarkStepSharded$/^shards=(1|4)$'
 
 command -v jq >/dev/null || { echo "benchguard: jq not found" >&2; exit 1; }
 
@@ -25,8 +30,13 @@ out=$(go test -run '^$' -bench "$BENCHES" -benchtime 1s -count "$COUNT" .)
 echo "$out"
 
 status=0
-for name in StepLowRate StepHighRate; do
-    base=$(jq -r ".soa_router_core.${name}_after_ns" BENCH_sweep.json)
+for spec in \
+    'StepLowRate|.soa_router_core.StepLowRate_after_ns' \
+    'StepHighRate|.soa_router_core.StepHighRate_after_ns' \
+    'StepSharded/shards=1|.sharded_step.shards_1_ns' \
+    'StepSharded/shards=4|.sharded_step.shards_4_ns'; do
+    name=${spec%%|*}
+    base=$(jq -r "${spec#*|}" BENCH_sweep.json)
     [ "$base" = null ] && { echo "benchguard: no baseline for $name" >&2; exit 1; }
     # go test names the benchmark "BenchmarkX-<GOMAXPROCS>" on multi-core
     # machines and plain "BenchmarkX" only when GOMAXPROCS=1; accept both
