@@ -520,6 +520,35 @@ func BenchmarkStepSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkStepChiplet measures per-cycle cost on the chiplet fabric
+// the ext-chiplet sweep runs: a 2x2 grid of 4x4-node chips joined by
+// 4-cycle serializing (ser=2) die-to-die channels, uniform-random
+// traffic at 0.10 flits/node/cycle — about 80% of the d2d bisection
+// capacity, so the serialization lanes and latency-stamped cross-chip
+// events are exercised every cycle without saturating the boundary
+// queues. Read against BenchmarkStepUR (same stepping mode, monolithic
+// mesh) to bound the chiplet bookkeeping overhead.
+func BenchmarkStepChiplet(b *testing.B) {
+	topo := topology.NewChipGrid(topology.ChipGridSpec{
+		ChipsX: 2, ChipsY: 2, NodesX: 4, NodesY: 4,
+		PitchMM: core.Pitch2DMM, D2DLatency: 4, D2DSerCycles: 2,
+	})
+	cfg := noc.Config{
+		Topo:       topo,
+		Alg:        routing.ForTopology(topo),
+		VCs:        core.VCsPerPort,
+		BufDepth:   core.BufDepth,
+		STLTCycles: 2,
+		Layers:     core.Layers,
+		Policy:     noc.AnyFree,
+		Seed:       1,
+		Mode:       noc.StepActivity,
+		Shards:     1,
+	}
+	gen := &traffic.Uniform{Topo: topo, InjectionRate: 0.1, PacketSize: core.DataPacketFlits}
+	runStepBench(b, noc.NewNetwork(cfg), gen)
+}
+
 // BenchmarkStepLowRate measures the regime activity tracking targets:
 // at 0.05 flits/node/cycle most routers are idle most cycles, so the
 // activity path should beat BenchmarkStepLowRateFullScan by >= 3x.

@@ -98,6 +98,7 @@ var experiments = []experiment{
 	{"ext-fault", "link-fault tolerance via west-first routing (extension)", exp.ExtFault},
 	{"ext-herding", "thermal herding + router shutdown (extension)", wrapOpts(exp.ExtHerding)},
 	{"ext-protocol", "MESI vs MOESI coherence traffic (extension)", exp.ExtProtocol},
+	{"ext-chiplet", "chiplet grid d2d link sweep (extension)", wrapOpts(exp.ChipletSweep)},
 	{"obs-ur", "observability summaries across UR injection rates (extension)",
 		wrapOpts(func(ctx context.Context, o exp.Options) exp.Table {
 			return exp.ObsURSweep(ctx, core.Arch3DM, []float64{0.05, 0.10, 0.15, 0.20, 0.25}, o)
@@ -115,7 +116,7 @@ func main() {
 	svgDir := flag.String("svg", "", "also write an SVG figure per experiment into this directory")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	workers := flag.Int("workers", 0, "sweep-point worker goroutines (0 = all CPUs); results are identical for any value")
-	shards := flag.Int("shards", 0, "concurrent router shards inside each simulation (0 or 1 = sequential); results are identical for any value")
+	shards := flag.Int("shards", 0, "concurrent router shards inside each simulation (0 or 1 = sequential, -1 = auto from mesh size and CPUs); results are identical for any value")
 	progress := flag.Bool("progress", false, "log a per-point progress/timing line to stderr")
 	timingFile := flag.String("timing", "", "write per-experiment wall-clock times to this JSON file")
 	stepMode := flag.String("stepmode", "activity", "cycle-loop strategy: activity, fullscan or checked; tables are identical for every mode")

@@ -78,7 +78,9 @@ func main() {
 	measure := flag.Int64("measure", 20000, "measurement cycles")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	stepMode := flag.String("stepmode", "activity", "cycle-loop strategy: activity, fullscan or checked")
-	shards := flag.Int("shards", 0, "concurrent router shards inside the simulation (0 or 1 = sequential); results are identical for any value")
+	shards := flag.Int("shards", 0, "concurrent router shards inside the simulation (0 or 1 = sequential, -1 = auto from mesh size and CPUs); results are identical for any value")
+	chips := flag.String("chips", "", "replace the fabric with a chiplet grid, CXxCY/NXxNY (e.g. 2x2/4x4); append +express for inter-chip express channels")
+	d2d := flag.String("d2d", "", "die-to-die link timing for -chips as lat[:ser] cycles (e.g. 4 or 8:4; default 1:1 = indistinguishable from on-chip wires)")
 	shutdown := flag.Bool("shutdown", true, "apply layer-shutdown power accounting")
 	qos := flag.Bool("qos", false, "control-over-data switch priority")
 	spec := flag.Bool("spec", false, "speculative switch allocation (Figure 8 (b))")
@@ -106,6 +108,12 @@ func main() {
 
 	batchOpts := scenario.BatchOptions{Workers: *workers, Timeout: *timeout}
 
+	chipsBlock, err := parseChips(*chips, *d2d)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mirasim: %v\n", err)
+		os.Exit(2)
+	}
+
 	flagScenario := func() scenario.Scenario {
 		sc := scenario.Scenario{
 			Arch:        *archName,
@@ -121,6 +129,7 @@ func main() {
 			MatrixArb:   *matrixArb,
 			Traffic:     trafficFromFlags(*trafficKind, *rate, *short, *workload, *traceFile, *hotFrac, *measure),
 		}
+		sc.Chips = chipsBlock
 		if *trace != "" || *series != "" || *attrib != "" || *obsWindow > 0 {
 			sc.Observe = &scenario.Observe{Window: *obsWindow, Spans: *attrib != ""}
 		}
@@ -239,6 +248,42 @@ func finishObs(c *obs.Collector, traceOut *os.File, tracePath, seriesPath, attri
 		fmt.Printf("attribution  : %d flit spans -> %s\n", sb.Attribution().Flits(), attribPath)
 	}
 	return nil
+}
+
+// parseChips converts the -chips grid spec ("CXxCY/NXxNY", optionally
+// "+express") and the -d2d timing ("lat" or "lat:ser") into a scenario
+// chips block. An empty -chips returns nil; -d2d without -chips is an
+// error.
+func parseChips(chips, d2d string) (*scenario.Chips, error) {
+	if chips == "" {
+		if d2d != "" {
+			return nil, fmt.Errorf("-d2d needs -chips")
+		}
+		return nil, nil
+	}
+	c := &scenario.Chips{}
+	if rest, ok := strings.CutSuffix(chips, "+express"); ok {
+		chips = rest
+		c.Express = true
+	}
+	if n, err := fmt.Sscanf(chips, "%dx%d/%dx%d", &c.ChipsX, &c.ChipsY, &c.NodesX, &c.NodesY); n != 4 || err != nil {
+		return nil, fmt.Errorf("-chips %q: want CXxCY/NXxNY, e.g. 2x2/4x4", chips)
+	}
+	if d2d != "" {
+		lat, ser := d2d, ""
+		if l, s, ok := strings.Cut(d2d, ":"); ok {
+			lat, ser = l, s
+		}
+		if _, err := fmt.Sscanf(lat, "%d", &c.D2DLatency); err != nil {
+			return nil, fmt.Errorf("-d2d %q: want lat[:ser] cycles, e.g. 4 or 8:4", d2d)
+		}
+		if ser != "" {
+			if _, err := fmt.Sscanf(ser, "%d", &c.D2DSerCycles); err != nil {
+				return nil, fmt.Errorf("-d2d %q: want lat[:ser] cycles, e.g. 4 or 8:4", d2d)
+			}
+		}
+	}
+	return c, nil
 }
 
 // trafficFromFlags assembles the traffic description for one kind,

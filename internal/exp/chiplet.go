@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"mira/internal/core"
+	"mira/internal/noc"
+	"mira/internal/scenario"
+)
+
+// ChipletSweep evaluates the chiplet decomposition of the mesh: a 2x2
+// grid of 4x4-node dies under uniform-random traffic, sweeping the
+// die-to-die channel latency and serialization factor. The 1-cycle
+// full-width corner is bit-identical to the equivalent monolithic 8x8
+// mesh, so the sweep isolates exactly what the package boundary costs:
+// added zero-load latency from the slower channels, and throughput loss
+// from narrow serialized channels backing traffic up at the die edge.
+func ChipletSweep(ctx context.Context, o Options) Table {
+	t := Table{
+		ID:    "ext-chiplet",
+		Title: "Chiplet d2d link sweep: 2x2 chips of 4x4 nodes, uniform random @ 0.10",
+		Header: []string{
+			"d2d lat", "ser", "avg lat", "avg hops", "d2d flit %", "ser stalls", "delivered",
+		},
+	}
+	const rate = 0.10
+	lats := []int{1, 4, 8, 16}
+	sers := []int{1, 4}
+	points := make([]Point[noc.Result], 0, len(lats)*len(sers))
+	for _, lat := range lats {
+		for _, ser := range sers {
+			lat, ser := lat, ser
+			points = append(points, Point[noc.Result]{
+				Label: fmt.Sprintf("chiplet d2d=%d ser=%d", lat, ser),
+				Run: func(ctx context.Context, o Options) noc.Result {
+					return RunChiplet(ctx, lat, ser, rate, o)
+				},
+			})
+		}
+	}
+	res := RunAll(ctx, o, points)
+	k := 0
+	for _, lat := range lats {
+		for _, ser := range sers {
+			r := res[k]
+			k++
+			d2dPct := 0.0
+			if r.Counters.LinkFlits > 0 {
+				d2dPct = 100 * float64(r.Counters.D2DFlits) / float64(r.Counters.LinkFlits)
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", lat),
+				fmt.Sprintf("%d", ser),
+				latCell(r),
+				f2(r.AvgHops),
+				f1(d2dPct),
+				fmt.Sprintf("%d", r.Counters.SerStalls),
+				fmt.Sprintf("%d/%d", r.Ejected, r.Generated),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"extension beyond the paper: MIRA's mesh split across a chip grid with die-to-die link classes",
+		"lat=1 ser=1 reproduces the monolithic 8x8 mesh bit-for-bit; ser=N makes each flit occupy the narrow d2d channel for N cycles with credits returned accordingly")
+	return t
+}
+
+// RunChiplet simulates a 2x2 grid of 4x4-node chips (2DB router
+// pipeline and pitch) under uniform-random traffic with the given
+// die-to-die latency and serialization factor.
+func RunChiplet(ctx context.Context, d2dLat, d2dSer int, rate float64, o Options) noc.Result {
+	sc := ChipletScenario(d2dLat, d2dSer, rate, o)
+	return mustElaborate(sc).Sim.Run(ctx)
+}
+
+// ChipletScenario is the run description behind RunChiplet, exposed so
+// the CI smoke and the benchmarks sweep the same scenario JSON.
+func ChipletScenario(d2dLat, d2dSer int, rate float64, o Options) scenario.Scenario {
+	sc := o.Scenario(core.Arch2DB)
+	sc.Traffic = scenario.Traffic{Kind: "ur", Rate: rate}
+	sc.Chips = &scenario.Chips{
+		ChipsX: 2, ChipsY: 2, NodesX: 4, NodesY: 4,
+		D2DLatency: d2dLat, D2DSerCycles: d2dSer,
+	}
+	return sc
+}

@@ -13,6 +13,7 @@ type Counters struct {
 	LinkFlits int64 // inter-router link traversals
 	ExpFlits  int64 // subset of LinkFlits on express channels
 	VertFlits int64 // subset of LinkFlits on vertical (TSV) links
+	D2DFlits  int64 // subset of LinkFlits crossing a die-to-die link
 	SAGrants  int64 // switch-allocator grants
 	VAGrants  int64 // VC-allocator grants
 	SAReqs    int64 // switch-allocator requests (incl. failed)
@@ -22,6 +23,11 @@ type Counters struct {
 	// output VC had no downstream credit — the per-router backpressure
 	// signal the observability sampler tracks over time.
 	CreditStalls int64
+	// SerStalls counts switch-eligible flits skipped because their
+	// output port's serializing die-to-die link was still streaming an
+	// earlier flit (narrow-link occupancy, the chiplet analogue of
+	// CreditStalls).
+	SerStalls int64
 
 	// Layer-shutdown-weighted datapath activity.
 	WBufWrites float64
@@ -43,12 +49,14 @@ func (c *Counters) Add(other *Counters) {
 	c.LinkFlits += other.LinkFlits
 	c.ExpFlits += other.ExpFlits
 	c.VertFlits += other.VertFlits
+	c.D2DFlits += other.D2DFlits
 	c.SAGrants += other.SAGrants
 	c.VAGrants += other.VAGrants
 	c.SAReqs += other.SAReqs
 	c.VAReqs += other.VAReqs
 	c.RCOps += other.RCOps
 	c.CreditStalls += other.CreditStalls
+	c.SerStalls += other.SerStalls
 	c.WBufWrites += other.WBufWrites
 	c.WBufReads += other.WBufReads
 	c.WXbarFlits += other.WXbarFlits

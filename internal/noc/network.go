@@ -32,9 +32,13 @@ type ejEntry struct {
 	router int32 // topology.NodeID
 }
 
-// ringSize bounds the event horizon; all modeled delays (ST+LT <= 2
-// cycles, credit 1 cycle) are far below it.
-const ringSize = 8
+// minRingLen is the floor of the per-network event-ring length. The
+// ring must cover the longest scheduling delta — ST+LT (<= 2 cycles)
+// plus the slowest link's latency and serialization — so NewNetwork
+// sizes it to the next power of two above that horizon, never below
+// this historical minimum (which keeps the slot arithmetic of all
+// on-chip topologies, whose deltas are <= 3, bit-for-bit unchanged).
+const minRingLen = 8
 
 // ni is the network interface at one node: an unbounded source queue and
 // the wormhole injection state of the packet currently entering the
@@ -84,9 +88,18 @@ type Network struct {
 	shards []shardState
 	hot    []shardHot
 	mail   [][]shardMail
+	// pool is the persistent shard worker pool (nil until the first
+	// sharded step starts it lazily; see pool.go).
+	pool *shardPool
 	// probeScratch is the reusable epilogue buffer the sharded step
 	// merges per-shard probe events into (drainShardOutputs).
 	probeScratch []keyedProbeEvent
+
+	// ringLen is the event-ring length (a power of two >= minRingLen
+	// sized from the topology's slowest link) and ringMask its slot
+	// mask; every shard ring and boundary mailbox is allocated to it.
+	ringLen  int64
+	ringMask int64
 
 	// soa owns the flattened router-pipeline state; every Router holds
 	// windows (sub-slices) of these arrays. See soa.go.
@@ -144,12 +157,27 @@ func NewNetwork(cfg Config) *Network {
 		portBase += len(r.inPorts)
 		vcBase += len(r.inPorts) * cfg.VCs
 	}
+	// Event-ring horizon: the largest scheduling delta is an arrival
+	// over the slowest link (ST+LT-1 cycles of pipeline plus the link's
+	// latency and serialization); credit returns (latency + ser - 1)
+	// and ejections (ST+LT) are never later. Round up to a power of
+	// two, no smaller than the historical minimum.
+	maxDelta := int64(cfg.STLTCycles-1) + int64(cfg.Topo.MaxLinkDelay())
+	n.ringLen = minRingLen
+	for n.ringLen <= maxDelta {
+		n.ringLen <<= 1
+	}
+	n.ringMask = n.ringLen - 1
 	// Shard setup: contiguous router-ID ranges, as equal as integer
 	// division allows. Shards = 0 (the default) means one shard —
-	// sequential stepping; the count is clamped to the router count.
-	// This must precede the third pass below, which bakes each port's
-	// upstream/downstream shard into the port views.
+	// sequential stepping; -1 picks a count from the mesh size and
+	// GOMAXPROCS (autoShards); the count is clamped to the router
+	// count. This must precede the third pass below, which bakes each
+	// port's upstream/downstream shard into the port views.
 	S := cfg.Shards
+	if S == AutoShards {
+		S = autoShards(num)
+	}
 	if S < 1 {
 		S = 1
 	}
@@ -162,6 +190,13 @@ func NewNetwork(cfg Config) *Network {
 		n.mail = make([][]shardMail, S)
 		for i := range n.mail {
 			n.mail[i] = make([]shardMail, S)
+			for j := range n.mail[i] {
+				m := &n.mail[i][j]
+				for p := 0; p < 2; p++ {
+					m.ev[p] = make([][]xEvent, n.ringLen)
+				}
+				m.cred = make([][]int32, n.ringLen)
+			}
 		}
 	}
 	for i := 0; i < S; i++ {
@@ -171,6 +206,14 @@ func NewNetwork(cfg Config) *Network {
 		sh.hi = int32((i + 1) * num / S)
 		sh.net = n
 		sh.hot = &n.hot[i]
+		sh.ringLen = n.ringLen
+		sh.ringMask = n.ringMask
+		for p := 0; p < 2; p++ {
+			sh.ev[p] = make([][]event, n.ringLen)
+			sh.evIdx[p] = make([][]int32, n.ringLen)
+		}
+		sh.ejRing = make([][]ejEntry, n.ringLen)
+		sh.cred = make([][]int32, n.ringLen)
 		sh.actRC = newRouterSet(num)
 		sh.actVA = newRouterSet(num)
 		sh.actSA = newRouterSet(num)
@@ -332,7 +375,7 @@ func (n *Network) Step() {
 // order at the historical cost.
 func (n *Network) stepSeq() {
 	sh := &n.shards[0]
-	slot := n.cycle & (ringSize - 1)
+	slot := n.cycle & n.ringMask
 
 	// 1. Deliver events scheduled for this cycle. Credits first: they
 	// only increment flat counters and interact with nothing below, so

@@ -1,0 +1,72 @@
+package noc
+
+import "sync"
+
+// shardPool is the persistent worker pool behind sharded stepping. The
+// original sharded step (PR 7) spawned one goroutine per shard per
+// cycle; at millions of cycles the spawn/exit cost dominates the
+// per-cycle barrier. The pool keeps one long-lived worker parked on an
+// unbuffered channel per shard: each Step sends one token per worker,
+// the worker runs its shard's cycle and signals the shared WaitGroup,
+// and the Step's Wait is the same single barrier as before. Behaviour
+// is pinned unchanged by the shard determinism suites — the workers
+// execute exactly the shardCycle the spawned goroutines did, and the
+// channel send/Wait pair gives the same happens-before edges the old
+// WaitGroup fan-out gave (every append of cycle C ordered before every
+// drain of cycle C+1).
+//
+// Lifecycle: the pool starts lazily on the first sharded step and stops
+// when ReleaseWorkers closes the work channels (Sim.Run releases on
+// exit; a stopped pool restarts lazily if the network steps again).
+// Code that steps a sharded network directly and then abandons it
+// leaves the workers parked on an empty channel until process exit —
+// idle and invisible, but counted by goroutine-leak checkers, which is
+// why Sim.Run owns the release in the normal path.
+type shardPool struct {
+	work []chan struct{}
+	wg   sync.WaitGroup
+}
+
+// newShardPool starts one parked worker per shard of n.
+func newShardPool(n *Network) *shardPool {
+	p := &shardPool{work: make([]chan struct{}, len(n.shards))}
+	for i := range n.shards {
+		p.work[i] = make(chan struct{})
+		sh := &n.shards[i]
+		ch := p.work[i]
+		go func() {
+			for range ch {
+				n.runShardCycle(sh)
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// runShardCycle runs one shard's cycle, capturing a panic for the
+// serial epilogue to re-raise (a worker must never die: the pool would
+// deadlock on the next cycle's barrier).
+func (n *Network) runShardCycle(sh *shardState) {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.panicked = r
+		}
+	}()
+	n.shardCycle(sh)
+}
+
+// ReleaseWorkers stops the persistent shard worker pool, if one is
+// running. It is idempotent, must not be called concurrently with
+// Step, and a released network remains fully usable — the next sharded
+// step simply starts a fresh pool. Sim.Run releases on exit so batch
+// runs do not accumulate parked goroutines per simulated network.
+func (n *Network) ReleaseWorkers() {
+	if n.pool == nil {
+		return
+	}
+	for _, ch := range n.pool.work {
+		close(ch)
+	}
+	n.pool = nil
+}

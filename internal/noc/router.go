@@ -52,6 +52,11 @@ type inputPort struct {
 	// own shard for the local port); credit returns that cross it go
 	// through the boundary mailbox instead of the shard's own ring.
 	upShard int32
+	// credDelta is the credit-return delay toward the upstream router:
+	// the latency plus serialization of the reverse channel this
+	// router's credits travel (1 for on-chip links — the historical
+	// fixed delay). Precomputed at construction from the topology.
+	credDelta int64
 }
 
 // outputPort is the construction/observability view of one output port.
@@ -80,6 +85,19 @@ type outputPort struct {
 	// forwards that cross it carry the flit through the boundary
 	// mailbox (shard.go).
 	downShard int32
+	// arriveDelta is the cycles from a switch-allocation grant until
+	// the flit lands in the downstream buffer: STLTCycles - 1 pipeline
+	// cycles plus the link's latency plus its serialization tail
+	// (SerCycles - 1). For on-chip links (latency 1, ser 1) this equals
+	// STLTCycles — the historical fixed delay.
+	arriveDelta int64
+	// serCycles is the cycles a flit occupies this port's link while
+	// serialized across it (1 for full-width links); ports with
+	// serCycles > 1 are marked in Router.serMask and gate switch
+	// allocation on the link being free (soa serFree lane).
+	serCycles int64
+	// class is the link's physical class, for the d2d traffic counters.
+	class topology.LinkClass
 }
 
 // Router is one network router instance: the per-router view over the
@@ -105,6 +123,11 @@ type Router struct {
 	// port except Local); the SA credit check tests the bit instead of
 	// loading outputPort.hasLink.
 	linkMask uint32
+	// serMask has bit oi set when output port oi's link serializes
+	// flits (serCycles > 1); only those ports pay the serFree check in
+	// the allocation stages, so fully parallel fabrics — every shipped
+	// single-chip design — keep the historical hot path.
+	serMask uint32
 	// algXY is set when Config.Alg is plain dimension-ordered routing,
 	// letting routeHead call it directly instead of through the
 	// interface (the per-head dispatch is measurable at high load).
@@ -148,6 +171,10 @@ type Router struct {
 	// per-cycle clearing pass is needed.
 	inBusy  []int64
 	outBusy []int64
+	// serFree[oi] is the first cycle output port oi's serializing link
+	// is free again (window; meaningful only for serMask ports, where
+	// forward stamps cycle + serCycles).
+	serFree []int64
 	// reqScratch, eligibleOut and saRank are reusable per-cycle scratch
 	// vectors (windows) over flat input-VC indices, avoiding allocation
 	// in the hot switch-allocation loop. The activity-driven stage
@@ -202,7 +229,7 @@ func initRouter(r *Router, net *Network, id topology.NodeID) {
 	cfg := &net.cfg
 	for _, d := range cfg.Topo.Ports(id) {
 		// Output side.
-		op := outputPort{dir: d}
+		op := outputPort{dir: d, arriveDelta: int64(cfg.STLTCycles), serCycles: 1}
 		if d != topology.Local {
 			l, ok := cfg.Topo.OutLink(id, d)
 			if !ok {
@@ -210,19 +237,29 @@ func initRouter(r *Router, net *Network, id topology.NodeID) {
 			}
 			op.link = l
 			op.hasLink = true
+			// ST+LT-1 pipeline cycles, then the link's latency, then
+			// the serialization tail; on-chip (1, 1) collapses to the
+			// historical STLTCycles.
+			op.arriveDelta = int64(cfg.STLTCycles-1) + int64(l.Latency) + int64(l.SerCycles) - 1
+			op.serCycles = int64(l.SerCycles)
+			op.class = l.Class
 		}
 		r.outIndex[d] = int8(len(r.outPorts))
 		r.outPorts = append(r.outPorts, op)
 
 		// Input side (topologies are symmetric: every output direction
 		// has a matching input).
-		ip := inputPort{dir: d, upstream: -1}
+		ip := inputPort{dir: d, upstream: -1, credDelta: 1}
 		if d != topology.Local {
 			l, ok := cfg.Topo.OutLink(id, d)
 			if !ok {
 				panic(fmt.Sprintf("noc: router %d missing reverse link on port %v", id, d))
 			}
 			ip.upstream = l.Dst
+			// Credits popped from this port return to the upstream over
+			// the reverse channel — the very link l (id -> upstream) —
+			// and pay its latency and serialization; 1 for on-chip.
+			ip.credDelta = int64(l.Latency) + int64(l.SerCycles) - 1
 		}
 		r.inIndex[d] = int8(len(r.inPorts))
 		r.inPorts = append(r.inPorts, ip)
@@ -259,6 +296,7 @@ func (r *Router) bind(st *soaState, vcBase, portBase int) {
 	r.arbs = st.arbs[portBase*(1+cfg.VCs) : (portBase+nP)*(1+cfg.VCs)]
 	r.inBusy = st.inBusy[portBase : portBase+nP]
 	r.outBusy = st.outBusy[portBase : portBase+nP]
+	r.serFree = st.serFree[portBase : portBase+nP]
 
 	r.reqScratch = st.reqScratch[vcBase : vcBase+nVC]
 	r.arbMask = nVC <= 64
@@ -292,6 +330,9 @@ func (r *Router) bind(st *soaState, vcBase, portBase int) {
 			r.linkMask |= 1 << uint(oi)
 			for v := 0; v < cfg.VCs; v++ {
 				r.credits[base+v] = int32(cfg.BufDepth)
+			}
+			if op.serCycles > 1 {
+				r.serMask |= 1 << uint(oi)
 			}
 		}
 		r.saArb(oi).init(cfg.Arb, nVC)
@@ -676,6 +717,7 @@ func (r *Router) stepSA(cycle int64) {
 	// Hoisted like the scratch above: the chain stores below keep the
 	// compiler from proving these headers loop-invariant on its own.
 	outPort, outVC, credits, linkMask := r.vcOutPort, r.vcOutVC, r.credits, r.linkMask
+	serMask, serFree := r.serMask, r.serFree
 	var outMask uint32 // output ports with at least one eligible VC
 	vcs := r.vcsPerPort
 	qos := r.net.cfg.QoSPriority
@@ -687,6 +729,10 @@ func (r *Router) stepSA(cycle int64) {
 			continue
 		}
 		oi := int(outPort[f])
+		if serMask>>uint(oi)&1 != 0 && cycle < serFree[oi] {
+			r.Counters.SerStalls++
+			continue // the serializing d2d link is still streaming a flit
+		}
 		if linkMask>>uint(oi)&1 != 0 && credits[oi*vcs+int(outVC[f])] <= 0 {
 			r.Counters.CreditStalls++
 			continue // no downstream buffer space
@@ -875,6 +921,10 @@ func (r *Router) stepSAFull(cycle int64) {
 			continue
 		}
 		oi := r.outIndex[r.vcOutDir[f]]
+		if r.serMask>>uint(oi)&1 != 0 && cycle < r.serFree[oi] {
+			r.Counters.SerStalls++
+			continue // the serializing d2d link is still streaming a flit
+		}
 		if r.linkMask>>uint(oi)&1 != 0 && r.credits[int(oi)*vcs+int(r.vcOutVC[f])] <= 0 {
 			r.Counters.CreditStalls++
 			continue // no downstream buffer space
@@ -937,6 +987,9 @@ func (r *Router) trySpeculativeForward(cycle int64, f, oi int) {
 	if r.vcLen[f] == 0 || r.vcFrontArrived(f) >= cycle {
 		return
 	}
+	if r.serMask>>uint(oi)&1 != 0 && cycle < r.serFree[oi] {
+		return
+	}
 	if r.linkMask>>uint(oi)&1 != 0 && r.credits[oi*r.vcsPerPort+int(r.vcOutVC[f])] <= 0 {
 		return
 	}
@@ -973,14 +1026,16 @@ func (r *Router) forward(cycle int64, fi, oi int) {
 
 	// Credit back to the upstream router (the NI checks space directly);
 	// a credit crossing the shard boundary rides the mailbox's credit
-	// lane instead of the shard's own ring.
+	// lane instead of the shard's own ring. The return is delayed by the
+	// reverse link's latency plus serialization occupancy (credDelta is 1
+	// for on-chip links, matching the historical next-cycle return).
 	if ip.upCredBase >= 0 {
 		ci := ip.upCredBase + int32(r.vcOf[fi])
 		if ip.upShard == r.shard {
-			cs := sh.credSlot(cycle, cycle+1)
+			cs := sh.credSlot(cycle, cycle+ip.credDelta)
 			*cs = append(*cs, ci)
 		} else {
-			cs := r.net.mailCredSlot(sh, ip.upShard, cycle+1)
+			cs := r.net.mailCredSlot(sh, ip.upShard, cycle+ip.credDelta)
 			*cs = append(*cs, ci)
 		}
 	}
@@ -997,11 +1052,11 @@ func (r *Router) forward(cycle int64, fi, oi int) {
 		// the payload goes into the shard's own ejection ring.
 		at := cycle + int64(cfg.STLTCycles)
 		s := sh.evSlot(cycle, at)
-		ej := &sh.ejRing[at&(ringSize-1)]
+		ej := &sh.ejRing[at&sh.ringMask]
 		*s = append(*s, ^event(len(*ej)))
 		*ej = append(*ej, ejEntry{flit: *f, router: int32(r.id)})
 		if sh.stamp {
-			idx := &sh.evIdx[sh.phase][at&(ringSize-1)]
+			idx := &sh.evIdx[sh.phase][at&sh.ringMask]
 			*idx = append(*idx, sh.hot.seq)
 			sh.hot.seq++
 		}
@@ -1027,7 +1082,18 @@ func (r *Router) forward(cycle int64, fi, oi int) {
 		if op.dir.IsVertical() {
 			r.Counters.VertFlits++
 		}
-		at := cycle + int64(cfg.STLTCycles)
+		if op.class.IsD2D() {
+			r.Counters.D2DFlits++
+		}
+		if op.serCycles > 1 {
+			// A narrow d2d link streams this flit for serCycles cycles;
+			// the SA stages refuse the port until it drains.
+			r.serFree[oi] = cycle + op.serCycles
+		}
+		// arriveDelta folds ST/LT, link latency and serialization into one
+		// delta; it equals STLTCycles for on-chip links, preserving
+		// bit-identity with the single-chip model.
+		at := cycle + op.arriveDelta
 		gi := op.downVCBase + event(outVC)
 		if op.downShard == r.shard {
 			// The flit body goes straight into its future slot of the
@@ -1053,7 +1119,7 @@ func (r *Router) forward(cycle int64, fi, oi int) {
 			s := sh.evSlot(cycle, at)
 			*s = append(*s, gi)
 			if sh.stamp {
-				idx := &sh.evIdx[sh.phase][at&(ringSize-1)]
+				idx := &sh.evIdx[sh.phase][at&sh.ringMask]
 				*idx = append(*idx, sh.hot.seq)
 				sh.hot.seq++
 			}

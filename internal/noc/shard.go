@@ -3,7 +3,6 @@ package noc
 import (
 	"fmt"
 	"sort"
-	"sync"
 	"unsafe"
 
 	"mira/internal/topology"
@@ -21,13 +20,23 @@ import (
 // # Why link latency makes concurrent shards safe
 //
 // All cross-router interaction flows through scheduled deliveries: a
-// forwarded flit lands in the downstream buffer STLTCycles >= 1 cycles
-// later, and a credit returns one cycle later. Nothing a router does in
-// cycle C can be observed by any other router before cycle C+1, so two
-// routers in different shards can run cycle C in either order — or at
-// the same time — provided the events they schedule are exchanged at
+// forwarded flit lands in the downstream buffer STLTCycles-1 + link
+// latency + serialization - 1 >= 1 cycles later, and a credit returns
+// after the reverse link's latency (>= 1 cycle). Nothing a router does
+// in cycle C can be observed by any other router before cycle C+1, so
+// two routers in different shards can run cycle C in either order — or
+// at the same time — provided the events they schedule are exchanged at
 // the cycle boundary. Shards therefore step without speculation or
 // rollback; the per-Step barrier is the only synchronization.
+//
+// This argument is independent of the link class: a multi-cycle
+// die-to-die channel only pushes deliveries further into the future
+// (the rings are sized to the slowest link's horizon at construction),
+// so shard boundaries need not align with chip boundaries — a shard cut
+// through the middle of a chip, or a chip split across shards, is
+// exactly as safe as the single-chip case. The chip-grid determinism
+// suite pins this by sweeping shard counts that deliberately misalign
+// with the chip tiling.
 //
 // # Ownership and the boundary mailboxes
 //
@@ -97,10 +106,12 @@ type xEvent struct {
 // shard) pair: per-send-phase, per-ring-slot arrival lanes plus a
 // credit lane (credits are order-free increments, so they need no phase
 // segmentation). The source appends during its stage loops; the
-// destination drains and resets at the delivery cycle's boundary.
+// destination drains and resets at the delivery cycle's boundary. The
+// rings are allocated to the network's ringLen (sized from the slowest
+// link), so multi-cycle d2d deliveries slot like any other.
 type shardMail struct {
-	ev   [2][ringSize][]xEvent
-	cred [ringSize][]int32
+	ev   [2][][]xEvent
+	cred [][]int32
 }
 
 // shardHot holds one shard's incrementally maintained backlog counters
@@ -183,11 +194,14 @@ type shardState struct {
 	// network rings of the sequential core restricted to traffic whose
 	// destination router stays in this shard. evIdx carries the
 	// per-cycle append sequence of each ev entry, maintained only when a
-	// probe is attached to a sharded network (stamp).
-	ev     [2][ringSize][]event
-	evIdx  [2][ringSize][]int32
-	ejRing [ringSize][]ejEntry
-	cred   [ringSize][]int32
+	// probe is attached to a sharded network (stamp). ringLen/ringMask
+	// copy the network's dynamic ring geometry for the hot slot math.
+	ev       [2][][]event
+	evIdx    [2][][]int32
+	ejRing   [][]ejEntry
+	cred     [][]int32
+	ringLen  int64
+	ringMask int64
 
 	// Per-stage activity sets over this shard's routers and NIs (see
 	// activity.go; bits outside [lo, hi) are never set).
@@ -221,58 +235,54 @@ func (sh *shardState) ProbeEvent(ev ProbeEvent) {
 // under the current send phase, validating the horizon like the
 // sequential slotFor did.
 func (sh *shardState) evSlot(now, at int64) *[]event {
-	if d := at - now; d <= 0 || d >= ringSize {
+	if d := at - now; d <= 0 || d >= sh.ringLen {
 		panic("noc: schedule delta out of range")
 	}
-	return &sh.ev[sh.phase][at&(ringSize-1)]
+	return &sh.ev[sh.phase][at&sh.ringMask]
 }
 
 // credSlot is evSlot's counterpart for the shard's own credit ring.
 func (sh *shardState) credSlot(now, at int64) *[]int32 {
-	if d := at - now; d <= 0 || d >= ringSize {
+	if d := at - now; d <= 0 || d >= sh.ringLen {
 		panic("noc: schedule delta out of range")
 	}
-	return &sh.cred[at&(ringSize-1)]
+	return &sh.cred[at&sh.ringMask]
 }
 
 // mailEvSlot returns the boundary-mailbox arrival lane from shard src
 // toward shard dst for delivery cycle at, under src's current phase.
 func (n *Network) mailEvSlot(src *shardState, dst int32, at int64) *[]xEvent {
-	if d := at - n.cycle; d <= 0 || d >= ringSize {
+	if d := at - n.cycle; d <= 0 || d >= n.ringLen {
 		panic("noc: schedule delta out of range")
 	}
-	return &n.mail[src.idx][dst].ev[src.phase][at&(ringSize-1)]
+	return &n.mail[src.idx][dst].ev[src.phase][at&n.ringMask]
 }
 
 // mailCredSlot is mailEvSlot's counterpart for credit returns.
 func (n *Network) mailCredSlot(src *shardState, dst int32, at int64) *[]int32 {
-	if d := at - n.cycle; d <= 0 || d >= ringSize {
+	if d := at - n.cycle; d <= 0 || d >= n.ringLen {
 		panic("noc: schedule delta out of range")
 	}
-	return &n.mail[src.idx][dst].cred[at&(ringSize-1)]
+	return &n.mail[src.idx][dst].cred[at&n.ringMask]
 }
 
 // stepSharded advances one cycle with len(shards) > 1: every shard runs
-// its delivery, injection and pipeline stages on its own goroutine, and
-// the serial epilogue replays the buffered probe events and eject
-// callbacks in canonical order. One WaitGroup join per cycle is the
-// only barrier; see the package comment above for why that suffices.
+// its delivery, injection and pipeline stages on its own persistent
+// worker (pool.go), and the serial epilogue replays the buffered probe
+// events and eject callbacks in canonical order. One WaitGroup join per
+// cycle is the only barrier; see the package comment above for why that
+// suffices.
 func (n *Network) stepSharded() {
-	var wg sync.WaitGroup
-	wg.Add(len(n.shards))
-	for i := range n.shards {
-		sh := &n.shards[i]
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					sh.panicked = r
-				}
-			}()
-			n.shardCycle(sh)
-		}()
+	p := n.pool
+	if p == nil {
+		p = newShardPool(n)
+		n.pool = p
 	}
-	wg.Wait()
+	p.wg.Add(len(p.work))
+	for _, ch := range p.work {
+		ch <- struct{}{}
+	}
+	p.wg.Wait()
 	for i := range n.shards {
 		if p := n.shards[i].panicked; p != nil {
 			n.shards[i].panicked = nil
@@ -292,7 +302,7 @@ func (n *Network) stepSharded() {
 // mailbox, in canonical phase-then-source order), then inject and step
 // the pipeline stages over the shard's routers.
 func (n *Network) shardCycle(sh *shardState) {
-	slot := n.cycle & (ringSize - 1)
+	slot := n.cycle & sh.ringMask
 	sh.hot.seq = 0
 	sh.phase = 0
 

@@ -154,7 +154,7 @@ func TestShardProbeStreamIdentical(t *testing.T) {
 // mailbox lane src -> dst under send phase p, delivering at cycle at.
 func plantMail(n *Network, src, dst int32, p int, gi int32, at int64, pktID int64) {
 	f := Flit{Pkt: &Packet{ID: pktID, Dst: n.routers[n.soa.ownerOf[gi]].id}, Type: HeadTailFlit}
-	lane := &n.mail[src][dst].ev[p][at&(ringSize-1)]
+	lane := &n.mail[src][dst].ev[p][at&n.ringMask]
 	*lane = append(*lane, xEvent{gi: gi, flit: f})
 }
 
@@ -213,7 +213,7 @@ func TestShardMailboxDrainOrder(t *testing.T) {
 	n.soa.bufArrived[int(gis[2])*depth+1] = at
 	n.soa.vcInFly[gis[2]]++
 	plantMail(n, 3, dst, 0, gis[2], at, 123)
-	own := &n.shards[dst].ev[0][at&(ringSize-1)]
+	own := &n.shards[dst].ev[0][at&n.ringMask]
 	*own = append(*own, gis[2])
 	plantMail(n, 0, dst, 0, gis[2], at, 120)
 
@@ -245,18 +245,21 @@ func TestShardMailboxDrainOrder(t *testing.T) {
 
 // TestShardConfig covers the Shards knob's edges: default and explicit
 // 0/1 step sequentially, oversized counts clamp to the router count,
-// and negative counts fail validation.
+// AutoShards resolves tiny meshes to sequential, and counts below -1
+// fail validation.
 func TestShardConfig(t *testing.T) {
 	cfg := cfg2D(2)
-	for _, c := range []struct{ in, want int }{{0, 1}, {1, 1}, {4, 4}, {1000, 36}} {
+	// A 36-router mesh is under the auto heuristic's per-shard budget,
+	// so AutoShards resolves to sequential stepping.
+	for _, c := range []struct{ in, want int }{{0, 1}, {1, 1}, {4, 4}, {1000, 36}, {AutoShards, 1}} {
 		cfg.Shards = c.in
 		if got := NewNetwork(cfg).Shards(); got != c.want {
 			t.Fatalf("Shards=%d: effective %d, want %d", c.in, got, c.want)
 		}
 	}
-	cfg.Shards = -1
+	cfg.Shards = -2
 	if err := cfg.Validate(); err == nil {
-		t.Fatal("negative Shards validated")
+		t.Fatal("Shards=-2 validated")
 	}
 	// Shard ranges are contiguous, ordered and cover every router.
 	cfg.Shards = 5

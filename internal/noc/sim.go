@@ -159,6 +159,10 @@ func (s *Sim) Run(ctx context.Context) Result {
 		panic("noc: Sim.Run called twice; a Sim is single-shot, build a new one per run")
 	}
 	s.ran = true
+	// Stop the persistent shard workers (if sharded stepping started
+	// them) so batch drivers running many Sims back to back do not
+	// accumulate parked goroutines per network.
+	defer s.Net.ReleaseWorkers()
 	if ctx == nil {
 		ctx = context.Background()
 	}

@@ -105,6 +105,10 @@ type soaState struct {
 	// cycle" is a comparison and no per-cycle clearing pass is needed.
 	inBusy  []int64
 	outBusy []int64
+	// serFree is the per-output-port link-class lane: the first cycle
+	// the port's serializing d2d link is free again. Only ports flagged
+	// in Router.serMask ever read or write it.
+	serFree []int64
 
 	// Pending-list storage: each router's listRC/listVA/listSA is a
 	// zero-length, fixed-capacity sub-slice of these (capacity = its VC
@@ -152,6 +156,7 @@ func newSoAState(cfg *Config, totalVCs, totalPorts int) soaState {
 		arbs:         make([]arbState, totalPorts*(1+cfg.VCs)),
 		inBusy:       make([]int64, totalPorts),
 		outBusy:      make([]int64, totalPorts),
+		serFree:      make([]int64, totalPorts),
 		listRC:       make([]int32, totalVCs),
 		listVA:       make([]int32, totalVCs),
 		listSA:       make([]int32, totalVCs),

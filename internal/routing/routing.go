@@ -82,6 +82,64 @@ func (Express) NextPort(t *topology.Topology, cur, dst topology.NodeID) topology
 	return topology.Local
 }
 
+// ChipDOR is chip-boundary-aware dimension-ordered routing for chiplet
+// grids (topology.NewChipGrid). Route selection is globally
+// dimension-ordered — all X progress, local and die-to-die alike,
+// before any Y progress — but expressed hierarchically over
+// (chip, local) addresses: each hop first corrects the chip X
+// coordinate, then the local X offset, then chip Y, then local Y.
+// Because the grid tiles uniform meshes, chip order and local order
+// agree with flat coordinate order, so the channel dependency graph is
+// the mesh DOR graph plus forward-only express short-cuts and routing
+// stays deadlock-free under wormhole flow control. (The tempting
+// alternative — finish the whole chip-level walk before any local
+// correction — is NOT used: an east-then-south chip walk followed by
+// local westward correction creates Y->X turns and breaks DOR
+// acyclicity.) Inter-chip express channels are preferred exactly as in
+// Express routing: when the remaining distance in the dimension is at
+// least the link's span.
+type ChipDOR struct{}
+
+// Name implements Algorithm.
+func (ChipDOR) Name() string { return "chipdor" }
+
+// NextPort implements Algorithm.
+func (ChipDOR) NextPort(t *topology.Topology, cur, dst topology.NodeID) topology.Dir {
+	ccx, ccy := t.ChipOf(cur)
+	dcx, dcy := t.ChipOf(dst)
+	c, d := t.Node(cur).Coord, t.Node(dst).Coord
+	pick := func(normal, express topology.Dir, dist int) topology.Dir {
+		if l, ok := t.OutLink(cur, express); ok && dist >= l.Span {
+			return express
+		}
+		return normal
+	}
+	switch {
+	// Chip-level X correction. Chip order implies coordinate order
+	// (ccx < dcx forces c.X < d.X on a uniform grid), so the distance
+	// passed to the express pick is always positive.
+	case ccx < dcx:
+		return pick(topology.East, topology.EastExp, d.X-c.X)
+	case ccx > dcx:
+		return pick(topology.West, topology.WestExp, c.X-d.X)
+	// Local X correction within the destination chip column.
+	case c.X < d.X:
+		return topology.East
+	case c.X > d.X:
+		return topology.West
+	// Chip-level, then local, Y correction.
+	case ccy < dcy:
+		return pick(topology.South, topology.SouthExp, d.Y-c.Y)
+	case ccy > dcy:
+		return pick(topology.North, topology.NorthExp, c.Y-d.Y)
+	case c.Y < d.Y:
+		return topology.South
+	case c.Y > d.Y:
+		return topology.North
+	}
+	return topology.Local
+}
+
 // Path returns the sequence of output ports a packet takes from src to
 // dst under alg, excluding the final Local ejection. It returns an error
 // if the route does not make progress (a routing bug or a link missing
@@ -153,9 +211,14 @@ func allNodes(t *topology.Topology) []topology.NodeID {
 	return ids
 }
 
-// ForTopology returns the natural algorithm for a topology: Express when
-// it has express channels, XY otherwise.
+// ForTopology returns the natural algorithm for a topology: ChipDOR for
+// multi-chip grids (it subsumes express preference across chip
+// boundaries), Express when a single-chip fabric has express channels,
+// XY otherwise.
 func ForTopology(t *topology.Topology) Algorithm {
+	if t.NumChips() > 1 {
+		return ChipDOR{}
+	}
 	for _, l := range t.Links() {
 		if l.SrcPort.IsExpress() {
 			return Express{}

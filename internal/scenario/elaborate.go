@@ -63,6 +63,14 @@ func (s Scenario) NoCConfig() (*core.Design, noc.Config, error) {
 		d.Topo = topo
 		d.Alg = routing.Express{}
 	}
+	if c := s.Chips; c != nil {
+		// A chiplet grid replaces the floorplan wholesale; the
+		// architecture keeps setting the router pipeline and the on-chip
+		// link pitch the grid tiles with. ForTopology resolves to
+		// chip-boundary-aware DOR (ChipDOR).
+		d.Topo = topology.NewChipGrid(c.spec(d.LinkLenMM))
+		d.Alg = routing.ForTopology(d.Topo)
+	}
 
 	cfg := d.NoCConfig(noc.AnyFree, s.Seed)
 	if s.VCs > 0 {

@@ -110,9 +110,10 @@ type Scenario struct {
 	StepMode string `json:"step_mode,omitempty"`
 	// Shards partitions the mesh into contiguous router-ID ranges
 	// stepped concurrently inside each cycle. 0 or 1 steps
-	// sequentially; results are bit-identical at any value (the knob
-	// trades host cores for wall clock, composing with per-experiment
-	// -workers parallelism).
+	// sequentially; -1 picks a count from the mesh size and GOMAXPROCS
+	// (noc.AutoShards); results are bit-identical at any value (the
+	// knob trades host cores for wall clock, composing with
+	// per-experiment -workers parallelism).
 	Shards int `json:"shards,omitempty"`
 
 	// VCs/BufDepth override the input-buffer geometry for design-space
@@ -125,6 +126,13 @@ type Scenario struct {
 	// ExpressInterval overrides the express-channel hop span of the
 	// 3DM-E fabrics (0 keeps the paper's interval of 2).
 	ExpressInterval int `json:"express_interval,omitempty"`
+
+	// Chips, when present, replaces the architecture's on-chip fabric
+	// with a multi-chip chiplet grid: ChipsX x ChipsY identical mesh
+	// dies joined by die-to-die links (topology.NewChipGrid). The
+	// architecture still sets the router pipeline and link pitch; the
+	// grid sets the floorplan. Mutually exclusive with ExpressInterval.
+	Chips *Chips `json:"chips,omitempty"`
 
 	// Pipeline and allocator options (Figure 8 family).
 	LookaheadRC bool `json:"lookahead_rc,omitempty"`
@@ -141,6 +149,40 @@ type Scenario struct {
 	// Observe, when present, attaches the observability collector
 	// (internal/obs) to the elaborated simulation.
 	Observe *Observe `json:"observe,omitempty"`
+}
+
+// Chips serializes a chiplet-grid floorplan: a chips_x x chips_y array
+// of nodes_x x nodes_y mesh dies. D2D timing fields default to 1-cycle
+// full-width channels, making the grid behave like one large mesh.
+type Chips struct {
+	ChipsX int `json:"chips_x"`
+	ChipsY int `json:"chips_y"`
+	NodesX int `json:"nodes_x"`
+	NodesY int `json:"nodes_y"`
+	// D2DLatency is the die-to-die channel traversal latency in cycles
+	// (0 = 1). D2DSerCycles is the serialization factor of a narrow d2d
+	// channel — the cycles one flit occupies the link (0 or 1 = full
+	// width).
+	D2DLatency   int `json:"d2d_latency,omitempty"`
+	D2DSerCycles int `json:"d2d_ser_cycles,omitempty"`
+	// Express adds full-width inter-chip express channels between
+	// matching boundary nodes of adjacent chips; ExpressLatency
+	// overrides their latency (0 = D2DLatency).
+	Express        bool `json:"express,omitempty"`
+	ExpressLatency int  `json:"express_latency,omitempty"`
+}
+
+// spec converts the JSON block to a topology builder spec; pitch is the
+// elaborated architecture's on-chip link length.
+func (c *Chips) spec(pitchMM float64) topology.ChipGridSpec {
+	return topology.ChipGridSpec{
+		ChipsX: c.ChipsX, ChipsY: c.ChipsY,
+		NodesX: c.NodesX, NodesY: c.NodesY,
+		PitchMM:      pitchMM,
+		D2DLatency:   c.D2DLatency,
+		D2DSerCycles: c.D2DSerCycles,
+		Express:      c.Express, ExpressLatency: c.ExpressLatency,
+	}
 }
 
 // ArchByName resolves an architecture name.
@@ -185,8 +227,8 @@ func (s Scenario) validateCore() error {
 	if _, err := noc.ParseStepMode(s.StepMode); err != nil {
 		return err
 	}
-	if s.Shards < 0 {
-		return fmt.Errorf("scenario: shards = %d, need >= 0", s.Shards)
+	if s.Shards < noc.AutoShards {
+		return fmt.Errorf("scenario: shards = %d, need >= -1 (-1 = auto)", s.Shards)
 	}
 	if s.VCs < 0 || s.BufDepth < 0 {
 		return fmt.Errorf("scenario: negative buffer geometry vcs=%d buf_depth=%d", s.VCs, s.BufDepth)
@@ -200,6 +242,15 @@ func (s Scenario) validateCore() error {
 		}
 		if s.Arch != core.Arch3DME.String() && s.Arch != core.Arch3DMENC.String() {
 			return fmt.Errorf("scenario: express_interval applies only to the 3DM-E fabrics, not %s", s.Arch)
+		}
+	}
+	if c := s.Chips; c != nil {
+		if s.ExpressInterval != 0 {
+			return fmt.Errorf("scenario: chips and express_interval both rebuild the fabric; set at most one")
+		}
+		// Pitch is irrelevant to spec validity; 1 is a placeholder.
+		if err := c.spec(1).Validate(); err != nil {
+			return fmt.Errorf("scenario: %w", err)
 		}
 	}
 	switch s.Routing {

@@ -105,6 +105,42 @@ type Node struct {
 	Type  NodeType
 }
 
+// LinkClass classifies a channel by the physical medium it crosses.
+// On-chip wires are the MIRA baseline; the d2d classes model the
+// off-chip die-to-die channels joining chips of a ChipGrid, whose
+// latency and width dominate multi-chip behaviour.
+type LinkClass uint8
+
+// Link classes.
+const (
+	// ClassOnChip is an ordinary on-die wire: one-cycle traversal,
+	// full flit width. Every pre-chiplet topology uses only this class.
+	ClassOnChip LinkClass = iota
+	// ClassD2DParallel is a wide die-to-die channel (e.g. silicon
+	// bridge or interposer): multi-cycle latency, full flit width.
+	ClassD2DParallel
+	// ClassD2DSerial is a narrow serialized die-to-die channel: a flit
+	// occupies the link for SerCycles cycles while it is streamed
+	// across the reduced-width lanes.
+	ClassD2DSerial
+	// ClassChipExpress is an inter-chip express channel (MIRA's 3DM-E
+	// express links reborn at chip scale): it skips a whole chip per
+	// hop, crossing two die boundaries.
+	ClassChipExpress
+)
+
+var classNames = [...]string{"on-chip", "d2d-parallel", "d2d-serial", "chip-express"}
+
+func (c LinkClass) String() string {
+	if int(c) >= len(classNames) {
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// IsD2D reports whether the class crosses a die boundary.
+func (c LinkClass) IsD2D() bool { return c != ClassOnChip }
+
 // Link is a unidirectional channel between two routers.
 type Link struct {
 	Src, Dst NodeID
@@ -116,15 +152,33 @@ type Link struct {
 	// express interval for express links).
 	Span     int
 	Vertical bool
+	// Class is the physical link class; latency and serialization
+	// below parameterize it. addLink normalizes the zero values of the
+	// pre-chiplet builders to the on-chip defaults (latency 1, ser 1),
+	// so every stored link carries explicit, symmetric values.
+	Class LinkClass
+	// Latency is the traversal time in cycles from the source router's
+	// link stage to the destination buffer write (1 for on-chip wires).
+	Latency int32
+	// SerCycles is the number of cycles a flit occupies the link while
+	// being serialized over it: ceil(flit bytes / link width bytes).
+	// 1 for full-width links; > 1 only on ClassD2DSerial channels.
+	SerCycles int32
 }
 
 // Topology is an immutable directed graph of routers.
 type Topology struct {
 	Name             string
 	XDim, YDim, ZDim int
-	nodes            []Node
-	links            []Link
-	out              [][]int // out[node][dir] = link index+1, 0 if none
+	// Chip-grid geometry (NewChipGrid): the X/Y chip counts and the
+	// node dimensions of one chip. All zero for single-chip topologies;
+	// when set, XDim == ChipsX*ChipNodesX and YDim == ChipsY*ChipNodesY
+	// and the hierarchical (chip, node) helpers below apply.
+	ChipsX, ChipsY         int
+	ChipNodesX, ChipNodesY int
+	nodes                  []Node
+	links                  []Link
+	out                    [][]int // out[node][dir] = link index+1, 0 if none
 }
 
 func newTopology(name string, xd, yd, zd int) *Topology {
@@ -220,16 +274,122 @@ func (t *Topology) MaxPorts() int {
 // addBiLink installs links in both directions between a and b, leaving a
 // through d.
 func (t *Topology) addBiLink(a, b NodeID, d Dir, lengthMM float64, span int, vertical bool) {
-	t.addLink(Link{Src: a, Dst: b, SrcPort: d, LengthMM: lengthMM, Span: span, Vertical: vertical})
-	t.addLink(Link{Src: b, Dst: a, SrcPort: d.Opposite(), LengthMM: lengthMM, Span: span, Vertical: vertical})
+	t.addBiLinkClass(a, b, d, lengthMM, span, vertical, ClassOnChip, 1, 1)
+}
+
+// addBiLinkClass is addBiLink with an explicit link class: both
+// directions carry the same class, latency and serialization, so every
+// die-to-die edge is symmetric by construction (the chip-grid property
+// test pins this).
+func (t *Topology) addBiLinkClass(a, b NodeID, d Dir, lengthMM float64, span int, vertical bool, class LinkClass, latency, ser int32) {
+	t.addLink(Link{Src: a, Dst: b, SrcPort: d, LengthMM: lengthMM, Span: span, Vertical: vertical,
+		Class: class, Latency: latency, SerCycles: ser})
+	t.addLink(Link{Src: b, Dst: a, SrcPort: d.Opposite(), LengthMM: lengthMM, Span: span, Vertical: vertical,
+		Class: class, Latency: latency, SerCycles: ser})
 }
 
 func (t *Topology) addLink(l Link) {
 	if t.out[l.Src][l.SrcPort] != 0 {
 		panic(fmt.Sprintf("topology %s: duplicate link at node %d port %v", t.Name, l.Src, l.SrcPort))
 	}
+	// Normalize the zero values of pre-chiplet construction code to the
+	// on-chip defaults, so consumers never special-case them.
+	if l.Latency == 0 {
+		l.Latency = 1
+	}
+	if l.SerCycles == 0 {
+		l.SerCycles = 1
+	}
+	if l.Latency < 1 || l.SerCycles < 1 {
+		panic(fmt.Sprintf("topology %s: link at node %d port %v has latency %d ser %d (need >= 1)",
+			t.Name, l.Src, l.SrcPort, l.Latency, l.SerCycles))
+	}
 	t.links = append(t.links, l)
 	t.out[l.Src][l.SrcPort] = len(t.links)
+}
+
+// NumChips returns the number of chips in the grid (1 for single-chip
+// topologies).
+func (t *Topology) NumChips() int {
+	if t.ChipsX == 0 {
+		return 1
+	}
+	return t.ChipsX * t.ChipsY
+}
+
+// ChipOf returns the chip-grid coordinate of node id's chip. Single-chip
+// topologies report (0, 0) for every node.
+func (t *Topology) ChipOf(id NodeID) (cx, cy int) {
+	if t.ChipsX == 0 {
+		return 0, 0
+	}
+	c := t.Node(id).Coord
+	return c.X / t.ChipNodesX, c.Y / t.ChipNodesY
+}
+
+// LocalCoord returns node id's coordinate within its chip (equal to the
+// global coordinate on single-chip topologies).
+func (t *Topology) LocalCoord(id NodeID) Coord {
+	c := t.Node(id).Coord
+	if t.ChipsX == 0 {
+		return c
+	}
+	return Coord{X: c.X % t.ChipNodesX, Y: c.Y % t.ChipNodesY, Z: c.Z}
+}
+
+// ChipNodeAt resolves hierarchical (chip, node) addressing: the node at
+// within-chip coordinate local on chip (cx, cy).
+func (t *Topology) ChipNodeAt(cx, cy int, local Coord) (Node, bool) {
+	if t.ChipsX == 0 {
+		if cx != 0 || cy != 0 {
+			return Node{}, false
+		}
+		return t.NodeAt(local)
+	}
+	if cx < 0 || cx >= t.ChipsX || cy < 0 || cy >= t.ChipsY {
+		return Node{}, false
+	}
+	if local.X < 0 || local.X >= t.ChipNodesX || local.Y < 0 || local.Y >= t.ChipNodesY {
+		return Node{}, false
+	}
+	return t.NodeAt(Coord{X: cx*t.ChipNodesX + local.X, Y: cy*t.ChipNodesY + local.Y, Z: local.Z})
+}
+
+// IsBoundary reports whether node id terminates at least one die-to-die
+// link (it sits on a chip edge facing another chip).
+func (t *Topology) IsBoundary(id NodeID) bool {
+	for d := Dir(1); d < NumDirs; d++ {
+		if l, ok := t.OutLink(id, d); ok && l.Class.IsD2D() {
+			return true
+		}
+	}
+	return false
+}
+
+// BoundaryNodes returns the IDs of every boundary node in ascending
+// order (empty for single-chip topologies).
+func (t *Topology) BoundaryNodes() []NodeID {
+	var out []NodeID
+	for _, n := range t.nodes {
+		if t.IsBoundary(n.ID) {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// MaxLinkDelay returns the largest latency + SerCycles - 1 over all
+// links (the longest time a flit can spend between leaving a router and
+// landing downstream), or 1 for a linkless topology. The simulator sizes
+// its event-ring horizon from it.
+func (t *Topology) MaxLinkDelay() int {
+	max := 1
+	for _, l := range t.links {
+		if d := int(l.Latency) + int(l.SerCycles) - 1; d > max {
+			max = d
+		}
+	}
+	return max
 }
 
 // CPUs returns the IDs of all CPU nodes.

@@ -22,7 +22,7 @@ COUNT="${BENCHGUARD_COUNT:-3}"
 # one hardware thread, so on any multicore runner the sharded cases can
 # only come in at or under baseline (they parallelize), never falsely
 # fail.
-BENCHES='BenchmarkStepLowRate$|BenchmarkStepHighRate$|BenchmarkStepSharded$/^shards=(1|4)$'
+BENCHES='BenchmarkStepLowRate$|BenchmarkStepHighRate$|BenchmarkStepChiplet$|BenchmarkStepSharded$/^shards=(1|4)$'
 
 command -v jq >/dev/null || { echo "benchguard: jq not found" >&2; exit 1; }
 
@@ -33,6 +33,7 @@ status=0
 for spec in \
     'StepLowRate|.soa_router_core.StepLowRate_after_ns' \
     'StepHighRate|.soa_router_core.StepHighRate_after_ns' \
+    'StepChiplet|.chiplet_step.StepChiplet_ns' \
     'StepSharded/shards=1|.sharded_step.shards_1_ns' \
     'StepSharded/shards=4|.sharded_step.shards_4_ns'; do
     name=${spec%%|*}
