@@ -1,0 +1,22 @@
+package noc
+
+import "testing"
+
+// Probe: determinism of chiplet fabric with SpecSA across shard counts.
+func TestZZChipletSpecSADeterminism(t *testing.T) {
+	run := func(shards int) Result {
+		cfg := cfgChiplet(4, 2, true)
+		cfg.Seed = 7
+		cfg.SpecSA = true
+		cfg.Shards = shards
+		return shortSim(cfg, bernoulli(cfg.Topo, 0.1, 4, Data))
+	}
+	ref := run(1)
+	for _, s := range []int{2, 3, 4, 5, 7} {
+		got := run(s)
+		if got.AvgLatency != ref.AvgLatency || got.Generated != ref.Generated ||
+			got.Ejected != ref.Ejected || got.Counters != ref.Counters {
+			t.Fatalf("shards=%d diverges:\n  got %v\n  ref %v", s, got.String(), ref.String())
+		}
+	}
+}
