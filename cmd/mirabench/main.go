@@ -99,6 +99,7 @@ var experiments = []experiment{
 	{"ext-herding", "thermal herding + router shutdown (extension)", wrapOpts(exp.ExtHerding)},
 	{"ext-protocol", "MESI vs MOESI coherence traffic (extension)", exp.ExtProtocol},
 	{"ext-chiplet", "chiplet grid d2d link sweep (extension)", wrapOpts(exp.ChipletSweep)},
+	{"ext-collective", "collective workloads: ring allreduce / reduce-scatter / tree broadcast (extension)", wrapOpts(exp.CollectiveSweep)},
 	{"obs-ur", "observability summaries across UR injection rates (extension)",
 		wrapOpts(func(ctx context.Context, o exp.Options) exp.Table {
 			return exp.ObsURSweep(ctx, core.Arch3DM, []float64{0.05, 0.10, 0.15, 0.20, 0.25}, o)

@@ -10,6 +10,7 @@
 //	mirasim -arch 3DM-E -traffic ur -rate 0.2
 //	mirasim -arch 2DB -traffic nuca -rate 0.1 -short 0.5
 //	mirasim -arch 3DM -traffic trace -workload tpcw
+//	mirasim -arch 2DB -traffic collective -algorithm ring-allreduce -iters 4 -measure 100000
 //	mirasim -arch 3DM -traffic ur -rate 0.2 -dump > run.json
 //	mirasim -scenario runs.json -workers 4
 //	mirasim -arch 3DM -traffic ur -rate 0.2 -trace run.jsonl -series occ.csv
@@ -74,6 +75,11 @@ func main() {
 	workload := flag.String("workload", "tpcw", "workload name (trace)")
 	traceFile := flag.String("tracefile", "", "recorded trace to replay (replay)")
 	hotFrac := flag.Float64("hotfrac", 0.3, "probability a packet targets a hot node (hotspot)")
+	colAlg := flag.String("algorithm", "ring-allreduce", "collective schedule: ring-allreduce, reduce-scatter or tree-broadcast (collective)")
+	colRanks := flag.Int("ranks", 0, "collective participant count, 0 = every node (collective)")
+	colIters := flag.Int("iters", 1, "back-to-back collective iterations (collective)")
+	colFlits := flag.Int("msgflits", 0, "collective message size in flits, 0 = the 4-flit data packet (collective)")
+	colSteps := flag.Bool("steptable", false, "also print the per-step latency table after a collective run")
 	warmup := flag.Int64("warmup", 5000, "warm-up cycles")
 	measure := flag.Int64("measure", 20000, "measurement cycles")
 	seed := flag.Int64("seed", 1, "simulation seed")
@@ -114,7 +120,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	collectiveBlock := &scenario.Collective{
+		Algorithm:    *colAlg,
+		Participants: *colRanks,
+		Iterations:   *colIters,
+		MessageFlits: *colFlits,
+	}
+
 	flagScenario := func() scenario.Scenario {
+		if *trafficKind == "collective" {
+			// Collectives are closed-loop and start at cycle 0; the
+			// scenario layer rejects a warm-up window for them.
+			*warmup = 0
+		}
 		sc := scenario.Scenario{
 			Arch:        *archName,
 			Warmup:      *warmup,
@@ -127,7 +145,7 @@ func main() {
 			SpecSA:      *spec,
 			LookaheadRC: *lookahead,
 			MatrixArb:   *matrixArb,
-			Traffic:     trafficFromFlags(*trafficKind, *rate, *short, *workload, *traceFile, *hotFrac, *measure),
+			Traffic:     trafficFromFlags(*trafficKind, *rate, *short, *workload, *traceFile, *hotFrac, *measure, collectiveBlock),
 		}
 		sc.Chips = chipsBlock
 		if *trace != "" || *series != "" || *attrib != "" || *obsWindow > 0 {
@@ -195,6 +213,12 @@ func main() {
 
 	r := e.Sim.Run(ctx)
 	report(d, r, exp.NetworkPowerW(d, r, *shutdown))
+	if e.Collective != nil {
+		fmt.Print(e.Collective.Summary().String())
+		if *colSteps {
+			fmt.Print(e.Collective.StepTable().String())
+		}
+	}
 
 	if e.Obs != nil {
 		if err := finishObs(e.Obs, traceOut, *trace, *series, *attrib); err != nil {
@@ -289,7 +313,7 @@ func parseChips(chips, d2d string) (*scenario.Chips, error) {
 // trafficFromFlags assembles the traffic description for one kind,
 // carrying over only the flags that kind consumes so the dumped scenario
 // JSON stays minimal.
-func trafficFromFlags(kind string, rate, short float64, workload, traceFile string, hotFrac float64, measure int64) scenario.Traffic {
+func trafficFromFlags(kind string, rate, short float64, workload, traceFile string, hotFrac float64, measure int64, col *scenario.Collective) scenario.Traffic {
 	t := scenario.Traffic{Kind: kind}
 	switch kind {
 	case "ur", "nuca":
@@ -305,6 +329,8 @@ func trafficFromFlags(kind string, rate, short float64, workload, traceFile stri
 		t.TraceCycles = measure
 	case "replay":
 		t.TraceFile = traceFile
+	case "collective":
+		t.Collective = col
 	}
 	return t
 }

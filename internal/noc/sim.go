@@ -129,6 +129,15 @@ type Sim struct {
 	// per cycle.
 	OnCycle func(cycle int64)
 
+	// OnEject, when non-nil, is invoked for every ejected packet —
+	// measured or not — before Run's own accounting. Closed-loop
+	// generators (internal/collective) hook here to observe deliveries
+	// and unlock causally-dependent sends; under sharded stepping the
+	// network replays ejections in canonical router order, so the hook
+	// sees a deterministic sequence at any shard count. The callback
+	// must not retain the packet past the call.
+	OnEject func(pkt *Packet)
+
 	rng *rand.Rand
 	ran bool
 
@@ -179,6 +188,9 @@ func (s *Sim) Run(ctx context.Context) Result {
 
 	var classLat, classHops [NumClasses]float64
 	s.Net.SetEjectHandler(func(pkt *Packet) {
+		if s.OnEject != nil {
+			s.OnEject(pkt)
+		}
 		if !pkt.Measured {
 			return
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mira/internal/cmp"
+	"mira/internal/collective"
 	"mira/internal/core"
 	"mira/internal/noc"
 	"mira/internal/obs"
@@ -28,6 +29,10 @@ type Elaboration struct {
 	// Trace and Stats are populated by the trace-backed traffic kinds.
 	Trace *traffic.Trace
 	Stats cmp.Stats
+	// Collective is the closed-loop dependency engine ("collective"
+	// traffic), already wired to the Sim's delivery callback; read its
+	// Summary/StepTable/Report after the run.
+	Collective *collective.Engine
 	// Obs is the attached observability collector, present iff the
 	// scenario carries an Observe block. Callers that want a flit-event
 	// trace call Obs.SetTraceWriter before running and Obs.Close after.
@@ -147,15 +152,20 @@ func (s Scenario) Elaborate() (*Elaboration, error) {
 	net := noc.NewNetwork(cfg)
 	sim := noc.NewSim(net, built.Gen)
 	sim.Params = noc.SimParams{Warmup: s.Warmup, Measure: s.Measure, DrainMax: s.Drain}
+	if built.Collective != nil {
+		// Closed-loop traffic: deliveries unlock dependent sends.
+		sim.OnEject = built.Collective.OnDeliver
+	}
 	e := &Elaboration{
-		Scenario: s,
-		Design:   d,
-		Config:   cfg,
-		Net:      net,
-		Gen:      built.Gen,
-		Sim:      sim,
-		Trace:    built.Trace,
-		Stats:    built.Stats,
+		Scenario:   s,
+		Design:     d,
+		Config:     cfg,
+		Net:        net,
+		Gen:        built.Gen,
+		Sim:        sim,
+		Trace:      built.Trace,
+		Stats:      built.Stats,
+		Collective: built.Collective,
 	}
 	if o := s.Observe; o != nil {
 		for _, lists := range [][]int{o.PerVCNodes, o.TraceNodes} {

@@ -51,6 +51,28 @@ type Traffic struct {
 	// Hot lists explicit hotspot node IDs; empty means the chip-centre
 	// default (the four centre nodes of the 6-wide floorplans).
 	Hot []int `json:"hot,omitempty"`
+	// Collective parameterizes the "collective" kind (required for it,
+	// ignored otherwise).
+	Collective *Collective `json:"collective,omitempty"`
+}
+
+// Collective configures the closed-loop collective workload
+// (internal/collective): causally-dependent ring/tree overlays where
+// each participant sends step k+1 only after its step-k message
+// arrives.
+type Collective struct {
+	// Algorithm is "ring-allreduce", "reduce-scatter" or
+	// "tree-broadcast".
+	Algorithm string `json:"algorithm"`
+	// Participants is the rank count; 0 enrolls every node. Ranks are
+	// assigned in snake (boustrophedon) order over the mesh.
+	Participants int `json:"participants,omitempty"`
+	// MessageFlits sizes each collective message (0 = the 4-flit data
+	// packet).
+	MessageFlits int `json:"message_flits,omitempty"`
+	// Iterations runs that many back-to-back collectives (0 = 1); each
+	// starts only after the previous fully completes.
+	Iterations int `json:"iterations,omitempty"`
 }
 
 // Observe configures the observability layer (internal/obs) for a run.

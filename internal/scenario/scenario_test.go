@@ -221,7 +221,7 @@ func TestElaborateDeterminism(t *testing.T) {
 
 func TestTrafficKindsRegistered(t *testing.T) {
 	kinds := TrafficKinds()
-	want := []string{"complement", "hotspot", "nuca", "replay", "tornado", "trace", "transpose", "ur"}
+	want := []string{"collective", "complement", "hotspot", "nuca", "replay", "tornado", "trace", "transpose", "ur"}
 	if !reflect.DeepEqual(kinds, want) {
 		t.Errorf("registered kinds = %v, want %v", kinds, want)
 	}

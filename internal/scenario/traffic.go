@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"mira/internal/cmp"
+	"mira/internal/collective"
 	"mira/internal/core"
 	"mira/internal/noc"
 	"mira/internal/topology"
@@ -25,6 +26,9 @@ type Built struct {
 	Trace *traffic.Trace
 	// Stats carries the CMP generation statistics ("trace" kind only).
 	Stats cmp.Stats
+	// Collective is the closed-loop dependency engine ("collective"
+	// kind only); Elaborate wires its delivery callback to the Sim.
+	Collective *collective.Engine
 }
 
 // Builder constructs one traffic kind. Validate (optional) checks the
@@ -250,6 +254,48 @@ func init() {
 				Trace:  tr,
 				Stats:  st,
 			}, nil
+		},
+	})
+
+	RegisterTraffic("collective", Builder{
+		Validate: func(sc Scenario) error {
+			c := sc.Traffic.Collective
+			if c == nil {
+				return fmt.Errorf("scenario: collective kind needs a traffic.collective block")
+			}
+			if _, err := collective.ParseAlgorithm(c.Algorithm); err != nil {
+				return fmt.Errorf("scenario: %w", err)
+			}
+			if c.Participants < 0 {
+				return fmt.Errorf("scenario: collective participants = %d, need >= 0 (0 = all nodes)", c.Participants)
+			}
+			if c.MessageFlits < 0 {
+				return fmt.Errorf("scenario: collective message_flits = %d, need >= 0 (0 = %d)", c.MessageFlits, core.DataPacketFlits)
+			}
+			if c.Iterations < 0 {
+				return fmt.Errorf("scenario: collective iterations = %d, need >= 0 (0 = 1)", c.Iterations)
+			}
+			if sc.Warmup != 0 {
+				return fmt.Errorf("scenario: collective traffic is closed-loop and starts at cycle 0; set warmup to 0, not %d", sc.Warmup)
+			}
+			return nil
+		},
+		Build: func(sc Scenario, d *core.Design) (Built, error) {
+			c := sc.Traffic.Collective
+			flits := c.MessageFlits
+			if flits == 0 {
+				flits = core.DataPacketFlits
+			}
+			eng, err := collective.New(d.Topo, collective.Params{
+				Algorithm:    collective.Algorithm(c.Algorithm),
+				Participants: c.Participants,
+				MessageFlits: flits,
+				Iterations:   c.Iterations,
+			})
+			if err != nil {
+				return Built{}, err
+			}
+			return Built{Gen: eng, Policy: noc.AnyFree, Collective: eng}, nil
 		},
 	})
 
