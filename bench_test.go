@@ -476,6 +476,33 @@ func BenchmarkStepHighRate(b *testing.B) { benchStep(b, 0.3, noc.StepActivity) }
 // BenchmarkStepHighRate.
 func BenchmarkStepHighRateFullScan(b *testing.B) { benchStep(b, 0.3, noc.StepFullScan) }
 
+// benchStepMeter is benchStep with the engine meter attached or
+// detached, for measuring the engine-telemetry layer's hot-path cost.
+func benchStepMeter(b *testing.B, rate float64, metered bool) {
+	b.Helper()
+	d := core.MustDesign(core.Arch2DB)
+	gen := &traffic.Uniform{Topo: d.Topo, InjectionRate: rate, PacketSize: core.DataPacketFlits}
+	cfg := d.NoCConfig(noc.AnyFree, 1)
+	cfg.Mode = noc.StepActivity
+	net := noc.NewNetwork(cfg)
+	if metered {
+		net.EnableEngineMeter()
+	}
+	runStepBench(b, net, gen)
+}
+
+// BenchmarkStepTelemetryOff is BenchmarkStepHighRate with the engine
+// meter explicitly detached: the telemetry layer's
+// zero-overhead-when-off contract says each metered site pays one nil
+// check, so this must match BenchmarkStepHighRate within noise.
+// scripts/benchguard.sh holds it against the StepHighRate baseline.
+func BenchmarkStepTelemetryOff(b *testing.B) { benchStepMeter(b, 0.3, false) }
+
+// BenchmarkStepTelemetryOn is the attached reference: the step loop
+// with the engine meter collecting per-cycle wall time (two
+// time.Now() calls per sequential cycle).
+func BenchmarkStepTelemetryOn(b *testing.B) { benchStepMeter(b, 0.3, true) }
+
 // benchStepLarge is benchStep on a 16x16 mesh (256 routers, ~7x the
 // 6x6 fabric), pinning that per-cycle cost stays proportional to
 // traffic as the flat state arrays grow. shards > 1 partitions the

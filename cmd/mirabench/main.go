@@ -27,6 +27,10 @@
 // collector vs collector+trace) and prints the comparison; alone it runs
 // just that report. -obswindow N attaches a collector with an N-cycle
 // sample window to every sweep point of the selected experiments.
+// -enginestats attaches engine self-telemetry to every sweep point and
+// logs per-point engine progress (cycles/sec, shard imbalance) to
+// stderr; like -obswindow it is out-of-band and leaves every table
+// byte-identical.
 //
 // Experiments: table1 table2 table3, fig1 fig2 fig3 fig8 fig9 fig10,
 // fig11a-d, fig12a-d, fig13a-c, plus the ablation-* and ext-* studies
@@ -51,6 +55,7 @@ import (
 	"mira/internal/core"
 	"mira/internal/exp"
 	"mira/internal/noc"
+	"mira/internal/obs"
 )
 
 type experiment struct {
@@ -123,6 +128,7 @@ func main() {
 	stepMode := flag.String("stepmode", "activity", "cycle-loop strategy: activity, fullscan or checked; tables are identical for every mode")
 	obsReport := flag.Bool("obs", false, "measure and report observability probe overhead (runs standalone or before the selected experiments)")
 	obsWindow := flag.Int64("obswindow", 0, "attach a collector with this sample window (cycles) to every sweep point; 0 = unobserved")
+	engineStats := flag.Bool("enginestats", false, "attach engine telemetry to every sweep point and log per-point engine progress (cycles/sec, shard imbalance) to stderr; tables are identical either way")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	var logf cli.LogFlags
@@ -154,6 +160,14 @@ func main() {
 	opts.Workers = *workers
 	opts.Shards = *shards
 	opts.ObserveWindow = *obsWindow
+	opts.Engine = *engineStats
+	if *engineStats {
+		// Sweep points run concurrently; labeled slog lines interleave
+		// cleanly where a single rewritten line could not.
+		obs.SetEngineProgressHook(func(p obs.EngineProgress) {
+			slog.Info("engine", "cmd", "mirabench", "point", p.Label, "state", p.String())
+		})
+	}
 	mode, err := noc.ParseStepMode(*stepMode)
 	if err != nil {
 		slog.Error("bad -stepmode", "cmd", "mirabench", "err", err)
@@ -323,7 +337,7 @@ func writeSVG(dir string, tb exp.Table) error {
 func usage() {
 	fmt.Fprintf(os.Stderr, `mirabench regenerates the MIRA paper's tables and figures.
 
-usage: mirabench [-quick] [-seed N] [-workers N] [-shards N] [-stepmode MODE] [-progress] [-timing FILE] [-cpuprofile FILE] [-memprofile FILE] [-obs] [-obswindow N] <experiment>... | all | list
+usage: mirabench [-quick] [-seed N] [-workers N] [-shards N] [-stepmode MODE] [-progress] [-timing FILE] [-cpuprofile FILE] [-memprofile FILE] [-obs] [-obswindow N] [-enginestats] <experiment>... | all | list
 `)
 	flag.PrintDefaults()
 }

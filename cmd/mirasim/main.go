@@ -26,6 +26,15 @@
 // collector (internal/obs) and prints a latency-percentile digest after
 // the run. A scenario file may request the same via its "observe" block.
 //
+// -progress renders a live engine-telemetry line on stderr (cycles/sec,
+// ETA, shard imbalance), -enginestats prints the end-of-run engine
+// table (per-shard wall time, pool utilization, runtime stats) on
+// stderr, and -enginejson FILE stores the sampled engine series for
+// offline rendering ("miratrace spans -engine"). All three are host
+// wall-clock introspection of the simulator itself and are strictly
+// out-of-band: simulated results are bit-identical with or without
+// them.
+//
 // -serve ADDR runs the batch (or the single flag-described scenario)
 // under a net/http server while it executes: hand-rolled Prometheus text
 // exposition of every run's metric registry at /metrics, run progress
@@ -96,6 +105,9 @@ func main() {
 	series := flag.String("series", "", "write the sampled observability time series to this CSV file")
 	attrib := flag.String("attrib", "", "write the span latency-attribution table to this CSV file")
 	obsWindow := flag.Int64("obswindow", 0, "observability sample window in cycles (0 = default 1000; enables observation with -trace/-series/-attrib)")
+	progress := flag.Bool("progress", false, "live engine progress on stderr (cycles/sec, ETA, shard imbalance); enables engine telemetry")
+	engineStats := flag.Bool("enginestats", false, "print the end-of-run engine telemetry table (per-shard wall time, pool utilization) on stderr; enables engine telemetry")
+	engineJSON := flag.String("enginejson", "", "write the engine telemetry series as JSON to this file (see miratrace spans -engine); enables engine telemetry")
 	dump := flag.Bool("dump", false, "print the scenario JSON for these flags and exit without running")
 	scenarioFile := flag.String("scenario", "", "run a JSON scenario (or array of scenarios) from this file ('-' for stdin) and print JSON results")
 	workers := flag.Int("workers", 0, "batch worker goroutines for -scenario (0 = all CPUs)")
@@ -151,7 +163,27 @@ func main() {
 		if *trace != "" || *series != "" || *attrib != "" || *obsWindow > 0 {
 			sc.Observe = &scenario.Observe{Window: *obsWindow, Spans: *attrib != ""}
 		}
+		if *progress || *engineStats || *engineJSON != "" {
+			if sc.Observe == nil {
+				sc.Observe = &scenario.Observe{}
+			}
+			sc.Observe.Engine = true
+		}
 		return sc
+	}
+
+	if *progress {
+		if *scenarioFile != "" || *serveAddr != "" {
+			// Batch runs execute concurrently; interleave labeled lines
+			// through the structured log instead of rewriting one line.
+			obs.SetEngineProgressHook(func(p obs.EngineProgress) {
+				slog.Info("progress", "cmd", "mirasim", "run", p.Label, "state", p.String())
+			})
+		} else {
+			obs.SetEngineProgressHook(func(p obs.EngineProgress) {
+				fmt.Fprintf(os.Stderr, "\r\x1b[K%s", p.String())
+			})
+		}
 	}
 
 	if *serveAddr != "" {
@@ -224,7 +256,39 @@ func main() {
 		if err := finishObs(e.Obs, traceOut, *trace, *series, *attrib); err != nil {
 			cli.Fatal("mirasim", err)
 		}
+		if *progress {
+			fmt.Fprintln(os.Stderr) // terminate the \r progress line
+		}
+		if ec := e.Obs.Engine(); ec != nil {
+			if *engineStats {
+				fmt.Fprint(os.Stderr, ec.Table().String())
+			}
+			if *engineJSON != "" {
+				if err := writeEngineJSON(ec, *engineJSON); err != nil {
+					cli.Fatal("mirasim", err)
+				}
+				fmt.Printf("engine       : telemetry series -> %s\n", *engineJSON)
+			}
+		}
 	}
+}
+
+// writeEngineJSON stores the engine telemetry series (windows, final
+// meter snapshot, runtime stats) for offline rendering: miratrace spans
+// -engine pairs it with the flit spans of the same run.
+func writeEngineJSON(ec *obs.EngineCollector, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("enginejson: %w", err)
+	}
+	if err := ec.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("enginejson: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("enginejson %s: %w", path, err)
+	}
+	return nil
 }
 
 // finishObs flushes and closes the trace, writes the series and

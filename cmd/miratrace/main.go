@@ -34,9 +34,13 @@
 // measured network latency). -perfetto exports the spans as a Chrome
 // trace-event JSON file — open it in Perfetto (ui.perfetto.dev) or
 // chrome://tracing; each router is a process track and concurrent flit
-// visits occupy separate lanes. -heatmap writes the per-router,
-// per-window congestion matrix (stalled-flit cycles) as CSV, -svg as a
-// rendered heatmap.
+// visits occupy separate lanes. -engine FILE additionally renders an
+// engine telemetry series (mirasim -enginejson) as counter tracks —
+// per-shard busy time per cycle, cycles/sec, shard imbalance — on a
+// dedicated process in the same export, timestamped by simulated cycle
+// so host-side shard cost lines up under the flit activity that caused
+// it. -heatmap writes the per-router, per-window congestion matrix
+// (stalled-flit cycles) as CSV, -svg as a rendered heatmap.
 //
 // Diagnostics go to stderr as log/slog structured logs (-loglevel,
 // -logjson after the subcommand); result output stays on stdout.
@@ -98,7 +102,7 @@ func usage() {
   miratrace stat FILE
   miratrace replay [-arch 2DB] [-measure N] FILE
   miratrace flits [-json] FILE.jsonl
-  miratrace spans [-group G] [-json] [-perfetto F] [-heatmap F] [-svg F] FILE.jsonl`)
+  miratrace spans [-group G] [-json] [-perfetto F] [-engine F] [-heatmap F] [-svg F] FILE.jsonl`)
 }
 
 // parseWithLogging parses fs with the standard logging flags registered
@@ -284,6 +288,7 @@ func cmdSpans(args []string) error {
 	group := fs.String("group", "", "print a single grouping (router, class, hops, layers) instead of the combined table")
 	asJSON := fs.Bool("json", false, "emit the attribution table as JSON")
 	perfetto := fs.String("perfetto", "", "write the spans as Chrome trace-event / Perfetto JSON to this file")
+	engine := fs.String("engine", "", "engine telemetry JSON (mirasim -enginejson) to render as counter tracks alongside the spans in the -perfetto export")
 	heatmap := fs.String("heatmap", "", "write the per-router congestion heatmap as CSV to this file")
 	svgOut := fs.String("svg", "", "write the congestion heatmap as SVG to this file")
 	window := fs.Int64("window", 1000, "congestion heatmap column width in cycles")
@@ -316,9 +321,27 @@ func cmdSpans(args []string) error {
 		fmt.Print(tbl.String())
 	}
 
+	if *engine != "" && *perfetto == "" {
+		return fmt.Errorf("-engine needs -perfetto (engine tracks render into the trace-event export)")
+	}
 	if *perfetto != "" {
+		doc := obs.PerfettoDoc(spans)
+		if *engine != "" {
+			ef, err := os.Open(*engine)
+			if err != nil {
+				return fmt.Errorf("engine: %w", err)
+			}
+			es, err := obs.ReadEngineSeries(ef)
+			ef.Close()
+			if err != nil {
+				return fmt.Errorf("engine %s: %w", *engine, err)
+			}
+			doc.AppendEngineTrack(es)
+			slog.Info("engine track appended", "file", *engine,
+				"windows", len(es.Windows), "shards", es.Shards)
+		}
 		if err := writeFileWith(*perfetto, func(f *os.File) error {
-			return obs.WritePerfetto(f, spans)
+			return obs.WriteTraceDoc(f, doc)
 		}); err != nil {
 			return fmt.Errorf("perfetto: %w", err)
 		}

@@ -51,6 +51,11 @@ type Options struct {
 	// (internal/obs). Zero leaves scenarios unobserved; results are
 	// identical either way, observation only adds visibility.
 	ObserveWindow int64
+	// Engine attaches engine self-telemetry (obs.EngineCollector) to
+	// every scenario the options produce: per-shard wall-time, pool
+	// utilization, cycles/sec with ETA (mirabench -enginestats). Like
+	// ObserveWindow, strictly out-of-band — results are bit-identical.
+	Engine bool
 }
 
 // Default returns the full-size experiment windows.
@@ -81,6 +86,12 @@ func (o Options) Scenario(a core.Arch) scenario.Scenario {
 	}
 	if o.ObserveWindow > 0 {
 		sc.Observe = &scenario.Observe{Window: o.ObserveWindow}
+	}
+	if o.Engine {
+		if sc.Observe == nil {
+			sc.Observe = &scenario.Observe{}
+		}
+		sc.Observe.Engine = true
 	}
 	return sc
 }

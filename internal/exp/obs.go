@@ -34,6 +34,9 @@ func ObservedPoint(label string, mk func(o Options) scenario.Scenario) Point[Obs
 		res := e.Sim.Run(ctx)
 		ob := Observed{Result: res}
 		if e.Obs != nil {
+			if err := e.Obs.Close(); err != nil {
+				panic(err)
+			}
 			ob.Summary = e.Obs.Summary()
 		}
 		return ob

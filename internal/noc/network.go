@@ -120,6 +120,12 @@ type Network struct {
 	// emission sites go through the per-shard buffering sinks instead;
 	// SetProbe keeps both in sync.
 	probe Probe
+
+	// meter, when non-nil, accumulates engine self-telemetry — per-shard
+	// wall time per cycle phase, boundary-mailbox crossing counts — with
+	// the same one-branch-when-detached contract as probe (see
+	// enginemeter.go).
+	meter *EngineMeter
 }
 
 // NewNetwork builds a network from cfg. It panics on invalid
@@ -362,6 +368,10 @@ func (n *Network) Step() {
 	n.cycle++
 	if len(n.shards) > 1 {
 		n.stepSharded()
+		return
+	}
+	if m := n.meter; m != nil {
+		n.stepSeqMetered(m)
 		return
 	}
 	n.stepSeq()

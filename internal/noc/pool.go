@@ -1,6 +1,9 @@
 package noc
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // shardPool is the persistent worker pool behind sharded stepping. The
 // original sharded step (PR 7) spawned one goroutine per shard per
@@ -46,13 +49,25 @@ func newShardPool(n *Network) *shardPool {
 
 // runShardCycle runs one shard's cycle, capturing a panic for the
 // serial epilogue to re-raise (a worker must never die: the pool would
-// deadlock on the next cycle's barrier).
+// deadlock on the next cycle's barrier). With an engine meter attached
+// it brackets the cycle with wall-clock reads; the scratch results are
+// folded into the meter's atomics by the post-barrier epilogue
+// (stepSharded), which the WaitGroup join orders after these writes.
 func (n *Network) runShardCycle(sh *shardState) {
 	defer func() {
 		if r := recover(); r != nil {
 			sh.panicked = r
 		}
 	}()
+	if n.meter != nil {
+		sh.meterT0 = time.Now()
+		sh.meterDrainNs = 0
+		n.shardCycle(sh)
+		end := time.Now()
+		sh.meterEnd = end
+		sh.meterBusyNs = end.Sub(sh.meterT0).Nanoseconds()
+		return
+	}
 	n.shardCycle(sh)
 }
 

@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 	"sort"
+	"time"
 	"unsafe"
 
 	"mira/internal/topology"
@@ -222,6 +223,15 @@ type shardState struct {
 	// send phase, for the serial epilogue's eject callbacks.
 	ejOut [2][]*Packet
 
+	// Engine-meter scratch (enginemeter.go): the shard's worker writes
+	// these during its cycle, the serial epilogue reads them after the
+	// barrier — the WaitGroup join provides the happens-before edge, so
+	// no atomics are needed. Unused (stale) when no meter is attached.
+	meterT0      time.Time
+	meterEnd     time.Time
+	meterBusyNs  int64
+	meterDrainNs int64
+
 	panicked any
 }
 
@@ -278,15 +288,41 @@ func (n *Network) stepSharded() {
 		p = newShardPool(n)
 		n.pool = p
 	}
+	meter := n.meter
+	var t0 time.Time
+	if meter != nil {
+		t0 = time.Now()
+	}
 	p.wg.Add(len(p.work))
 	for _, ch := range p.work {
 		ch <- struct{}{}
 	}
 	p.wg.Wait()
+	var barrierEnd time.Time
+	if meter != nil {
+		barrierEnd = time.Now()
+	}
 	for i := range n.shards {
 		if p := n.shards[i].panicked; p != nil {
 			n.shards[i].panicked = nil
 			panic(p)
+		}
+	}
+	if meter != nil {
+		// Fold the workers' scratch timings into the meter totals. The
+		// per-shard barrier wait is the gap between that shard finishing
+		// its cycle and the last shard finishing (= the join returning):
+		// the signature of imbalance, since every early finisher burns it
+		// parked.
+		for i := range n.shards {
+			sh := &n.shards[i]
+			ms := &meter.shards[i]
+			ms.busyNs.Add(sh.meterBusyNs)
+			ms.drainNs.Add(sh.meterDrainNs)
+			if w := barrierEnd.Sub(sh.meterEnd).Nanoseconds(); w > 0 {
+				ms.barrierNs.Add(w)
+			}
+			ms.cycles.Add(1)
 		}
 	}
 	n.drainShardOutputs()
@@ -294,6 +330,10 @@ func (n *Network) stepSharded() {
 		if err := n.CheckInvariants(); err != nil {
 			panic(fmt.Sprintf("noc: checked step failed at cycle %d: %v", n.cycle, err))
 		}
+	}
+	if meter != nil {
+		meter.stepNs.Add(time.Since(t0).Nanoseconds())
+		meter.cycles.Add(1)
 	}
 }
 
@@ -325,6 +365,9 @@ func (n *Network) shardCycle(sh *shardState) {
 		}
 		mcreds := n.mail[s][sh.idx].cred[slot]
 		n.mail[s][sh.idx].cred[slot] = mcreds[:0]
+		if n.meter != nil && len(mcreds) > 0 {
+			n.meter.cross[s*len(n.shards)+int(sh.idx)].credits.Add(int64(len(mcreds)))
+		}
 		for _, ci := range mcreds {
 			n.soa.credits[ci]++
 			if n.soa.credits[ci] > depth {
@@ -374,6 +417,9 @@ func (n *Network) shardCycle(sh *shardState) {
 			m := &n.mail[s][sh.idx]
 			xs := m.ev[p][slot]
 			m.ev[p][slot] = xs[:0]
+			if n.meter != nil && len(xs) > 0 {
+				n.meter.cross[s*len(n.shards)+int(sh.idx)].flits.Add(int64(len(xs)))
+			}
 			for k := range xs {
 				x := &xs[k]
 				if observed {
@@ -384,6 +430,9 @@ func (n *Network) shardCycle(sh *shardState) {
 		}
 	}
 	sh.ejRing[slot] = sh.ejRing[slot][:0]
+	if n.meter != nil {
+		sh.meterDrainNs = time.Since(sh.meterT0).Nanoseconds()
+	}
 
 	// Injection and the pipeline stages over this shard's routers, in
 	// the same reverse-stage order as sequential stepping. The send

@@ -25,6 +25,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"time"
 
 	"mira/internal/noc"
 	"mira/internal/stats"
@@ -52,6 +53,15 @@ type Config struct {
 	// aggregate (see SpanBuilder). Costs memory proportional to the
 	// completed flit count.
 	Spans bool
+	// Engine enables engine self-telemetry (engine.go): a wall-clock
+	// ticker sampling per-shard step timings, throughput and Go runtime
+	// stats. Strictly out-of-band — simulated results are bit-identical
+	// with it on or off. EngineInterval overrides the ticker period
+	// (0 = DefaultEngineInterval); EngineLabel tags progress lines and
+	// series from this run.
+	Engine         bool
+	EngineInterval time.Duration
+	EngineLabel    string
 }
 
 // LatencyStats are per-flit and per-packet latency statistics derived
@@ -213,6 +223,7 @@ type Collector struct {
 	sampler *Sampler
 	tw      *TraceWriter
 	spans   *SpanBuilder
+	engine  *EngineCollector
 	cfg     Config
 
 	counts    [noc.NumProbeKinds]int64
@@ -245,11 +256,20 @@ func (c *Collector) SetTraceWriter(w io.Writer) *TraceWriter {
 }
 
 // Attach installs the collector on the simulation: probe events from
-// the network and the sampler on the per-cycle hook.
+// the network and the sampler on the per-cycle hook. With Config.Engine
+// set it also attaches the engine meter and starts the telemetry ticker
+// (stopped by Close).
 func (c *Collector) Attach(sim *noc.Sim) {
 	sim.Net.SetProbe(c)
 	sim.OnCycle = c.OnCycle
+	if c.cfg.Engine && c.engine == nil {
+		c.engine = newEngineCollector(sim, c.cfg)
+	}
 }
+
+// Engine returns the engine telemetry collector, or nil when
+// Config.Engine is off (or Attach has not run).
+func (c *Collector) Engine() *EngineCollector { return c.engine }
 
 // ProbeEvent implements noc.Probe.
 func (c *Collector) ProbeEvent(ev noc.ProbeEvent) {
@@ -281,9 +301,13 @@ func (c *Collector) Finish() {
 	c.sampler.Final(c.lastCycle)
 }
 
-// Close finishes sampling and flushes the trace writer, if any.
+// Close finishes sampling, stops the engine telemetry ticker and
+// flushes the trace writer, if any.
 func (c *Collector) Close() error {
 	c.Finish()
+	if c.engine != nil {
+		c.engine.Close()
+	}
 	if c.tw == nil {
 		return nil
 	}

@@ -122,9 +122,13 @@ func stageSlices(v routerVisit) []stageSlice {
 
 // WritePerfetto renders spans as Chrome trace-event JSON on w.
 func WritePerfetto(w io.Writer, spans []FlitSpan) error {
-	doc := PerfettoDoc(spans)
-	enc := json.NewEncoder(w)
-	return enc.Encode(doc)
+	return WriteTraceDoc(w, PerfettoDoc(spans))
+}
+
+// WriteTraceDoc encodes a caller-assembled trace-event document on w
+// (e.g. PerfettoDoc output after AppendEngineTrack).
+func WriteTraceDoc(w io.Writer, doc TraceDoc) error {
+	return json.NewEncoder(w).Encode(doc)
 }
 
 // PerfettoDoc builds the trace-event document for a set of spans.
@@ -190,6 +194,58 @@ func PerfettoDoc(spans []FlitSpan) TraceDoc {
 		}
 	}
 	return doc
+}
+
+// enginePID is the trace-event process ID of the engine telemetry
+// track — far above any router ID so the "engine (host)" process never
+// collides with a router process.
+const enginePID = 1 << 20
+
+// EngineTrackEvents renders an engine telemetry series as Chrome
+// trace-event counter ("C") tracks on a dedicated engine process:
+// per-shard busy microseconds per simulated cycle and the smoothed
+// cycles/sec, each sampled at the simulated cycle the ticker observed.
+// Because the timestamps are simulated cycles (= microseconds, the same
+// axis PerfettoDoc uses for flit spans), the engine tracks line up
+// under the router tracks of the same run — shard wall-time renders
+// alongside the flit activity that caused it.
+func EngineTrackEvents(es EngineSeries) []TraceEvent {
+	if len(es.Windows) == 0 {
+		return nil
+	}
+	out := []TraceEvent{
+		{Name: "process_name", Phase: "M", PID: enginePID,
+			Args: map[string]any{"name": "engine (host wall-time)"}},
+		{Name: "process_sort_index", Phase: "M", PID: enginePID,
+			Args: map[string]any{"sort_index": enginePID}},
+	}
+	for _, w := range es.Windows {
+		if w.Cycles <= 0 {
+			continue
+		}
+		busy := map[string]any{}
+		for s, ns := range w.ShardBusyNs {
+			// Busy wall time per simulated cycle, in microseconds: the
+			// per-shard cost of stepping one cycle during this window.
+			busy[fmt.Sprintf("shard%d", s)] = float64(ns) / 1e3 / float64(w.Cycles)
+		}
+		out = append(out,
+			TraceEvent{Name: "shard busy us/cycle", Phase: "C", TS: w.Cycle, PID: enginePID, Args: busy},
+			TraceEvent{Name: "cycles/sec", Phase: "C", TS: w.Cycle, PID: enginePID,
+				Args: map[string]any{"rate": w.Rate}},
+		)
+		if w.Imbalance > 0 {
+			out = append(out, TraceEvent{Name: "shard imbalance", Phase: "C", TS: w.Cycle, PID: enginePID,
+				Args: map[string]any{"ratio": w.Imbalance}})
+		}
+	}
+	return out
+}
+
+// AppendEngineTrack appends the engine telemetry tracks to an existing
+// trace document (miratrace spans -engine).
+func (d *TraceDoc) AppendEngineTrack(es EngineSeries) {
+	d.TraceEvents = append(d.TraceEvents, EngineTrackEvents(es)...)
 }
 
 // CongestionHeatmap aggregates spans into a per-router stall-cycle

@@ -108,9 +108,73 @@ func (s PromSample) labelKey() string {
 	return sb.String()
 }
 
+// promHelp holds the HELP text of every first-class family. Families
+// not listed (e.g. ablation-specific gauges that map through the
+// generic name path) fall back to a generated line, so the exposition
+// lint's every-family-has-HELP invariant holds regardless.
+var promHelp = map[string]string{
+	"mira_net_occ":           "Flits buffered in routers at the sample window boundary.",
+	"mira_net_backlog":       "Total backlog (queued + in-flight flits) at the window boundary.",
+	"mira_net_credit_stalls": "Credit-stall events during the sample window.",
+	"mira_net_link_flits":    "Flits crossing inter-router links during the sample window.",
+	"mira_net_express_flits": "Flits carried by express channels during the sample window.",
+	"mira_net_vertical_flits": "Flits crossing vertical (inter-die) links during the sample " +
+		"window.",
+	"mira_net_active_layers": "Mean datapath layers awake per crossbar traversal during the " +
+		"window.",
+	"mira_router_occ":           "Per-router buffered flits at the window boundary.",
+	"mira_router_credit_stalls": "Per-router credit-stall events during the sample window.",
+	"mira_router_vc_occ":        "Per-VC buffered flits at the window boundary.",
+	"mira_run_cycle":            "Latest sampled simulation cycle of the run.",
+	"mira_runs":                 "Batch runs by state.",
+
+	"mira_engine_cycles_total":      "Simulated cycles stepped by the engine.",
+	"mira_engine_cycles_per_second": "EMA-smoothed engine throughput in simulated cycles per wall second.",
+	"mira_engine_eta_seconds":       "Estimated wall seconds until the measurement window completes (0 = draining or done).",
+	"mira_engine_shard_busy_seconds": "Wall time the shard's worker spent stepping its routers " +
+		"(drain + inject + pipeline stages).",
+	"mira_engine_shard_drain_seconds":   "Wall time the shard spent in the delivery/mailbox-drain phase.",
+	"mira_engine_shard_barrier_seconds": "Wall time the shard spent parked at the cycle barrier waiting for slower shards.",
+	"mira_engine_shard_imbalance_ratio": "Max/mean per-shard busy time; 1.0 is perfectly balanced.",
+	"mira_engine_mailbox_flits_total":   "Flits drained from the (src,dst) boundary mailbox.",
+	"mira_engine_mailbox_credits_total": "Credits drained from the (src,dst) boundary mailbox.",
+	"mira_engine_pool_workers":          "Shard worker pool size (1 = sequential stepping).",
+	"mira_engine_pool_utilization":      "Fraction of pool capacity spent doing shard work (busy / (workers x step wall time)).",
+	"mira_engine_heap_bytes":            "Go heap in use (runtime.MemStats.HeapAlloc).",
+	"mira_engine_goroutines":            "Live goroutines in the simulator process.",
+	"mira_engine_gc_total":              "Completed garbage-collection cycles.",
+	"mira_engine_gc_pause_seconds_total": "Cumulative stop-the-world garbage-collection pause " +
+		"time.",
+}
+
+// promCounterFamily marks cumulative families that do not carry the
+// conventional _total suffix (per-shard wall-time totals keep the name
+// the dashboards read naturally).
+var promCounterFamily = map[string]bool{
+	"mira_engine_shard_busy_seconds":    true,
+	"mira_engine_shard_drain_seconds":   true,
+	"mira_engine_shard_barrier_seconds": true,
+}
+
+// promFamilyMeta returns the TYPE and HELP line content for a family:
+// counters are the _total-suffixed families plus the explicit counter
+// set; everything else is a gauge (sampled levels and per-window
+// deltas).
+func promFamilyMeta(f string) (typ, help string) {
+	typ = "gauge"
+	if strings.HasSuffix(f, "_total") || promCounterFamily[f] {
+		typ = "counter"
+	}
+	help, ok := promHelp[f]
+	if !ok {
+		help = "MIRA simulator metric " + f + "."
+	}
+	return typ, help
+}
+
 // WriteProm renders samples in the prometheus text exposition format:
-// families sorted by name, each led by a # TYPE line, samples within a
-// family sorted by labels.
+// families sorted by name, each led by # HELP and # TYPE lines, samples
+// within a family sorted by labels.
 func WriteProm(w io.Writer, samples []PromSample) error {
 	byFamily := map[string][]PromSample{}
 	for _, s := range samples {
@@ -122,7 +186,8 @@ func WriteProm(w io.Writer, samples []PromSample) error {
 	}
 	sort.Strings(families)
 	for _, f := range families {
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", f); err != nil {
+		typ, help := promFamilyMeta(f)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f, help, f, typ); err != nil {
 			return err
 		}
 		fam := byFamily[f]

@@ -2,8 +2,11 @@ package obs
 
 import (
 	"context"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"mira/internal/noc"
 	"mira/internal/traffic"
@@ -37,9 +40,84 @@ func TestPromNameMapping(t *testing.T) {
 	}
 }
 
-// TestPromExposition renders a live sampler row and checks the text
-// format: every line is a TYPE comment or name{labels} value, families
-// are sorted and typed, and extra labels are attached.
+// promLabelRe matches one label pair inside a sample's label block.
+var promLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"$`)
+
+// lintPromExposition is a hand-rolled promtool-style check of the text
+// exposition format, line by line: every family opens with a # HELP
+// line immediately followed by its # TYPE line (gauge or counter),
+// families are sorted, every sample line parses as name{labels} value
+// with a float value and well-formed labels, samples sit inside their
+// family's block, and no family is empty. Returns family -> type.
+func lintPromExposition(t *testing.T, text string) map[string]string {
+	t.Helper()
+	types := map[string]string{}
+	samples := map[string]int{}
+	lastFamily, current := "", ""
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	for i := 0; i < len(lines); i++ {
+		line := lines[i]
+		if help, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, desc, ok := strings.Cut(help, " ")
+			if !ok || strings.TrimSpace(desc) == "" {
+				t.Fatalf("HELP line without text: %q", line)
+			}
+			if name <= lastFamily {
+				t.Fatalf("families not sorted: %q after %q", name, lastFamily)
+			}
+			lastFamily = name
+			if i+1 >= len(lines) || !strings.HasPrefix(lines[i+1], "# TYPE "+name+" ") {
+				t.Fatalf("HELP for %s not immediately followed by its TYPE line", name)
+			}
+			f := strings.Fields(lines[i+1])
+			if len(f) != 4 || (f[3] != "gauge" && f[3] != "counter") {
+				t.Fatalf("malformed TYPE line %q", lines[i+1])
+			}
+			types[name] = f[3]
+			current = name
+			i++
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unexpected comment line %q", line)
+		}
+		name, valstr := line, ""
+		if j := strings.IndexByte(line, '{'); j >= 0 {
+			k := strings.IndexByte(line, '}')
+			if k < j || k+1 >= len(line) || line[k+1] != ' ' {
+				t.Fatalf("malformed label block in %q", line)
+			}
+			for _, l := range strings.Split(line[j+1:k], ",") {
+				if !promLabelRe.MatchString(l) {
+					t.Fatalf("malformed label %q in %q", l, line)
+				}
+			}
+			name, valstr = line[:j], line[k+2:]
+		} else {
+			var ok bool
+			name, valstr, ok = strings.Cut(line, " ")
+			if !ok {
+				t.Fatalf("malformed sample line %q", line)
+			}
+		}
+		if _, err := strconv.ParseFloat(valstr, 64); err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		if name != current {
+			t.Fatalf("sample %q outside its family block (current %q)", line, current)
+		}
+		samples[name]++
+	}
+	for f := range types {
+		if samples[f] == 0 {
+			t.Fatalf("family %s declared but has no samples", f)
+		}
+	}
+	return types
+}
+
+// TestPromExposition renders a live sampler row and lints the text
+// format end to end; extra labels must land on every sample.
 func TestPromExposition(t *testing.T) {
 	nc := testConfig()
 	net := noc.NewNetwork(nc)
@@ -62,45 +140,15 @@ func TestPromExposition(t *testing.T) {
 		t.Fatalf("WriteProm: %v", err)
 	}
 	text := sb.String()
-	if !strings.Contains(text, "# TYPE mira_net_occ gauge\n") {
-		t.Errorf("missing TYPE line:\n%s", text)
+	types := lintPromExposition(t, text)
+	if types["mira_net_occ"] != "gauge" {
+		t.Errorf("mira_net_occ type %q, want gauge", types["mira_net_occ"])
 	}
 	if !strings.Contains(text, `mira_router_vc_occ{run="0",router="5",port="0",vc="0"} `) {
 		t.Errorf("missing per-VC sample:\n%s", text)
 	}
-	typed := map[string]bool{}
-	lastFamily := ""
 	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
-		if strings.HasPrefix(line, "# TYPE ") {
-			fields := strings.Fields(line)
-			if len(fields) != 4 || fields[3] != "gauge" {
-				t.Fatalf("malformed TYPE line %q", line)
-			}
-			if fields[2] <= lastFamily {
-				t.Fatalf("families not sorted: %q after %q", fields[2], lastFamily)
-			}
-			lastFamily = fields[2]
-			typed[fields[2]] = true
-			continue
-		}
-		name, rest, found := strings.Cut(line, " ")
-		if !found {
-			name, rest, found = strings.Cut(line, "{")
-			_ = rest
-			if !found {
-				t.Fatalf("malformed sample line %q", line)
-			}
-		}
-		if i := strings.IndexByte(name, '{'); i >= 0 {
-			if !strings.HasSuffix(name, "}") {
-				t.Fatalf("malformed label block in %q", line)
-			}
-			name = name[:i]
-		}
-		if !typed[name] {
-			t.Fatalf("sample %q before its TYPE line", line)
-		}
-		if !strings.Contains(line, `run="0"`) {
+		if !strings.HasPrefix(line, "#") && !strings.Contains(line, `run="0"`) {
 			t.Fatalf("sample %q missing extra label", line)
 		}
 	}
@@ -112,6 +160,63 @@ func TestPromExposition(t *testing.T) {
 	}
 	if sb2.String() != text {
 		t.Error("exposition not deterministic")
+	}
+}
+
+// TestPromEngineExpositionLint is the golden exposition check over the
+// full family set: the existing network/router gauges plus the
+// mira_engine_* families from a sharded engine-telemetry run, rendered
+// together the way /metrics serves them, must pass the promtool-style
+// lint, and the engine counters must be typed counter.
+func TestPromEngineExpositionLint(t *testing.T) {
+	nc := testConfig()
+	nc.Shards = 4
+	net := noc.NewNetwork(nc)
+	c := New(net, Config{Window: 100, Engine: true, EngineInterval: 5 * time.Millisecond})
+	sim := noc.NewSim(net, &traffic.Uniform{Topo: nc.Topo, InjectionRate: 0.1, PacketSize: 4})
+	sim.Params = noc.SimParams{Warmup: 0, Measure: 2000, DrainMax: 3000}
+	c.Attach(sim)
+	sim.Run(context.Background())
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Engine() == nil {
+		t.Fatal("Config.Engine did not attach an engine collector")
+	}
+
+	_, row, ok := c.Sampler().Latest()
+	if !ok {
+		t.Fatal("no samples")
+	}
+	extra := [][2]string{{"run", "0"}}
+	samples := PromSamples(c.Registry().Names(), row, extra)
+	samples = append(samples, c.Engine().PromSamples(extra)...)
+	var sb strings.Builder
+	if err := WriteProm(&sb, samples); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	types := lintPromExposition(t, sb.String())
+	wantCounter := []string{
+		"mira_engine_cycles_total", "mira_engine_shard_busy_seconds",
+		"mira_engine_shard_drain_seconds", "mira_engine_shard_barrier_seconds",
+		"mira_engine_mailbox_flits_total", "mira_engine_mailbox_credits_total",
+		"mira_engine_gc_total", "mira_engine_gc_pause_seconds_total",
+	}
+	for _, f := range wantCounter {
+		if types[f] != "counter" {
+			t.Errorf("family %s type %q, want counter", f, types[f])
+		}
+	}
+	wantGauge := []string{
+		"mira_engine_cycles_per_second", "mira_engine_eta_seconds",
+		"mira_engine_shard_imbalance_ratio", "mira_engine_pool_workers",
+		"mira_engine_pool_utilization", "mira_engine_heap_bytes",
+		"mira_engine_goroutines",
+	}
+	for _, f := range wantGauge {
+		if types[f] != "gauge" {
+			t.Errorf("family %s type %q, want gauge", f, types[f])
+		}
 	}
 }
 

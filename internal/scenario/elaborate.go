@@ -3,6 +3,7 @@ package scenario
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"mira/internal/cmp"
 	"mira/internal/collective"
@@ -177,11 +178,14 @@ func (s Scenario) Elaborate() (*Elaboration, error) {
 			}
 		}
 		e.Obs = obs.New(net, obs.Config{
-			Window:     o.Window,
-			PerVCNodes: o.PerVCNodes,
-			TraceNodes: o.TraceNodes,
-			TraceClass: o.TraceClass,
-			Spans:      o.Spans,
+			Window:         o.Window,
+			PerVCNodes:     o.PerVCNodes,
+			TraceNodes:     o.TraceNodes,
+			TraceClass:     o.TraceClass,
+			Spans:          o.Spans,
+			Engine:         o.Engine,
+			EngineInterval: time.Duration(o.EngineIntervalMs) * time.Millisecond,
+			EngineLabel:    fmt.Sprintf("%s/%s", s.Arch, s.Traffic.Kind),
 		})
 		e.Obs.Attach(sim)
 	}

@@ -97,6 +97,14 @@ type Observe struct {
 	// per-hop stage decomposition and the latency attribution tables
 	// behind mirasim -attrib and mirabench obs-stages.
 	Spans bool `json:"spans,omitempty"`
+	// Engine enables engine self-telemetry (obs.EngineCollector):
+	// per-shard wall-time, worker-pool utilization, cycles/sec with ETA
+	// and Go runtime stats, sampled on a wall-clock ticker. Strictly
+	// out-of-band — simulated results are bit-identical either way.
+	Engine bool `json:"engine,omitempty"`
+	// EngineIntervalMs overrides the engine sampling period in
+	// milliseconds (0 = the obs package default of 500).
+	EngineIntervalMs int64 `json:"engine_interval_ms,omitempty"`
 }
 
 // Fault is a serializable failed link for the fault-tolerant routing
@@ -294,6 +302,9 @@ func (s Scenario) validateCore() error {
 	if o := s.Observe; o != nil {
 		if o.Window < 0 {
 			return fmt.Errorf("scenario: observe window %d is negative", o.Window)
+		}
+		if o.EngineIntervalMs < 0 {
+			return fmt.Errorf("scenario: observe engine_interval_ms %d is negative", o.EngineIntervalMs)
 		}
 		switch o.TraceClass {
 		case "", noc.Control.String(), noc.Data.String():

@@ -23,6 +23,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"sync"
+	"time"
 
 	"mira/internal/noc"
 	"mira/internal/obs"
@@ -36,12 +37,22 @@ const (
 	StateDone    = "done"
 )
 
+// DefaultStallAfter is the engine-liveness threshold of /healthz: a
+// running run whose last observed cycle advance is older than this is
+// reported stalled (a hung shard barrier keeps the process — and every
+// handler — alive while cycles stop; only the engine ticker notices).
+const DefaultStallAfter = 30 * time.Second
+
 // runState tracks one scenario through the batch.
 type runState struct {
 	state string
 	col   *obs.Collector // non-nil once running
 	names []string       // registry column names, fixed at elaboration
 	res   *scenario.BatchResult
+	// progress reports the wall time of the run's last observed cycle
+	// advance (obs.EngineCollector.LastProgress); nil when the run has
+	// no engine collector. A closure so tests can inject a stalled run.
+	progress func() time.Time
 }
 
 // Server owns a scenario batch and serves its live state. Create with
@@ -49,13 +60,20 @@ type runState struct {
 type Server struct {
 	scs []scenario.Scenario
 
+	// StallAfter overrides the /healthz liveness threshold
+	// (0 = DefaultStallAfter). Set before serving the handler.
+	StallAfter time.Duration
+
 	mu   sync.Mutex
 	runs []runState
 }
 
 // New builds a server over the batch. Every scenario is given an
 // Observe block if it lacks one, so each run has a metric registry to
-// expose.
+// expose, and engine telemetry is forced on so /metrics carries the
+// mira_engine_* families and /healthz can detect a stalled run. Both
+// are out-of-band: served results stay bit-identical to a bare batch
+// (pinned by TestServedResultsBitIdentical).
 func New(scs []scenario.Scenario) *Server {
 	owned := make([]scenario.Scenario, len(scs))
 	copy(owned, scs)
@@ -63,6 +81,7 @@ func New(scs []scenario.Scenario) *Server {
 		if owned[i].Observe == nil {
 			owned[i].Observe = &scenario.Observe{}
 		}
+		owned[i].Observe.Engine = true
 	}
 	s := &Server{scs: owned, runs: make([]runState, len(owned))}
 	for i := range s.runs {
@@ -86,6 +105,9 @@ func (s *Server) Run(ctx context.Context, o scenario.BatchOptions) []scenario.Ba
 		s.runs[i].col = e.Obs
 		if e.Obs != nil {
 			s.runs[i].names = e.Obs.Registry().Names()
+			if ec := e.Obs.Engine(); ec != nil {
+				s.runs[i].progress = ec.LastProgress
+			}
 		}
 		s.mu.Unlock()
 		if userStart != nil {
@@ -109,10 +131,7 @@ func (s *Server) Run(ctx context.Context, o scenario.BatchOptions) []scenario.Ba
 // /debug/pprof/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/runs", s.handleRuns)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -121,6 +140,46 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// handleHealthz is the liveness probe. The first line is "ok" or
+// "stalled" (machine-checkable); detail lines follow. A run counts as
+// stalled when it is running, carries an engine collector, and its last
+// observed cycle advance is older than StallAfter — then the probe
+// answers 503 so an orchestrator can restart a simulation whose shard
+// barrier hung even though the process (and this handler) stays alive.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	stallAfter := s.StallAfter
+	if stallAfter <= 0 {
+		stallAfter = DefaultStallAfter
+	}
+	now := time.Now()
+	s.mu.Lock()
+	counts := map[string]int{}
+	var stalled []string
+	for i := range s.runs {
+		r := &s.runs[i]
+		counts[r.state]++
+		if r.state == StateRunning && r.progress != nil {
+			if age := now.Sub(r.progress()); age > stallAfter {
+				stalled = append(stalled,
+					fmt.Sprintf("run %d: no cycle progress for %s", i, age.Round(time.Second)))
+			}
+		}
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(stalled) > 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "stalled")
+		for _, line := range stalled {
+			fmt.Fprintln(w, line)
+		}
+		return
+	}
+	fmt.Fprintln(w, "ok")
+	fmt.Fprintf(w, "runs: pending=%d running=%d done=%d\n",
+		counts[StatePending], counts[StateRunning], counts[StateDone])
 }
 
 // RunStatus is the JSON shape of one run on /runs.
@@ -190,13 +249,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		if r.col == nil {
 			continue
 		}
-		cycle, row, ok := r.col.Sampler().Latest()
-		if !ok {
-			continue
-		}
 		labels := [][2]string{
 			{"run", strconv.Itoa(i)},
 			{"arch", s.scs[i].Arch},
+		}
+		if ec := r.col.Engine(); ec != nil {
+			samples = append(samples, ec.PromSamples(labels)...)
+		}
+		cycle, row, ok := r.col.Sampler().Latest()
+		if !ok {
+			continue
 		}
 		samples = append(samples, obs.PromSample{
 			Name: "mira_run_cycle", Labels: labels, Value: float64(cycle),

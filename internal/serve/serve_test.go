@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"mira/internal/scenario"
 )
@@ -75,8 +76,10 @@ func TestServeEndpoints(t *testing.T) {
 		}
 	}
 
-	if code, body := get("/healthz"); code != 200 || strings.TrimSpace(body) != "ok" {
+	if code, body := get("/healthz"); code != 200 || !strings.HasPrefix(body, "ok\n") {
 		t.Errorf("/healthz: %d %q", code, body)
+	} else if !strings.Contains(body, "done=3") {
+		t.Errorf("/healthz detail missing run counts: %q", body)
 	}
 
 	code, body := get("/runs")
@@ -112,6 +115,9 @@ func TestServeEndpoints(t *testing.T) {
 			sawType = true
 			continue
 		}
+		if strings.HasPrefix(line, "#") { // HELP lines
+			continue
+		}
 		if !promLine.MatchString(line) {
 			t.Fatalf("unparseable exposition line %q", line)
 		}
@@ -124,6 +130,8 @@ func TestServeEndpoints(t *testing.T) {
 		`mira_runs{state="done"} 3`,
 		`mira_net_occ{run="0",arch="2DB"}`,
 		`mira_run_cycle{run="2",arch="3DB"}`,
+		`mira_engine_cycles_total{run="0",arch="2DB"}`,
+		`mira_engine_shard_busy_seconds{run="1",arch="3DM",shard="0"}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, body)
@@ -180,13 +188,65 @@ func TestServedResultsBitIdentical(t *testing.T) {
 	}
 }
 
-// TestNewForcesObserve: scenarios without an Observe block get one, so
-// every run exposes metrics.
+// TestNewForcesObserve: scenarios without an Observe block get one
+// with engine telemetry on, so every run exposes metrics and liveness.
 func TestNewForcesObserve(t *testing.T) {
 	sc := testBatch()[0]
 	sc.Observe = nil
 	srv := New([]scenario.Scenario{sc})
-	if srv.Scenarios()[0].Observe == nil {
+	o := srv.Scenarios()[0].Observe
+	if o == nil {
 		t.Fatal("New did not attach an Observe block")
+	}
+	if !o.Engine {
+		t.Fatal("New did not enable engine telemetry")
+	}
+}
+
+// TestHealthzStallDetection: a running run whose engine liveness
+// timestamp stops advancing flips /healthz to 503 "stalled"; recent
+// progress keeps it "ok". The progress closure is injected directly —
+// the real one is EngineCollector.LastProgress, wired in Run's OnStart.
+func TestHealthzStallDetection(t *testing.T) {
+	srv := New(testBatch()[:1])
+	srv.StallAfter = time.Second
+	srv.mu.Lock()
+	srv.runs[0].state = StateRunning
+	srv.runs[0].progress = func() time.Time { return time.Now() }
+	srv.mu.Unlock()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func() (int, string) {
+		resp, err := ts.Client().Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get(); code != 200 || !strings.HasPrefix(body, "ok\n") {
+		t.Fatalf("live run: %d %q, want 200 ok", code, body)
+	}
+
+	srv.mu.Lock()
+	srv.runs[0].progress = func() time.Time { return time.Now().Add(-time.Hour) }
+	srv.mu.Unlock()
+	code, body := get()
+	if code != 503 || !strings.HasPrefix(body, "stalled\n") {
+		t.Fatalf("stalled run: %d %q, want 503 stalled", code, body)
+	}
+	if !strings.Contains(body, "run 0: no cycle progress") {
+		t.Fatalf("stall detail missing: %q", body)
+	}
+
+	// Done runs are never stalled, however old their timestamp.
+	srv.mu.Lock()
+	srv.runs[0].state = StateDone
+	srv.mu.Unlock()
+	if code, body := get(); code != 200 || !strings.HasPrefix(body, "ok\n") {
+		t.Fatalf("done run: %d %q, want 200 ok", code, body)
 	}
 }

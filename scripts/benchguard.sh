@@ -22,7 +22,7 @@ COUNT="${BENCHGUARD_COUNT:-3}"
 # one hardware thread, so on any multicore runner the sharded cases can
 # only come in at or under baseline (they parallelize), never falsely
 # fail.
-BENCHES='BenchmarkStepLowRate$|BenchmarkStepHighRate$|BenchmarkStepChiplet$|BenchmarkStepSharded$/^shards=(1|4)$'
+BENCHES='BenchmarkStepLowRate$|BenchmarkStepHighRate$|BenchmarkStepTelemetryOff$|BenchmarkStepChiplet$|BenchmarkStepSharded$/^shards=(1|4)$'
 
 command -v jq >/dev/null || { echo "benchguard: jq not found" >&2; exit 1; }
 
@@ -30,9 +30,13 @@ out=$(go test -run '^$' -bench "$BENCHES" -benchtime 1s -count "$COUNT" .)
 echo "$out"
 
 status=0
+# StepTelemetryOff shares StepHighRate's baseline: it is the same
+# workload with the engine-meter nil checks compiled in, and the
+# detached-telemetry contract says those checks are free.
 for spec in \
     'StepLowRate|.soa_router_core.StepLowRate_after_ns' \
     'StepHighRate|.soa_router_core.StepHighRate_after_ns' \
+    'StepTelemetryOff|.soa_router_core.StepHighRate_after_ns' \
     'StepChiplet|.chiplet_step.StepChiplet_ns' \
     'StepSharded/shards=1|.sharded_step.shards_1_ns' \
     'StepSharded/shards=4|.sharded_step.shards_4_ns'; do
